@@ -1,0 +1,33 @@
+//! Criterion bench: the offline clustering pass (Sec. III-C) — plan
+//! construction and kernel rewriting.
+
+use bench::block_kernel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kc_core::cluster::{ClusterConfig, ClusterPlan};
+use kc_core::FreqTable;
+use std::hint::black_box;
+
+fn bench_cluster(c: &mut Criterion) {
+    let kernel = block_kernel(7, 1, 0.5);
+    let freq = FreqTable::from_kernel(&kernel).unwrap();
+
+    let mut g = c.benchmark_group("cluster_plan");
+    for n in [64usize, 256, 512] {
+        let cfg = ClusterConfig {
+            n_remove: n,
+            ..ClusterConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| ClusterPlan::build(black_box(&freq), cfg))
+        });
+    }
+    g.finish();
+
+    let plan = ClusterPlan::build(&freq, &ClusterConfig::default());
+    c.bench_function("cluster_apply_kernel", |b| {
+        b.iter(|| plan.apply_to_kernel(black_box(&kernel)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

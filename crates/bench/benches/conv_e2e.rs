@@ -1,0 +1,64 @@
+//! Criterion bench: end-to-end binary convolution and the compression
+//! round-trip on realistic block geometry.
+
+use bench::block_kernel;
+use bitnn::ops::conv::{conv2d_binary, Conv2dParams};
+use bitnn::pack::{PackedActivations, PackedKernel};
+use bitnn::tensor::BitTensor;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kc_core::codec::KernelCodec;
+use std::hint::black_box;
+
+fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
+    let mut t = BitTensor::zeros(shape);
+    let mut s = seed | 1;
+    for i in 0..t.len() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if s >> 63 == 1 {
+            t.set(i, true);
+        }
+    }
+    t
+}
+
+fn bench_conv(c: &mut Criterion) {
+    // Block-5-like geometry, scaled: 128 channels, 14x14.
+    let weights = block_kernel(5, 1, 0.5);
+    let channels = weights.shape()[1];
+    let acts = random_bits(&[1, channels, 14, 14], 9);
+    let pk = PackedKernel::pack(&weights).unwrap();
+    let pa = PackedActivations::pack(&acts).unwrap();
+    let params = Conv2dParams { stride: 1, pad: 1 };
+
+    let macs = (channels * channels * 9 * 14 * 14) as u64;
+    let mut g = c.benchmark_group("conv3x3");
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("direct_packed", |b| {
+        b.iter(|| conv2d_binary(black_box(&pa), black_box(&pk), params).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let kernel = block_kernel(5, 1, 0.5);
+    let seqs = (kernel.shape()[0] * kernel.shape()[1]) as u64;
+
+    let mut g = c.benchmark_group("kernel_codec");
+    g.throughput(Throughput::Elements(seqs));
+    g.bench_function("compress_encoding", |b| {
+        let codec = KernelCodec::paper();
+        b.iter(|| codec.compress(black_box(&kernel)).unwrap())
+    });
+    g.bench_function("compress_clustered", |b| {
+        let codec = KernelCodec::paper_clustered();
+        b.iter(|| codec.compress(black_box(&kernel)).unwrap())
+    });
+    let compressed = KernelCodec::paper().compress(&kernel).unwrap();
+    g.bench_function("decompress", |b| {
+        b.iter(|| black_box(&compressed).decompress().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: simulator throughput per mode on one weight-bound
+//! layer — also a regression guard on the relative cycle counts behind
+//! the paper's speedup claims.
+
+use bitnn::model::{LayerWorkload, OpCategory};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcpu::config::CpuConfig;
+use simcpu::run::{run_workload, Mode};
+use std::hint::black_box;
+
+fn layer() -> LayerWorkload {
+    LayerWorkload {
+        name: "bench.conv3x3".into(),
+        category: OpCategory::Conv3x3,
+        in_ch: 512,
+        out_ch: 512,
+        kh: 3,
+        kw: 3,
+        oh: 7,
+        ow: 7,
+        precision_bits: 1,
+    }
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let cfg = CpuConfig::default();
+    let wl = layer();
+    let mut g = c.benchmark_group("simulate_block7_conv3x3");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("baseline", Mode::Baseline),
+        ("software", Mode::SoftwareDecode),
+        ("hardware", Mode::HardwareDecode),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| run_workload(black_box(&cfg), black_box(&wl), mode, 1.33))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

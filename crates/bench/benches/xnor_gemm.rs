@@ -1,0 +1,70 @@
+//! Criterion bench: the xnor-popcount primitives and binary GEMM — the
+//! compute substrate every experiment runs on.
+
+use bitnn::bitword::{popcount_swar, xnor_popcount_slice};
+use bitnn::ops::gemm::{gemm_binary, PackedMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn lanes(n: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        })
+        .collect()
+}
+
+fn bench_xnor_popcount(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xnor_popcount_slice");
+    for &n in &[8usize, 64, 512] {
+        let a = lanes(n, 1);
+        let b = lanes(n, 2);
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| xnor_popcount_slice(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_swar(c: &mut Criterion) {
+    let xs = lanes(1024, 3);
+    c.bench_function("popcount_swar_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &xs {
+                acc += popcount_swar(black_box(x));
+            }
+            acc
+        })
+    });
+    c.bench_function("popcount_native_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &xs {
+                acc += black_box(x).count_ones();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_binary");
+    for &k in &[256usize, 1024] {
+        let bits_a: Vec<bool> = (0..32 * k).map(|i| i % 3 == 0).collect();
+        let bits_b: Vec<bool> = (0..32 * k).map(|i| i % 5 == 0).collect();
+        let a = PackedMatrix::from_bools(32, k, &bits_a).unwrap();
+        let b = PackedMatrix::from_bools(32, k, &bits_b).unwrap();
+        g.throughput(Throughput::Elements((32 * 32 * k) as u64));
+        g.bench_with_input(BenchmarkId::new("32x32", k), &k, |bench, _| {
+            bench.iter(|| gemm_binary(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_xnor_popcount, bench_swar, bench_gemm);
+criterion_main!(benches);

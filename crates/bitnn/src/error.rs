@@ -1,0 +1,73 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BitnnError>;
+
+/// Errors produced by tensor and layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitnnError {
+    /// A tensor was constructed or reshaped with an inconsistent shape.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        got: String,
+    },
+    /// Two operands had incompatible dimensions.
+    DimMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Left-hand dimensions.
+        lhs: Vec<usize>,
+        /// Right-hand dimensions.
+        rhs: Vec<usize>,
+    },
+    /// A layer was configured with invalid hyper-parameters.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BitnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitnnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            BitnnError::DimMismatch { op, lhs, rhs } => {
+                write!(f, "dimension mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            BitnnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BitnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = BitnnError::ShapeMismatch {
+            expected: "[1, 2]".into(),
+            got: "[3]".into(),
+        };
+        assert!(!e.to_string().is_empty());
+        let e = BitnnError::DimMismatch {
+            op: "gemm",
+            lhs: vec![1, 2],
+            rhs: vec![3, 4],
+        };
+        assert!(e.to_string().contains("gemm"));
+        let e = BitnnError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitnnError>();
+    }
+}

@@ -1,0 +1,111 @@
+//! Inference utilities and the accuracy-proxy metrics.
+//!
+//! Without ImageNet, the effect of kernel clustering on "accuracy" is
+//! measured as *agreement*: run the original and the substituted network on
+//! the same inputs and compare predictions and logits. Perfect agreement
+//! means clustering provably cannot change any downstream accuracy number.
+
+use crate::model::ReActNet;
+use crate::tensor::Tensor;
+use crate::weightgen::random_floats;
+
+/// Agreement statistics between two models on a shared input batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agreement {
+    /// Fraction of inputs on which the top-1 predictions match.
+    pub top1: f64,
+    /// Mean absolute logit difference, averaged over inputs and classes.
+    pub mean_abs_dev: f64,
+    /// Largest absolute logit difference observed.
+    pub max_abs_dev: f64,
+    /// Number of inputs compared.
+    pub inputs: usize,
+}
+
+/// Generate a deterministic batch of synthetic input images.
+pub fn synthetic_batch(n: usize, channels: usize, size: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            Tensor::from_vec(
+                &[1, channels, size, size],
+                random_floats(channels * size * size, 1.0, seed.wrapping_add(i as u64)),
+            )
+            .expect("consistent shape")
+        })
+        .collect()
+}
+
+/// Compare two models input-by-input.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the models produce different logit
+/// shapes.
+pub fn compare_models(a: &ReActNet, b: &ReActNet, inputs: &[Tensor]) -> Agreement {
+    assert!(!inputs.is_empty(), "need at least one input");
+    let mut matches = 0usize;
+    let mut dev_sum = 0.0f64;
+    let mut dev_max = 0.0f64;
+    let mut dev_count = 0usize;
+    for x in inputs {
+        let ya = a.forward(x);
+        let yb = b.forward(x);
+        assert_eq!(ya.shape(), yb.shape(), "logit shape mismatch");
+        if ya.argmax() == yb.argmax() {
+            matches += 1;
+        }
+        for (&va, &vb) in ya.data().iter().zip(yb.data()) {
+            let d = (va - vb).abs() as f64;
+            dev_sum += d;
+            dev_max = dev_max.max(d);
+            dev_count += 1;
+        }
+    }
+    Agreement {
+        top1: matches as f64 / inputs.len() as f64,
+        mean_abs_dev: dev_sum / dev_count as f64,
+        max_abs_dev: dev_max,
+        inputs: inputs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_agrees_with_itself() {
+        let m = ReActNet::tiny(1);
+        let inputs = synthetic_batch(3, 3, 32, 42);
+        let agg = compare_models(&m, &m, &inputs);
+        assert_eq!(agg.top1, 1.0);
+        assert_eq!(agg.mean_abs_dev, 0.0);
+        assert_eq!(agg.max_abs_dev, 0.0);
+        assert_eq!(agg.inputs, 3);
+    }
+
+    #[test]
+    fn different_models_disagree_somewhere() {
+        let a = ReActNet::tiny(1);
+        let b = ReActNet::tiny(2);
+        let inputs = synthetic_batch(3, 3, 32, 42);
+        let agg = compare_models(&a, &b, &inputs);
+        assert!(agg.mean_abs_dev > 0.0);
+    }
+
+    #[test]
+    fn synthetic_batch_is_deterministic() {
+        let a = synthetic_batch(2, 3, 8, 7);
+        let b = synthetic_batch(2, 3, 8, 7);
+        assert_eq!(a[0].data(), b[0].data());
+        assert_eq!(a[1].data(), b[1].data());
+        assert_ne!(a[0].data(), a[1].data());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_batch_panics() {
+        let m = ReActNet::tiny(1);
+        compare_models(&m, &m, &[]);
+    }
+}

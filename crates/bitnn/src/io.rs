@@ -1,0 +1,226 @@
+//! Binary serialization of bit tensors and model weights.
+//!
+//! A deployment needs to ship the (possibly clustered) binary weights;
+//! this module provides a minimal, self-describing little-endian format:
+//!
+//! ```text
+//! BitTensor record:  ndim u8, dims u32*, words u64* (ceil(len/64))
+//! Weights file:      "BNNW", version u16, count u32, records...
+//! ```
+//!
+//! The compressed representation lives in `kc_core::container`; this is
+//! the *uncompressed* side — what the baseline loads, and what you get
+//! after offline decompression.
+
+use crate::error::{BitnnError, Result};
+use crate::model::ReActNet;
+use crate::tensor::BitTensor;
+
+/// Weights-file magic.
+pub const MAGIC: &[u8; 4] = b"BNNW";
+
+/// Format version.
+pub const VERSION: u16 = 1;
+
+/// Append a bit tensor to `out`.
+pub fn write_bit_tensor(t: &BitTensor, out: &mut Vec<u8>) {
+    out.push(t.shape().len() as u8);
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &w in t.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Read one bit tensor starting at `buf[*pos]`, advancing `pos`.
+///
+/// # Errors
+///
+/// Returns [`BitnnError::ShapeMismatch`] on truncation or an implausible
+/// shape.
+pub fn read_bit_tensor(buf: &[u8], pos: &mut usize) -> Result<BitTensor> {
+    let fail = |what: &str| BitnnError::ShapeMismatch {
+        expected: what.into(),
+        got: "truncated or invalid data".into(),
+    };
+    fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+        if *pos + n > buf.len() {
+            return Err(BitnnError::ShapeMismatch {
+                expected: "more bytes".into(),
+                got: "truncated or invalid data".into(),
+            });
+        }
+        let s = &buf[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    }
+    let ndim = take(buf, pos, 1)?[0] as usize;
+    if ndim == 0 || ndim > 8 {
+        return Err(fail("1..=8 dimensions"));
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let b = take(buf, pos, 4)?;
+        let d = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        if d == 0 || d > 1 << 20 {
+            return Err(fail("plausible dimension"));
+        }
+        shape.push(d);
+    }
+    let len: usize = shape.iter().product();
+    let words = len.div_ceil(64);
+    let mut t = BitTensor::zeros(&shape);
+    for wi in 0..words {
+        let b = take(buf, pos, 8)?;
+        let word = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        // Set bits individually to preserve the tail-is-clean invariant
+        // even on malformed input.
+        for bit in 0..64 {
+            let idx = wi * 64 + bit;
+            if idx < len && (word >> bit) & 1 == 1 {
+                t.set(idx, true);
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// Serialize every binary 3×3 kernel of a model (block order).
+pub fn save_conv3_weights(model: &ReActNet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(model.num_blocks() as u32).to_le_bytes());
+    for i in 0..model.num_blocks() {
+        write_bit_tensor(model.conv3_weights(i), &mut out);
+    }
+    out
+}
+
+/// Load 3×3 kernels saved by [`save_conv3_weights`] into a model with the
+/// same architecture.
+///
+/// # Errors
+///
+/// Returns [`BitnnError::ShapeMismatch`] if the file is damaged, the
+/// block count differs, or any kernel's shape does not match the model.
+pub fn load_conv3_weights(model: &mut ReActNet, bytes: &[u8]) -> Result<()> {
+    let fail = |what: &str| BitnnError::ShapeMismatch {
+        expected: what.into(),
+        got: "weights file".into(),
+    };
+    if bytes.len() < 10 || &bytes[..4] != MAGIC {
+        return Err(fail("BNNW magic"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(fail("supported version"));
+    }
+    let count = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+    if count != model.num_blocks() {
+        return Err(BitnnError::ShapeMismatch {
+            expected: format!("{} blocks", model.num_blocks()),
+            got: format!("{count} blocks"),
+        });
+    }
+    let mut pos = 10;
+    let mut kernels = Vec::with_capacity(count);
+    for i in 0..count {
+        let k = read_bit_tensor(bytes, &mut pos)?;
+        if k.shape() != model.conv3_weights(i).shape() {
+            return Err(BitnnError::ShapeMismatch {
+                expected: format!("{:?}", model.conv3_weights(i).shape()),
+                got: format!("{:?}", k.shape()),
+            });
+        }
+        kernels.push(k);
+    }
+    for (i, k) in kernels.into_iter().enumerate() {
+        model.set_conv3_weights(i, k);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
+        let mut t = BitTensor::zeros(shape);
+        let mut s = seed | 1;
+        for i in 0..t.len() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if s >> 63 == 1 {
+                t.set(i, true);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn bit_tensor_roundtrip() {
+        for shape in [vec![7usize], vec![3, 5], vec![2, 65, 3, 3]] {
+            let t = random_bits(&shape, 3);
+            let mut buf = Vec::new();
+            write_bit_tensor(&t, &mut buf);
+            let mut pos = 0;
+            let back = read_bit_tensor(&buf, &mut pos).unwrap();
+            assert_eq!(back, t);
+            assert_eq!(pos, buf.len());
+            assert!(back.tail_is_clean());
+        }
+    }
+
+    #[test]
+    fn model_weights_roundtrip() {
+        let original = ReActNet::tiny(41);
+        let bytes = save_conv3_weights(&original);
+        let mut other = ReActNet::tiny(42); // different weights
+        assert_ne!(other.conv3_weights(0), original.conv3_weights(0));
+        load_conv3_weights(&mut other, &bytes).unwrap();
+        for i in 0..original.num_blocks() {
+            assert_eq!(other.conv3_weights(i), original.conv3_weights(i));
+        }
+    }
+
+    #[test]
+    fn damage_is_detected() {
+        let model = ReActNet::tiny(43);
+        let bytes = save_conv3_weights(&model);
+        let mut m = ReActNet::tiny(44);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(load_conv3_weights(&mut m, &bad).is_err());
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(load_conv3_weights(&mut m, &bad).is_err());
+        // Truncations.
+        for cut in [3usize, 9, 12, bytes.len() / 2] {
+            assert!(load_conv3_weights(&mut m, &bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn block_count_mismatch_rejected() {
+        let model = ReActNet::tiny(45);
+        let mut bytes = save_conv3_weights(&model);
+        bytes[6..10].copy_from_slice(&99u32.to_le_bytes());
+        let mut m = ReActNet::tiny(46);
+        assert!(load_conv3_weights(&mut m, &bytes).is_err());
+    }
+
+    #[test]
+    fn tail_bits_in_file_do_not_corrupt_tensor() {
+        // Hand-craft a record whose last word has garbage beyond `len`.
+        let mut buf = vec![1u8, 3, 0, 0, 0]; // ndim 1, dim 3
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut pos = 0;
+        let t = read_bit_tensor(&buf, &mut pos).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.tail_is_clean());
+        assert_eq!(t.count_ones(), 3);
+    }
+}

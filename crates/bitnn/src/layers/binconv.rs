@@ -1,0 +1,174 @@
+//! Binary convolution layer (the paper's "1-bit 3×3 Conv" / "1-bit 1×1
+//! Conv" stages).
+//!
+//! Owns both the flat binary weights (harvested by the compression crate as
+//! bit sequences) and the channel-packed form used by the fast path.
+
+use crate::layers::sign::RSign;
+use crate::layers::Layer;
+use crate::ops::conv::{conv2d_binary, Conv2dParams};
+use crate::pack::{PackedActivations, PackedKernel};
+use crate::tensor::{BitTensor, Tensor};
+
+/// A 1-bit convolution: binarize input (plain sign), run xnor-popcount conv.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinConv2d {
+    weights: BitTensor,
+    packed: PackedKernel,
+    params: Conv2dParams,
+}
+
+impl BinConv2d {
+    /// Build from binary weights `[K, C, KH, KW]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is not 4-D.
+    pub fn new(weights: BitTensor, params: Conv2dParams) -> Self {
+        let packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
+        BinConv2d {
+            weights,
+            packed,
+            params,
+        }
+    }
+
+    /// The flat binary weights.
+    pub fn weights(&self) -> &BitTensor {
+        &self.weights
+    }
+
+    /// The channel-packed kernel.
+    pub fn packed(&self) -> &PackedKernel {
+        &self.packed
+    }
+
+    /// Convolution hyper-parameters.
+    pub fn params(&self) -> Conv2dParams {
+        self.params
+    }
+
+    /// Output filter count.
+    pub fn filters(&self) -> usize {
+        self.packed.filters()
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.packed.channels()
+    }
+
+    /// Kernel spatial size `(kh, kw)`.
+    pub fn kernel_size(&self) -> (usize, usize) {
+        (self.packed.kh(), self.packed.kw())
+    }
+
+    /// Replace the weights (used by the compression pipeline after
+    /// clustering substitutes bit sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new weights' shape differs from the old.
+    pub fn set_weights(&mut self, weights: BitTensor) {
+        assert_eq!(
+            weights.shape(),
+            self.weights.shape(),
+            "replacement weights must keep the shape"
+        );
+        self.packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
+        self.weights = weights;
+    }
+
+    /// Forward over an already-binarized, already-packed input.
+    pub fn forward_packed(&self, acts: &PackedActivations) -> Tensor {
+        conv2d_binary(acts, &self.packed, self.params).expect("channel counts validated at build")
+    }
+}
+
+impl Layer for BinConv2d {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        let bits = RSign::zero(self.in_channels()).binarize(input);
+        let packed = PackedActivations::pack(&bits).expect("4-D input");
+        self.forward_packed(&packed)
+    }
+
+    fn param_bits(&self) -> usize {
+        // One bit per weight (the point of a BNN).
+        self.weights.len()
+    }
+
+    fn describe(&self) -> String {
+        let (kh, kw) = self.kernel_size();
+        format!(
+            "BinConv2d({}x{}, {}->{} ch, stride {}, pad {})",
+            kh,
+            kw,
+            self.in_channels(),
+            self.filters(),
+            self.params.stride,
+            self.params.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
+        let mut t = BitTensor::zeros(shape);
+        let mut s = seed | 1;
+        for i in 0..t.len() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if s >> 63 == 1 {
+                t.set(i, true);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn forward_shape() {
+        let w = random_bits(&[8, 16, 3, 3], 1);
+        let conv = BinConv2d::new(w, Conv2dParams { stride: 2, pad: 1 });
+        let input = Tensor::full(&[1, 16, 8, 8], 1.0);
+        let out = conv.forward(&input);
+        assert_eq!(out.shape(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn param_bits_is_one_per_weight() {
+        let w = BitTensor::zeros(&[8, 16, 3, 3]);
+        let conv = BinConv2d::new(w, Conv2dParams::default());
+        assert_eq!(conv.param_bits(), 8 * 16 * 9);
+    }
+
+    #[test]
+    fn set_weights_repacks() {
+        let w0 = BitTensor::zeros(&[1, 4, 3, 3]);
+        let mut conv = BinConv2d::new(w0, Conv2dParams::default());
+        let input = Tensor::full(&[1, 4, 3, 3], 1.0);
+        // All -1 weights vs all +1 input: full disagreement -> -36.
+        assert_eq!(conv.forward(&input).data()[0], -36.0);
+        let mut w1 = BitTensor::zeros(&[1, 4, 3, 3]);
+        for i in 0..w1.len() {
+            w1.set(i, true);
+        }
+        conv.set_weights(w1);
+        assert_eq!(conv.forward(&input).data()[0], 36.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the shape")]
+    fn set_weights_rejects_shape_change() {
+        let mut conv = BinConv2d::new(BitTensor::zeros(&[1, 4, 3, 3]), Conv2dParams::default());
+        conv.set_weights(BitTensor::zeros(&[2, 4, 3, 3]));
+    }
+
+    #[test]
+    fn describe_mentions_geometry() {
+        let conv = BinConv2d::new(BitTensor::zeros(&[8, 4, 1, 1]), Conv2dParams::default());
+        let d = conv.describe();
+        assert!(d.contains("1x1") && d.contains("4->8"));
+    }
+}

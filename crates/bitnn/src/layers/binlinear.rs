@@ -1,0 +1,135 @@
+//! Binary fully-connected layer.
+//!
+//! ReActNet's classifier is 8-bit ([`crate::layers::quant::QuantLinear`]),
+//! but fully-binary heads are common in the BNN literature the paper
+//! builds on (daBNN ships one), so the substrate provides it: weights and
+//! inputs are ±1, the product is an xnor-popcount GEMM.
+
+use crate::layers::Layer;
+use crate::ops::gemm::{gemm_binary, PackedMatrix};
+use crate::tensor::Tensor;
+
+/// A 1-bit dense layer: `[N, in] -> [N, out]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinLinear {
+    weights: PackedMatrix,
+}
+
+impl BinLinear {
+    /// Build from row-major weight bits (`out_features` rows of
+    /// `in_features` bits; bit `1` = `+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != out_features * in_features`.
+    pub fn new(out_features: usize, in_features: usize, bits: &[bool]) -> Self {
+        let weights = PackedMatrix::from_bools(out_features, in_features, bits)
+            .expect("weight bit count must match the geometry");
+        BinLinear { weights }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The packed weights.
+    pub fn weights(&self) -> &PackedMatrix {
+        &self.weights
+    }
+
+    /// Forward over a `[N, in_features]` tensor: inputs are binarized
+    /// with Eq. 1, the output is the integer dot product as `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 2-D with the right feature count.
+    pub fn forward_2d(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 2, "BinLinear expects a 2-D tensor");
+        assert_eq!(shape[1], self.in_features(), "feature mismatch in BinLinear");
+        let n = shape[0];
+        let k = self.in_features();
+        let mut a = PackedMatrix::zeros(n, k);
+        for r in 0..n {
+            for c in 0..k {
+                if input.data()[r * k + c] >= 0.0 {
+                    a.set(r, c, true);
+                }
+            }
+        }
+        let flat = gemm_binary(&a, &self.weights).expect("dimensions validated");
+        let mut out = Tensor::zeros(&[n, self.out_features()]);
+        for (o, v) in out.data_mut().iter_mut().zip(flat) {
+            *o = v as f32;
+        }
+        out
+    }
+}
+
+impl Layer for BinLinear {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_2d(input)
+    }
+
+    fn param_bits(&self) -> usize {
+        self.in_features() * self.out_features()
+    }
+
+    fn describe(&self) -> String {
+        format!("BinLinear({}->{}, 1-bit)", self.in_features(), self.out_features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_row_maximizes_output() {
+        let k = 100;
+        let bits: Vec<bool> = (0..k).map(|i| i % 2 == 0).collect();
+        let layer = BinLinear::new(1, k, &bits);
+        let input_vals: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let input = Tensor::from_vec(&[1, k], input_vals).unwrap();
+        let out = layer.forward_2d(&input);
+        assert_eq!(out.data()[0], k as f32);
+    }
+
+    #[test]
+    fn input_binarization_uses_eq1() {
+        // Inputs 0.0 and -0.0 binarize to +1; a tiny negative to -1.
+        let layer = BinLinear::new(1, 3, &[true, true, true]);
+        let input = Tensor::from_vec(&[1, 3], vec![0.0, -0.0, -1e-9]).unwrap();
+        let out = layer.forward_2d(&input);
+        assert_eq!(out.data()[0], 1.0 + 1.0 - 1.0);
+    }
+
+    #[test]
+    fn batch_dimension_works() {
+        let layer = BinLinear::new(2, 4, &[true; 8]);
+        let input = Tensor::from_vec(&[3, 4], vec![1.0; 12]).unwrap();
+        let out = layer.forward_2d(&input);
+        assert_eq!(out.shape(), &[3, 2]);
+        assert!(out.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn param_bits_one_per_weight() {
+        let layer = BinLinear::new(10, 64, &vec![false; 640]);
+        assert_eq!(layer.param_bits(), 640);
+        assert!(layer.describe().contains("64->10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn wrong_width_panics() {
+        let layer = BinLinear::new(2, 4, &[true; 8]);
+        layer.forward_2d(&Tensor::zeros(&[1, 5]));
+    }
+}

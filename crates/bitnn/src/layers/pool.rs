@@ -1,0 +1,56 @@
+//! Pooling. ReActNet ends with a global average pool before the classifier.
+
+use crate::tensor::Tensor;
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or has empty spatial dimensions.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let shape = input.shape();
+    assert_eq!(shape.len(), 4, "global_avg_pool expects a 4-D tensor");
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert!(h > 0 && w > 0, "empty spatial dimensions");
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    for img in 0..n {
+        for ch in 0..c {
+            let mut acc = 0.0f32;
+            for y in 0..h {
+                for x in 0..w {
+                    acc += input.at4(img, ch, y, x);
+                }
+            }
+            out.data_mut()[img * c + ch] = acc * inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_each_channel() {
+        let t = Tensor::from_vec(&[1, 2, 1, 2], vec![1.0, 3.0, -2.0, 2.0]).unwrap();
+        let out = global_avg_pool(&t);
+        assert_eq!(out.shape(), &[1, 2]);
+        assert_eq!(out.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_dimension_is_preserved() {
+        let t = Tensor::full(&[3, 4, 2, 2], 5.0);
+        let out = global_avg_pool(&t);
+        assert_eq!(out.shape(), &[3, 4]);
+        assert!(out.data().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "4-D")]
+    fn rejects_non_4d() {
+        global_avg_pool(&Tensor::zeros(&[2, 2]));
+    }
+}

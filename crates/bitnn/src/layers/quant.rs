@@ -1,0 +1,264 @@
+//! 8-bit quantized layers for the network's full-precision ends.
+//!
+//! ReActNet's input convolution and output fully-connected layer are not
+//! binarized; the paper quantizes both to 8 bits (Sec. II-B, Table I rows
+//! "Input Layer" / "Output Layer"). We implement symmetric per-tensor
+//! quantization: weights are stored as `i8` with one `f32` scale, inputs
+//! are quantized on the fly, accumulation is `i32`, and the result is
+//! rescaled to `f32`.
+
+use crate::layers::Layer;
+use crate::ops::conv::Conv2dParams;
+use crate::tensor::Tensor;
+
+/// Symmetric 8-bit quantizer: returns `(q, scale)` with
+/// `q = round(x / scale)` clamped to `[-127, 127]`.
+pub fn quantize_symmetric(data: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let q = data
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
+/// Dequantize a single value.
+#[inline]
+pub fn dequantize(q: i32, scale: f32) -> f32 {
+    q as f32 * scale
+}
+
+/// 8-bit quantized 2-D convolution (the network's input layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantConv2d {
+    weights_q: Vec<i8>,
+    w_scale: f32,
+    filters: usize,
+    channels: usize,
+    kh: usize,
+    kw: usize,
+    params: Conv2dParams,
+}
+
+impl QuantConv2d {
+    /// Quantize float weights `[K, C, KH, KW]` to 8 bits and build the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is not 4-D.
+    pub fn from_float(weights: &Tensor, params: Conv2dParams) -> Self {
+        let shape = weights.shape();
+        assert_eq!(shape.len(), 4, "QuantConv2d weights must be 4-D");
+        let (q, w_scale) = quantize_symmetric(weights.data());
+        QuantConv2d {
+            weights_q: q,
+            w_scale,
+            filters: shape[0],
+            channels: shape[1],
+            kh: shape[2],
+            kw: shape[3],
+            params,
+        }
+    }
+
+    /// Output filter count.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Input channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    #[inline]
+    fn w_at(&self, k: usize, c: usize, y: usize, x: usize) -> i32 {
+        self.weights_q[((k * self.channels + c) * self.kh + y) * self.kw + x] as i32
+    }
+}
+
+impl Layer for QuantConv2d {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "QuantConv2d expects 4-D input");
+        assert_eq!(shape[1], self.channels, "channel mismatch in QuantConv2d");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = self.params.out_dim(h, self.kh);
+        let ow = self.params.out_dim(w, self.kw);
+        let (input_q, in_scale) = quantize_symmetric(input.data());
+        let iq = |img: usize, ch: usize, y: usize, x: usize| -> i32 {
+            input_q[((img * c + ch) * h + y) * w + x] as i32
+        };
+        let out_scale = in_scale * self.w_scale;
+        let mut out = Tensor::zeros(&[n, self.filters, oh, ow]);
+        for img in 0..n {
+            for k in 0..self.filters {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0i32;
+                        for ch in 0..c {
+                            for ky in 0..self.kh {
+                                for kx in 0..self.kw {
+                                    let y = (oy * self.params.stride + ky) as isize
+                                        - self.params.pad as isize;
+                                    let x = (ox * self.params.stride + kx) as isize
+                                        - self.params.pad as isize;
+                                    if y >= 0 && y < h as isize && x >= 0 && x < w as isize {
+                                        acc += iq(img, ch, y as usize, x as usize)
+                                            * self.w_at(k, ch, ky, kx);
+                                    }
+                                    // 8-bit layers use conventional zero
+                                    // padding (zero is representable here).
+                                }
+                            }
+                        }
+                        out.set4(img, k, oy, ox, dequantize(acc, out_scale));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn param_bits(&self) -> usize {
+        self.weights_q.len() * 8
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "QuantConv2d({}x{}, {}->{} ch, 8-bit)",
+            self.kh, self.kw, self.channels, self.filters
+        )
+    }
+}
+
+/// 8-bit quantized fully-connected layer (the network's output layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantLinear {
+    weights_q: Vec<i8>,
+    w_scale: f32,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl QuantLinear {
+    /// Quantize float weights `[out, in]` (row-major) to 8 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != out_features * in_features`.
+    pub fn from_float(weights: &[f32], out_features: usize, in_features: usize) -> Self {
+        assert_eq!(weights.len(), out_features * in_features);
+        let (q, w_scale) = quantize_symmetric(weights);
+        QuantLinear {
+            weights_q: q,
+            w_scale,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Forward over a flattened `[N, in_features]` tensor, producing
+    /// `[N, out_features]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing dimension is not `in_features`.
+    pub fn forward_2d(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 2, "QuantLinear expects a 2-D tensor");
+        assert_eq!(shape[1], self.in_features, "feature mismatch in QuantLinear");
+        let n = shape[0];
+        let (input_q, in_scale) = quantize_symmetric(input.data());
+        let out_scale = in_scale * self.w_scale;
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        for img in 0..n {
+            for o in 0..self.out_features {
+                let mut acc = 0i32;
+                for i in 0..self.in_features {
+                    acc += input_q[img * self.in_features + i] as i32
+                        * self.weights_q[o * self.in_features + i] as i32;
+                }
+                out.data_mut()[img * self.out_features + o] = dequantize(acc, out_scale);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for QuantLinear {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_2d(input)
+    }
+
+    fn param_bits(&self) -> usize {
+        self.weights_q.len() * 8
+    }
+
+    fn describe(&self) -> String {
+        format!("QuantLinear({}->{}, 8-bit)", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_accuracy() {
+        let data = vec![-1.0, -0.5, 0.0, 0.25, 1.0];
+        let (q, s) = quantize_symmetric(&data);
+        for (&orig, &qi) in data.iter().zip(&q) {
+            let back = dequantize(qi as i32, s);
+            assert!((orig - back).abs() <= s, "{orig} -> {back} (scale {s})");
+        }
+    }
+
+    #[test]
+    fn quantize_all_zero_is_safe() {
+        let (q, s) = quantize_symmetric(&[0.0; 4]);
+        assert_eq!(q, vec![0i8; 4]);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn linear_matches_float_within_quant_error() {
+        let w = vec![1.0, 2.0, -1.0, 0.5, -0.25, 0.0]; // [2 out, 3 in]
+        let lin = QuantLinear::from_float(&w, 2, 3);
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, -1.0, 2.0]).unwrap();
+        let out = lin.forward(&x);
+        // Float reference: [1*1 + 2*-1 + -1*2, 0.5*1 + -0.25*-1 + 0] = [-3, 0.75]
+        assert!((out.data()[0] - -3.0).abs() < 0.1);
+        assert!((out.data()[1] - 0.75).abs() < 0.1);
+    }
+
+    #[test]
+    fn conv_matches_float_within_quant_error() {
+        let w = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, -1.0, 0.5, 0.25]).unwrap();
+        let conv = QuantConv2d::from_float(&w, Conv2dParams::default());
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, -1.0, 0.5]).unwrap();
+        let out = conv.forward(&x);
+        // Float: 1*1 + 2*-1 + -1*0.5 + 0.5*0.25 = -1.375.
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert!((out.data()[0] - -1.375).abs() < 0.05, "{}", out.data()[0]);
+    }
+
+    #[test]
+    fn param_bits_are_8_per_weight() {
+        let conv = QuantConv2d::from_float(&Tensor::zeros(&[4, 3, 3, 3]), Conv2dParams::default());
+        assert_eq!(conv.param_bits(), 4 * 3 * 9 * 8);
+        let lin = QuantLinear::from_float(&[0.0; 10 * 4], 10, 4);
+        assert_eq!(lin.param_bits(), 40 * 8);
+    }
+}

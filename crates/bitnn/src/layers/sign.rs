@@ -1,0 +1,123 @@
+//! RSign — ReActNet's shifted binarization.
+//!
+//! ReActNet generalizes Eq. 1 with a learnable per-channel shift `α_c`:
+//! `sign(x - α_c)`. Shifting before binarization is one of the paper's
+//! cited accuracy enablers ("the Prelu activation is biased by shifting and
+//! reshaping its input"); the same idea applies to the sign function.
+
+use crate::layers::Layer;
+use crate::tensor::{BitTensor, Tensor};
+
+/// Per-channel shifted sign activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RSign {
+    shifts: Vec<f32>,
+}
+
+impl RSign {
+    /// RSign with explicit per-channel shifts.
+    pub fn new(shifts: Vec<f32>) -> Self {
+        RSign { shifts }
+    }
+
+    /// RSign with all shifts at zero (plain Eq. 1 sign).
+    pub fn zero(channels: usize) -> Self {
+        RSign {
+            shifts: vec![0.0; channels],
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.shifts.len()
+    }
+
+    /// The per-channel shifts.
+    pub fn shifts(&self) -> &[f32] {
+        &self.shifts
+    }
+
+    /// Binarize a `[N, C, H, W]` tensor into a [`BitTensor`] of the same
+    /// shape: bit `1` where `x >= shift_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel dimension does not match the shift count.
+    pub fn binarize(&self, input: &Tensor) -> BitTensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "RSign expects a 4-D tensor");
+        assert_eq!(shape[1], self.shifts.len(), "channel mismatch in RSign");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let mut out = BitTensor::zeros(shape);
+        for img in 0..n {
+            for ch in 0..c {
+                let a = self.shifts[ch];
+                for y in 0..h {
+                    for x in 0..w {
+                        if input.at4(img, ch, y, x) >= a {
+                            let i = out.idx4(img, ch, y, x);
+                            out.set(i, true);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for RSign {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.binarize(input).to_tensor()
+    }
+
+    fn param_bits(&self) -> usize {
+        self.shifts.len() * 32
+    }
+
+    fn describe(&self) -> String {
+        format!("RSign({} channels)", self.shifts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shift_matches_plain_binarize() {
+        let t = Tensor::from_vec(&[1, 2, 1, 2], vec![-1.0, 0.5, 0.0, -0.1]).unwrap();
+        let rs = RSign::zero(2);
+        assert_eq!(rs.binarize(&t), t.binarize());
+    }
+
+    #[test]
+    fn shift_moves_threshold_per_channel() {
+        let t = Tensor::from_vec(&[1, 2, 1, 1], vec![0.4, 0.4]).unwrap();
+        let rs = RSign::new(vec![0.5, 0.3]);
+        let b = rs.binarize(&t);
+        assert!(!b.get(0)); // 0.4 < 0.5
+        assert!(b.get(1)); // 0.4 >= 0.3
+    }
+
+    #[test]
+    fn forward_produces_pm_one() {
+        let t = Tensor::from_vec(&[1, 1, 1, 3], vec![-2.0, 0.0, 2.0]).unwrap();
+        let out = RSign::zero(1).forward(&t);
+        assert_eq!(out.data(), &[-1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let t = Tensor::zeros(&[1, 3, 1, 1]);
+        RSign::zero(2).binarize(&t);
+    }
+
+    #[test]
+    fn layer_metadata() {
+        let rs = RSign::zero(16);
+        assert_eq!(rs.param_bits(), 512);
+        assert!(rs.describe().contains("16"));
+    }
+}

@@ -1,0 +1,274 @@
+//! The ReActNet basic block (paper Fig. 1).
+//!
+//! ```text
+//! x ──► RSign ──► 1-bit 3×3 Conv ──► BatchNorm ──► (+ shortcut) ──► RPReLU ──►
+//!   ──► RSign ──► 1-bit 1×1 Conv ──► BatchNorm ──► (+ shortcut) ──► RPReLU ──► y
+//! ```
+//!
+//! Shortcuts follow the ReActNet paper: around the 3×3 conv the identity is
+//! average-pooled when the stride is 2; around the 1×1 conv the identity is
+//! channel-duplicated when the block doubles the channel count.
+
+use crate::layers::{BatchNorm, BinConv2d, Layer, RPReLU, RSign};
+use crate::pack::PackedActivations;
+use crate::tensor::Tensor;
+
+/// One ReActNet basic block.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Shifted sign before the 3×3 conv.
+    pub sign1: RSign,
+    /// The 1-bit 3×3 convolution (`C -> C`, stride 1 or 2, pad 1).
+    pub conv3: BinConv2d,
+    /// Batch-norm after the 3×3 conv.
+    pub bn1: BatchNorm,
+    /// RPReLU after the 3×3 stage.
+    pub act1: RPReLU,
+    /// Shifted sign before the 1×1 conv.
+    pub sign2: RSign,
+    /// The 1-bit 1×1 convolution (`C -> C'`).
+    pub conv1: BinConv2d,
+    /// Batch-norm after the 1×1 conv.
+    pub bn2: BatchNorm,
+    /// RPReLU after the 1×1 stage.
+    pub act2: RPReLU,
+}
+
+impl BasicBlock {
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.conv3.in_channels()
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.conv1.filters()
+    }
+
+    /// Stride of the 3×3 stage.
+    pub fn stride(&self) -> usize {
+        self.conv3.params().stride
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_traced(x).0
+    }
+
+    /// Forward pass that also returns the binarized input of the 3×3
+    /// stage — the activation bits the paper's Sec. I observation about
+    /// "weights or inputs" refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match.
+    pub fn forward_traced(&self, x: &Tensor) -> (Tensor, crate::tensor::BitTensor) {
+        // --- 3x3 stage ---
+        let bits_3x3 = self.sign1.binarize(x);
+        let packed = PackedActivations::pack(&bits_3x3).expect("4-D input");
+        let conv_out = self.conv3.forward_packed(&packed);
+        let bn_out = self.bn1.forward(&conv_out);
+        let shortcut = shortcut_spatial(x, self.stride());
+        let mid = self.act1.forward(&add(&bn_out, &shortcut));
+
+        // --- 1x1 stage ---
+        let bits = self.sign2.binarize(&mid);
+        let packed = PackedActivations::pack(&bits).expect("4-D input");
+        let conv_out = self.conv1.forward_packed(&packed);
+        let bn_out = self.bn2.forward(&conv_out);
+        let shortcut = shortcut_channels(&mid, self.out_channels());
+        (self.act2.forward(&add(&bn_out, &shortcut)), bits_3x3)
+    }
+
+    /// Parameter storage in bits across all stages.
+    pub fn param_bits(&self) -> usize {
+        self.sign1.param_bits()
+            + self.conv3.param_bits()
+            + self.bn1.param_bits()
+            + self.act1.param_bits()
+            + self.sign2.param_bits()
+            + self.conv1.param_bits()
+            + self.bn2.param_bits()
+            + self.act2.param_bits()
+    }
+}
+
+/// Element-wise sum of same-shape tensors.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+    let mut out = a.clone();
+    for (o, &x) in out.data_mut().iter_mut().zip(b.data()) {
+        *o += x;
+    }
+    out
+}
+
+/// Spatial shortcut: identity for stride 1, 2×2 average pool for stride 2.
+///
+/// # Panics
+///
+/// Panics for strides other than 1 or 2.
+fn shortcut_spatial(x: &Tensor, stride: usize) -> Tensor {
+    match stride {
+        1 => x.clone(),
+        2 => avg_pool_2x2(x),
+        s => panic!("unsupported shortcut stride {s}"),
+    }
+}
+
+/// Channel shortcut: identity when counts match, duplication (concat with
+/// itself) when the block doubles the channels.
+///
+/// # Panics
+///
+/// Panics if `out_ch` is neither `C` nor `2C`.
+fn shortcut_channels(x: &Tensor, out_ch: usize) -> Tensor {
+    let shape = x.shape();
+    let c = shape[1];
+    if out_ch == c {
+        return x.clone();
+    }
+    assert_eq!(out_ch, 2 * c, "channel shortcut requires C or 2C output");
+    let (n, h, w) = (shape[0], shape[2], shape[3]);
+    let mut out = Tensor::zeros(&[n, out_ch, h, w]);
+    for img in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                for xx in 0..w {
+                    let v = x.at4(img, ch, y, xx);
+                    out.set4(img, ch, y, xx, v);
+                    out.set4(img, ch + c, y, xx, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 2×2 average pooling with stride 2 (odd trailing row/column dropped,
+/// matching the convolution's floor semantics for stride-2 output size with
+/// pad 1 on odd inputs handled by the caller's geometry).
+fn avg_pool_2x2(x: &Tensor) -> Tensor {
+    let shape = x.shape();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let oh = h.div_ceil(2);
+    let ow = w.div_ceil(2);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for img in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    let mut cnt = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let y = oy * 2 + dy;
+                            let xx = ox * 2 + dx;
+                            if y < h && xx < w {
+                                acc += x.at4(img, ch, y, xx);
+                                cnt += 1;
+                            }
+                        }
+                    }
+                    out.set4(img, ch, oy, ox, acc / cnt as f32);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm, BinConv2d, RPReLU, RSign};
+    use crate::ops::conv::Conv2dParams;
+    use crate::weightgen::random_kernel;
+
+    fn block(c_in: usize, c_out: usize, stride: usize, seed: u64) -> BasicBlock {
+        BasicBlock {
+            sign1: RSign::zero(c_in),
+            conv3: BinConv2d::new(
+                random_kernel(&[c_in, c_in, 3, 3], seed),
+                Conv2dParams { stride, pad: 1 },
+            ),
+            bn1: BatchNorm::identity(c_in),
+            act1: RPReLU::plain(c_in, 0.25),
+            sign2: RSign::zero(c_in),
+            conv1: BinConv2d::new(random_kernel(&[c_out, c_in, 1, 1], seed ^ 1), Conv2dParams::default()),
+            bn2: BatchNorm::identity(c_out),
+            act2: RPReLU::plain(c_out, 0.25),
+        }
+    }
+
+    #[test]
+    fn stride1_same_channels_preserves_shape() {
+        let b = block(8, 8, 1, 42);
+        let x = Tensor::full(&[1, 8, 6, 6], 0.5);
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), &[1, 8, 6, 6]);
+    }
+
+    #[test]
+    fn stride2_halves_spatial() {
+        let b = block(8, 8, 2, 43);
+        let x = Tensor::full(&[1, 8, 8, 8], 0.5);
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn channel_doubling_block() {
+        let b = block(8, 16, 1, 44);
+        let x = Tensor::full(&[1, 8, 4, 4], -0.5);
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), &[1, 16, 4, 4]);
+    }
+
+    #[test]
+    fn stride2_and_doubling_together() {
+        let b = block(8, 16, 2, 45);
+        let x = Tensor::full(&[1, 8, 7, 7], 1.0); // odd input
+        let y = b.forward(&x);
+        // pad 1, k 3, stride 2: out = (7 + 2 - 3)/2 + 1 = 4.
+        assert_eq!(y.shape(), &[1, 16, 4, 4]);
+    }
+
+    #[test]
+    fn add_requires_same_shape() {
+        let a = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = Tensor::zeros(&[1, 2, 2, 2]);
+        let c = add(&a, &b);
+        assert_eq!(c.shape(), a.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_panics_on_mismatch() {
+        add(&Tensor::zeros(&[1, 2, 2, 2]), &Tensor::zeros(&[1, 2, 2, 3]));
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = avg_pool_2x2(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 2.5);
+    }
+
+    #[test]
+    fn param_bits_dominated_by_conv3() {
+        let b = block(64, 64, 1, 46);
+        // conv3 = 64*64*9 bits, conv1 = 64*64 bits; 3x3 should dominate.
+        assert!(b.conv3.param_bits() > b.conv1.param_bits() * 8);
+        assert!(b.param_bits() > b.conv3.param_bits());
+    }
+}

@@ -1,0 +1,154 @@
+//! Storage accounting for the Table I breakdown.
+
+use std::fmt;
+
+/// The operation categories of paper Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpCategory {
+    /// 8-bit quantized input convolution.
+    InputLayer,
+    /// 8-bit quantized output fully-connected layer.
+    OutputLayer,
+    /// 1-bit 1×1 convolutions.
+    Conv1x1,
+    /// 1-bit 3×3 convolutions.
+    Conv3x3,
+    /// Everything full-precision: batch-norm, activations, shifts.
+    Others,
+}
+
+impl OpCategory {
+    /// All categories in Table I row order.
+    pub const ALL: [OpCategory; 5] = [
+        OpCategory::InputLayer,
+        OpCategory::OutputLayer,
+        OpCategory::Conv1x1,
+        OpCategory::Conv3x3,
+        OpCategory::Others,
+    ];
+
+    /// Weight precision in bits for this category (Table I column).
+    pub fn precision_bits(self) -> usize {
+        match self {
+            OpCategory::InputLayer | OpCategory::OutputLayer => 8,
+            OpCategory::Conv1x1 | OpCategory::Conv3x3 => 1,
+            OpCategory::Others => 32,
+        }
+    }
+
+    /// Table I row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpCategory::InputLayer => "Input Layer",
+            OpCategory::OutputLayer => "Output Layer",
+            OpCategory::Conv1x1 => "Conv 1x1",
+            OpCategory::Conv3x3 => "Conv 3x3",
+            OpCategory::Others => "Others",
+        }
+    }
+}
+
+impl fmt::Display for OpCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-category storage totals (in bits).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    bits: [usize; 5],
+}
+
+impl StorageBreakdown {
+    /// Empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `bits` to `category`.
+    pub fn add(&mut self, category: OpCategory, bits: usize) {
+        self.bits[Self::index(category)] += bits;
+    }
+
+    fn index(category: OpCategory) -> usize {
+        OpCategory::ALL.iter().position(|&c| c == category).unwrap()
+    }
+
+    /// Bits stored in `category`.
+    pub fn bits(&self, category: OpCategory) -> usize {
+        self.bits[Self::index(category)]
+    }
+
+    /// Total bits across categories.
+    pub fn total_bits(&self) -> usize {
+        self.bits.iter().sum()
+    }
+
+    /// Percentage of total storage in `category`.
+    pub fn percent(&self, category: OpCategory) -> f64 {
+        let total = self.total_bits();
+        if total == 0 {
+            0.0
+        } else {
+            self.bits(category) as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Render the storage columns of Table I.
+    pub fn to_table(&self) -> String {
+        let mut s = String::from("Operation     Storage (%)  Precision (bits)\n");
+        for c in OpCategory::ALL {
+            s.push_str(&format!(
+                "{:<13} {:>10.2}  {:>16}\n",
+                c.label(),
+                self.percent(c),
+                c.precision_bits()
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut b = StorageBreakdown::new();
+        b.add(OpCategory::Conv3x3, 680);
+        b.add(OpCategory::Conv1x1, 85);
+        b.add(OpCategory::OutputLayer, 222);
+        b.add(OpCategory::InputLayer, 1);
+        b.add(OpCategory::Others, 12);
+        let sum: f64 = OpCategory::ALL.iter().map(|&c| b.percent(c)).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(b.total_bits(), 1000);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = StorageBreakdown::new();
+        assert_eq!(b.total_bits(), 0);
+        assert_eq!(b.percent(OpCategory::Conv3x3), 0.0);
+    }
+
+    #[test]
+    fn precision_matches_table1() {
+        assert_eq!(OpCategory::InputLayer.precision_bits(), 8);
+        assert_eq!(OpCategory::OutputLayer.precision_bits(), 8);
+        assert_eq!(OpCategory::Conv1x1.precision_bits(), 1);
+        assert_eq!(OpCategory::Conv3x3.precision_bits(), 1);
+        assert_eq!(OpCategory::Others.precision_bits(), 32);
+    }
+
+    #[test]
+    fn table_render_has_all_rows() {
+        let b = StorageBreakdown::new();
+        let t = b.to_table();
+        for c in OpCategory::ALL {
+            assert!(t.contains(c.label()));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Binary GEMM over packed row matrices.
+//!
+//! Dense layers and 1×1 convolutions reduce to a binary matrix multiply:
+//! `out[m][n] = <A_row_m, B_row_n>` in the ±1 domain, computed as
+//! `2 * popcount(xnor) - K` (paper Eq. 2).
+
+use crate::error::{BitnnError, Result};
+use crate::ops::dot::dot_channels;
+use crate::{lanes_for, LANE_BITS};
+
+/// A binary matrix stored row-major with each row packed into `u64` lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    lanes: usize,
+    data: Vec<u64>,
+}
+
+impl PackedMatrix {
+    /// All-zero (all `-1`) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let lanes = lanes_for(cols);
+        PackedMatrix {
+            rows,
+            cols,
+            lanes,
+            data: vec![0; rows * lanes],
+        }
+    }
+
+    /// Build from booleans in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] on length mismatch.
+    pub fn from_bools(rows: usize, cols: usize, bits: &[bool]) -> Result<Self> {
+        if bits.len() != rows * cols {
+            return Err(BitnnError::ShapeMismatch {
+                expected: format!("{} bits", rows * cols),
+                got: format!("{}", bits.len()),
+            });
+        }
+        let mut m = PackedMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if bits[r * cols + c] {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column (bit) count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Lanes per row.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Set a bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range");
+        let idx = r * self.lanes + c / LANE_BITS;
+        if v {
+            self.data[idx] |= 1 << (c % LANE_BITS);
+        } else {
+            self.data[idx] &= !(1 << (c % LANE_BITS));
+        }
+    }
+
+    /// Read a bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range");
+        (self.data[r * self.lanes + c / LANE_BITS] >> (c % LANE_BITS)) & 1 == 1
+    }
+
+    /// The packed lanes of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.data[r * self.lanes..(r + 1) * self.lanes]
+    }
+
+    /// Mutable packed lanes of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        &mut self.data[r * self.lanes..(r + 1) * self.lanes]
+    }
+
+    /// Raw words.
+    pub fn words(&self) -> &[u64] {
+        &self.data
+    }
+}
+
+/// Binary GEMM: `out[m][n] = dot(a.row(m), b.row(n))` in the ±1 domain.
+///
+/// `b` is interpreted row-wise (i.e. already "transposed"): each row of `b`
+/// is one output column's weight vector, which matches how binary dense
+/// layers store one packed row per output neuron.
+///
+/// # Errors
+///
+/// Returns [`BitnnError::DimMismatch`] if the inner dimensions differ.
+pub fn gemm_binary(a: &PackedMatrix, b: &PackedMatrix) -> Result<Vec<i32>> {
+    if a.cols != b.cols {
+        return Err(BitnnError::DimMismatch {
+            op: "gemm_binary",
+            lhs: vec![a.rows, a.cols],
+            rhs: vec![b.rows, b.cols],
+        });
+    }
+    let k = a.cols;
+    let mut out = vec![0i32; a.rows * b.rows];
+    for m in 0..a.rows {
+        let ra = a.row(m);
+        for n in 0..b.rows {
+            let agree = dot_channels(ra, b.row(n), k);
+            out[m * b.rows + n] = 2 * agree as i32 - k as i32;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sign(b: bool) -> i32 {
+        if b {
+            1
+        } else {
+            -1
+        }
+    }
+
+    fn reference_gemm(a: &[bool], b: &[bool], m: usize, n: usize, k: usize) -> Vec<i32> {
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = (0..k).map(|x| sign(a[i * k + x]) * sign(b[j * k + x])).sum();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_like_product() {
+        // Row equal to itself -> +k; complement -> -k.
+        let k = 100;
+        let bits: Vec<bool> = (0..k).map(|i| i % 3 == 0).collect();
+        let nbits: Vec<bool> = bits.iter().map(|b| !b).collect();
+        let a = PackedMatrix::from_bools(1, k, &bits).unwrap();
+        let mut b_bits = bits.clone();
+        b_bits.extend_from_slice(&nbits);
+        let b = PackedMatrix::from_bools(2, k, &b_bits).unwrap();
+        let out = gemm_binary(&a, &b).unwrap();
+        assert_eq!(out, vec![k as i32, -(k as i32)]);
+    }
+
+    #[test]
+    fn dim_mismatch_is_error() {
+        let a = PackedMatrix::zeros(2, 10);
+        let b = PackedMatrix::zeros(3, 11);
+        assert!(matches!(gemm_binary(&a, &b), Err(BitnnError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn set_get_roundtrip_cross_lane() {
+        let mut m = PackedMatrix::zeros(2, 130);
+        m.set(1, 129, true);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        assert!(m.get(1, 129) && m.get(0, 63) && m.get(0, 64));
+        assert!(!m.get(1, 128));
+        m.set(0, 64, false);
+        assert!(!m.get(0, 64));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn gemm_matches_reference(
+            m in 1usize..4, n in 1usize..4, k in 1usize..150,
+            seed in any::<u64>()
+        ) {
+            let mut s = seed | 1;
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 63 == 1
+            };
+            let a_bits: Vec<bool> = (0..m * k).map(|_| next()).collect();
+            let b_bits: Vec<bool> = (0..n * k).map(|_| next()).collect();
+            let a = PackedMatrix::from_bools(m, k, &a_bits).unwrap();
+            let b = PackedMatrix::from_bools(n, k, &b_bits).unwrap();
+            let got = gemm_binary(&a, &b).unwrap();
+            prop_assert_eq!(got, reference_gemm(&a_bits, &b_bits, m, n, k));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Full-precision oracle implementations.
+//!
+//! These run on ±1 float tensors and define the semantics that the packed
+//! binary kernels must reproduce exactly. They are deliberately naive —
+//! clarity over speed — and are used by unit/property tests and by the
+//! accuracy-proxy experiment.
+
+use crate::ops::conv::Conv2dParams;
+use crate::tensor::Tensor;
+
+/// Naive float 2-D convolution with `-1` padding.
+///
+/// Input `[N, C, H, W]`, kernel `[K, C, KH, KW]`, output `[N, K, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics if the channel dimensions disagree or the kernel does not fit.
+pub fn conv2d_reference(input: &Tensor, kernel: &Tensor, params: Conv2dParams) -> Tensor {
+    let ishape = input.shape();
+    let kshape = kernel.shape();
+    assert_eq!(ishape.len(), 4, "input must be 4-D");
+    assert_eq!(kshape.len(), 4, "kernel must be 4-D");
+    assert_eq!(ishape[1], kshape[1], "channel mismatch");
+    let (n, c, h, w) = (ishape[0], ishape[1], ishape[2], ishape[3]);
+    let (kf, kh, kw) = (kshape[0], kshape[2], kshape[3]);
+    let oh = params.out_dim(h, kh);
+    let ow = params.out_dim(w, kw);
+    let mut out = Tensor::zeros(&[n, kf, oh, ow]);
+    for img in 0..n {
+        for k in 0..kf {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                                let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                                let x = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    input.at4(img, ch, iy as usize, ix as usize)
+                                } else {
+                                    -1.0 // padding value in the ±1 domain
+                                };
+                                acc += x * kernel.at4(k, ch, ky, kx);
+                            }
+                        }
+                    }
+                    out.set4(img, k, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive float matrix multiply: `a` is `[m, k]` row-major, `b` is `[n, k]`
+/// row-major (one row per output), result `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * k` or `b.len() != n * k`.
+pub fn matmul_reference(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for x in 0..k {
+                acc += a[i * k + x] * b[j * k + x];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_reference_known_value() {
+        // 1x1x3x3 input of all +1, kernel all +1: output = 9.
+        let input = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let kernel = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let out = conv2d_reference(&input, &kernel, Conv2dParams::default());
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert_eq!(out.data()[0], 9.0);
+    }
+
+    #[test]
+    fn conv_reference_padding_is_minus_one() {
+        // All +1 input with all +1 kernel and pad=1: the corner pixel sees
+        // 4 in-bounds (+1 each) and 5 padding (-1 each) -> -1.
+        let input = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let kernel = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let out = conv2d_reference(&input, &kernel, Conv2dParams { stride: 1, pad: 1 });
+        assert_eq!(out.shape(), &[1, 1, 3, 3]);
+        assert_eq!(out.at4(0, 0, 0, 0), -1.0);
+        assert_eq!(out.at4(0, 0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn matmul_reference_identity() {
+        // 2x2 identity-ish in ±1 is not meaningful; just check a dot.
+        let a = vec![1.0, -1.0, 1.0];
+        let b = vec![1.0, 1.0, 1.0];
+        let out = matmul_reference(&a, &b, 1, 1, 3);
+        assert_eq!(out, vec![1.0]);
+    }
+}

@@ -1,0 +1,360 @@
+//! Channel packing (paper Fig. 5).
+//!
+//! daBNN's key layout trick: instead of storing a kernel channel-by-channel,
+//! the bit at one *spatial position* of many channels is packed into a
+//! single machine word. Loading one word then brings position `(r, c)` of 64
+//! channels into a register at once, and the xnor-popcount inner product
+//! over channels becomes a loop over lanes with no bit shuffling.
+//!
+//! Two packed containers are provided:
+//!
+//! * [`PackedKernel`] — weights `[K, C, KH, KW]` packed as
+//!   `kernel[k][position][lane]`,
+//! * [`PackedActivations`] — activations `[N, C, H, W]` packed as
+//!   `act[n][y][x][lane]`.
+//!
+//! Both store channels along the lane dimension so that a kernel position
+//! word and an activation pixel word line up channel-for-channel.
+
+use crate::error::{BitnnError, Result};
+use crate::tensor::BitTensor;
+use crate::{lanes_for, LANE_BITS};
+
+/// Channel-packed binary convolution kernel.
+///
+/// Layout: `data[((k * positions) + p) * lanes + l]` holds the bits of
+/// channels `l*64 .. l*64+64` at spatial position `p = r * kw + c` of output
+/// filter `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedKernel {
+    filters: usize,
+    channels: usize,
+    kh: usize,
+    kw: usize,
+    lanes: usize,
+    data: Vec<u64>,
+}
+
+impl PackedKernel {
+    /// Pack a binary weight tensor of shape `[K, C, KH, KW]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] if `weights` is not 4-D.
+    pub fn pack(weights: &BitTensor) -> Result<Self> {
+        let shape = weights.shape();
+        if shape.len() != 4 {
+            return Err(BitnnError::ShapeMismatch {
+                expected: "4-D kernel [K, C, KH, KW]".into(),
+                got: format!("{shape:?}"),
+            });
+        }
+        let (k, c, kh, kw) = (shape[0], shape[1], shape[2], shape[3]);
+        let lanes = lanes_for(c);
+        let positions = kh * kw;
+        let mut data = vec![0u64; k * positions * lanes];
+        for f in 0..k {
+            for ch in 0..c {
+                for r in 0..kh {
+                    for col in 0..kw {
+                        if weights.get(weights.idx4(f, ch, r, col)) {
+                            let p = r * kw + col;
+                            let idx = (f * positions + p) * lanes + ch / LANE_BITS;
+                            data[idx] |= 1u64 << (ch % LANE_BITS);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(PackedKernel {
+            filters: k,
+            channels: c,
+            kh,
+            kw,
+            lanes,
+            data,
+        })
+    }
+
+    /// Number of output filters `K`.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Number of input channels `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Kernel height.
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel width.
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+
+    /// Number of 64-bit lanes per position.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The lane words for filter `k` at position `p` (length = `lanes()`).
+    #[inline]
+    pub fn position_lanes(&self, k: usize, p: usize) -> &[u64] {
+        let base = (k * self.kh * self.kw + p) * self.lanes;
+        &self.data[base..base + self.lanes]
+    }
+
+    /// Raw packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Total packed storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Unpack back to a flat [`BitTensor`] of shape `[K, C, KH, KW]`.
+    pub fn unpack(&self) -> BitTensor {
+        let mut t = BitTensor::zeros(&[self.filters, self.channels, self.kh, self.kw]);
+        for f in 0..self.filters {
+            for r in 0..self.kh {
+                for col in 0..self.kw {
+                    let p = r * self.kw + col;
+                    let lanes = self.position_lanes(f, p);
+                    for ch in 0..self.channels {
+                        if (lanes[ch / LANE_BITS] >> (ch % LANE_BITS)) & 1 == 1 {
+                            let i = t.idx4(f, ch, r, col);
+                            t.set(i, true);
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Channel-packed binary activations.
+///
+/// Layout: `data[(((n * h) + y) * w + x) * lanes + l]` holds channels
+/// `l*64 .. l*64+64` of pixel `(y, x)` in image `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedActivations {
+    n: usize,
+    channels: usize,
+    h: usize,
+    w: usize,
+    lanes: usize,
+    data: Vec<u64>,
+}
+
+impl PackedActivations {
+    /// Pack a binary activation tensor of shape `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] if `acts` is not 4-D.
+    pub fn pack(acts: &BitTensor) -> Result<Self> {
+        let shape = acts.shape();
+        if shape.len() != 4 {
+            return Err(BitnnError::ShapeMismatch {
+                expected: "4-D activations [N, C, H, W]".into(),
+                got: format!("{shape:?}"),
+            });
+        }
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let lanes = lanes_for(c);
+        let mut data = vec![0u64; n * h * w * lanes];
+        for img in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        if acts.get(acts.idx4(img, ch, y, x)) {
+                            let idx = (((img * h) + y) * w + x) * lanes + ch / LANE_BITS;
+                            data[idx] |= 1u64 << (ch % LANE_BITS);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(PackedActivations {
+            n,
+            channels: c,
+            h,
+            w,
+            lanes,
+            data,
+        })
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.n
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Lanes per pixel.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The lane words of pixel `(y, x)` in image `n`.
+    #[inline]
+    pub fn pixel_lanes(&self, n: usize, y: usize, x: usize) -> &[u64] {
+        let base = (((n * self.h) + y) * self.w + x) * self.lanes;
+        &self.data[base..base + self.lanes]
+    }
+
+    /// Raw packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Unpack back to a flat [`BitTensor`] of shape `[N, C, H, W]`.
+    pub fn unpack(&self) -> BitTensor {
+        let mut t = BitTensor::zeros(&[self.n, self.channels, self.h, self.w]);
+        for img in 0..self.n {
+            for y in 0..self.h {
+                for x in 0..self.w {
+                    let lanes = self.pixel_lanes(img, y, x);
+                    for ch in 0..self.channels {
+                        if (lanes[ch / LANE_BITS] >> (ch % LANE_BITS)) & 1 == 1 {
+                            let i = t.idx4(img, ch, y, x);
+                            t.set(i, true);
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
+        // Simple deterministic LCG so tests don't need rand here.
+        let mut t = BitTensor::zeros(shape);
+        let mut s = seed | 1;
+        for i in 0..t.len() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if s >> 63 == 1 {
+                t.set(i, true);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn kernel_pack_unpack_roundtrip() {
+        let w = random_bits(&[4, 70, 3, 3], 42);
+        let pk = PackedKernel::pack(&w).unwrap();
+        assert_eq!(pk.lanes(), 2); // 70 channels -> 2 lanes
+        assert_eq!(pk.unpack(), w);
+    }
+
+    #[test]
+    fn activation_pack_unpack_roundtrip() {
+        let a = random_bits(&[2, 130, 5, 4], 7);
+        let pa = PackedActivations::pack(&a).unwrap();
+        assert_eq!(pa.lanes(), 3);
+        assert_eq!(pa.unpack(), a);
+    }
+
+    #[test]
+    fn pack_rejects_non_4d() {
+        let t = BitTensor::zeros(&[4, 4]);
+        assert!(PackedKernel::pack(&t).is_err());
+        assert!(PackedActivations::pack(&t).is_err());
+    }
+
+    #[test]
+    fn fig5_example_two_channels() {
+        // Paper Fig. 5: a 2-channel 3x3 kernel is packed into nine 2-bit
+        // registers, one per position, bit 0 = channel a, bit 1 = channel b.
+        let mut w = BitTensor::zeros(&[1, 2, 3, 3]);
+        // Channel 0: set position (0,0); channel 1: set positions (0,0),(2,2).
+        let i = w.idx4(0, 0, 0, 0);
+        w.set(i, true);
+        let i = w.idx4(0, 1, 0, 0);
+        w.set(i, true);
+        let i = w.idx4(0, 1, 2, 2);
+        w.set(i, true);
+        let pk = PackedKernel::pack(&w).unwrap();
+        assert_eq!(pk.lanes(), 1);
+        assert_eq!(pk.position_lanes(0, 0)[0], 0b11); // both channels at (0,0)
+        assert_eq!(pk.position_lanes(0, 8)[0], 0b10); // only channel 1 at (2,2)
+        for p in 1..8 {
+            assert_eq!(pk.position_lanes(0, p)[0], 0);
+        }
+    }
+
+    #[test]
+    fn lane_alignment_matches_between_kernel_and_activations() {
+        // The same channel index must land in the same lane/bit in both
+        // containers, otherwise xnor lanes would be misaligned.
+        let c = 100;
+        let mut w = BitTensor::zeros(&[1, c, 1, 1]);
+        let mut a = BitTensor::zeros(&[1, c, 1, 1]);
+        let ch = 77;
+        let i = w.idx4(0, ch, 0, 0);
+        w.set(i, true);
+        let i = a.idx4(0, ch, 0, 0);
+        a.set(i, true);
+        let pk = PackedKernel::pack(&w).unwrap();
+        let pa = PackedActivations::pack(&a).unwrap();
+        assert_eq!(pk.position_lanes(0, 0), pa.pixel_lanes(0, 0, 0));
+    }
+
+    #[test]
+    fn storage_bytes_counts_lane_padding() {
+        let w = BitTensor::zeros(&[2, 65, 3, 3]);
+        let pk = PackedKernel::pack(&w).unwrap();
+        // 65 channels -> 2 lanes; 2 filters * 9 positions * 2 lanes * 8 bytes.
+        assert_eq!(pk.storage_bytes(), 2 * 9 * 2 * 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn kernel_roundtrip_any_shape(
+            k in 1usize..4, c in 1usize..130, kh in 1usize..4, kw in 1usize..4, seed in any::<u64>()
+        ) {
+            let w = random_bits(&[k, c, kh, kw], seed);
+            let pk = PackedKernel::pack(&w).unwrap();
+            prop_assert_eq!(pk.unpack(), w);
+        }
+
+        #[test]
+        fn activations_roundtrip_any_shape(
+            n in 1usize..3, c in 1usize..130, h in 1usize..5, w in 1usize..5, seed in any::<u64>()
+        ) {
+            let a = random_bits(&[n, c, h, w], seed);
+            let pa = PackedActivations::pack(&a).unwrap();
+            prop_assert_eq!(pa.unpack(), a);
+        }
+    }
+}

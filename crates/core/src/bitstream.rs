@@ -1,0 +1,218 @@
+//! MSB-first bit streams.
+//!
+//! Variable-length codes are written most-significant-bit first so that a
+//! decoder reading the stream front-to-back sees each codeword's prefix
+//! bits before its index bits — exactly how the hardware stream parser
+//! consumes its input buffer (paper Fig. 6).
+
+use crate::error::{KcError, Result};
+use bytes::Bytes;
+
+/// Write bits MSB-first into a growable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the trailing partial byte (0..8).
+    used: u8,
+    bits_written: usize,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `len` bits of `code`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn write_bits(&mut self, code: u32, len: u8) {
+        assert!(len <= 32, "codes longer than 32 bits are unsupported");
+        for i in (0..len).rev() {
+            let bit = (code >> i) & 1;
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.used);
+            self.used = (self.used + 1) % 8;
+            self.bits_written += 1;
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bits_written(&self) -> usize {
+        self.bits_written
+    }
+
+    /// Finish and return the backing bytes (final byte zero-padded).
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from(self.bytes)
+    }
+}
+
+/// Read bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit position.
+    pos: usize,
+    /// Total readable bits (callers may cap below `bytes.len() * 8` to
+    /// exclude the final byte's padding).
+    limit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over all bits of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            pos: 0,
+            limit: bytes.len() * 8,
+        }
+    }
+
+    /// Reader over the first `limit` bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` exceeds the available bits.
+    pub fn with_limit(bytes: &'a [u8], limit: usize) -> Self {
+        assert!(limit <= bytes.len() * 8, "limit beyond buffer");
+        BitReader {
+            bytes,
+            pos: 0,
+            limit,
+        }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.limit - self.pos
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::CorruptStream`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<u32> {
+        if self.pos >= self.limit {
+            return Err(KcError::CorruptStream("unexpected end of stream".into()));
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - self.pos % 8)) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    /// Read `len` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::CorruptStream`] if fewer than `len` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn read_bits(&mut self, len: u8) -> Result<u32> {
+        assert!(len <= 32);
+        if self.remaining() < len as usize {
+            return Err(KcError::CorruptStream(format!(
+                "wanted {len} bits, {} remaining",
+                self.remaining()
+            )));
+        }
+        let mut v = 0u32;
+        for _ in 0..len {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        assert_eq!(w.bits_written(), 4);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_limit(&bytes, 4);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert_eq!(r.read_bit().unwrap(), 0);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn msb_first_byte_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0000000, 7);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 0b1000_0000);
+    }
+
+    #[test]
+    fn cross_byte_codes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11111, 5);
+        w.write_bits(0b000001111, 9); // spans bytes
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(5).unwrap(), 0b11111);
+        assert_eq!(r.read_bits(9).unwrap(), 0b000001111);
+    }
+
+    #[test]
+    fn limit_excludes_padding() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let n = w.bits_written();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1); // padded to a byte
+        let mut r = BitReader::with_limit(&bytes, n);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn read_bits_checks_remaining() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::with_limit(&bytes, 6);
+        assert!(r.read_bits(7).is_err());
+        assert_eq!(r.read_bits(6).unwrap(), 0b111111);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_code_roundtrip(codes in proptest::collection::vec((any::<u32>(), 1u8..=32), 1..100)) {
+            let mut w = BitWriter::new();
+            for &(c, l) in &codes {
+                let c = if l == 32 { c } else { c & ((1 << l) - 1) };
+                w.write_bits(c, l);
+            }
+            let total = w.bits_written();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::with_limit(&bytes, total);
+            for &(c, l) in &codes {
+                let c = if l == 32 { c } else { c & ((1 << l) - 1) };
+                prop_assert_eq!(r.read_bits(l).unwrap(), c);
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! On-disk container format for compressed kernels.
+//!
+//! The paper stores compressed kernels "consecutively in memory as a
+//! sequence of encoded words" preceded by the decoder configuration
+//! (Table III). This module defines a self-describing byte container so a
+//! compressed model can be written to a file and reloaded without the
+//! original kernel:
+//!
+//! ```text
+//! +--------+---------+----------------+------------------+-------------+
+//! | magic  | version | kernel header  | tree section     | stream      |
+//! | "BKCK" |  u16    | K, C (u32 ea.) | nodes, tables    | byte stream |
+//! +--------+---------+----------------+------------------+-------------+
+//! ```
+//!
+//! All integers are little-endian. The tree section stores each node's
+//! capacity and its table of 16-bit sequence values, which is exactly
+//! what the hardware's uncompressed table holds (2 bytes per entry,
+//! Table IV).
+
+use crate::bitseq::BitSeq;
+use crate::codec::CompressedKernel;
+use crate::error::{KcError, Result};
+use crate::huffman::{SimplifiedTree, TreeConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Container magic bytes.
+pub const MAGIC: &[u8; 4] = b"BKCK";
+
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+/// Serialize a compressed kernel into a standalone byte container.
+pub fn write_container(kernel: &CompressedKernel) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(kernel.filters() as u32);
+    buf.put_u32_le(kernel.channels() as u32);
+    // Tree section.
+    let tree = kernel.tree();
+    let nodes = tree.config().nodes();
+    buf.put_u8(nodes as u8);
+    for i in 0..nodes {
+        buf.put_u16_le(tree.config().capacities()[i] as u16);
+    }
+    for i in 0..nodes {
+        let table = tree.table(i);
+        buf.put_u16_le(table.len() as u16);
+        for &seq in table {
+            buf.put_u16_le(seq.value());
+        }
+    }
+    // Stream section.
+    buf.put_u64_le(kernel.stream_bits() as u64);
+    buf.put_u32_le(kernel.stream().len() as u32);
+    buf.put_slice(kernel.stream());
+    buf.freeze()
+}
+
+/// Parsed container contents, sufficient to decode the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    /// Output filters.
+    pub filters: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// The reconstructed codebook.
+    pub tree: SimplifiedTree,
+    /// Exact stream length in bits.
+    pub stream_bits: usize,
+    /// The encoded stream.
+    pub stream: Bytes,
+}
+
+impl Container {
+    /// Decode the contained kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::CorruptStream`] if the stream does not decode
+    /// to exactly `filters * channels` sequences.
+    pub fn decode_kernel(&self) -> Result<bitnn::tensor::BitTensor> {
+        use crate::bitstream::BitReader;
+        use bitnn::weightgen::write_sequence;
+        let mut kernel = bitnn::tensor::BitTensor::zeros(&[self.filters, self.channels, 3, 3]);
+        let mut reader = BitReader::with_limit(&self.stream, self.stream_bits);
+        for f in 0..self.filters {
+            for ch in 0..self.channels {
+                let seq = self.tree.decode(&mut reader)?;
+                write_sequence(&mut kernel, f, ch, seq.value());
+            }
+        }
+        if reader.remaining() != 0 {
+            return Err(KcError::CorruptStream(format!(
+                "{} bits left over",
+                reader.remaining()
+            )));
+        }
+        Ok(kernel)
+    }
+}
+
+/// Parse a container produced by [`write_container`].
+///
+/// # Errors
+///
+/// Returns [`KcError::CorruptStream`] for any structural damage: bad
+/// magic, unknown version, truncated sections, or inconsistent sizes.
+pub fn read_container(bytes: &[u8]) -> Result<Container> {
+    let mut buf = bytes;
+    let need = |buf: &[u8], n: usize, what: &str| -> Result<()> {
+        if buf.remaining() < n {
+            Err(KcError::CorruptStream(format!("truncated {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 6, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(KcError::CorruptStream("bad magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(KcError::CorruptStream(format!("unsupported version {version}")));
+    }
+    need(buf, 8, "kernel header")?;
+    let filters = buf.get_u32_le() as usize;
+    let channels = buf.get_u32_le() as usize;
+    if filters == 0 || channels == 0 || filters > 1 << 20 || channels > 1 << 20 {
+        return Err(KcError::CorruptStream(format!(
+            "implausible kernel geometry {filters}x{channels}"
+        )));
+    }
+
+    need(buf, 1, "tree header")?;
+    let nodes = buf.get_u8() as usize;
+    if !(2..=8).contains(&nodes) {
+        return Err(KcError::CorruptStream(format!("bad node count {nodes}")));
+    }
+    need(buf, 2 * nodes, "capacities")?;
+    let mut capacities = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        capacities.push(buf.get_u16_le() as usize);
+    }
+    let config = TreeConfig::with_capacities(capacities)
+        .map_err(|e| KcError::CorruptStream(format!("bad tree config: {e}")))?;
+
+    // Rebuild the assignment from the stored tables: the ranked order is
+    // simply the concatenation of the tables.
+    let mut ranked = Vec::new();
+    let mut seen = [false; 512];
+    for i in 0..nodes {
+        need(buf, 2, "table length")?;
+        let len = buf.get_u16_le() as usize;
+        if i + 1 < nodes && len > config.capacities()[i] {
+            return Err(KcError::CorruptStream(format!(
+                "node {i} overflows its capacity"
+            )));
+        }
+        need(buf, 2 * len, "table entries")?;
+        for _ in 0..len {
+            let v = buf.get_u16_le();
+            let seq = BitSeq::new(v)
+                .map_err(|_| KcError::CorruptStream(format!("invalid sequence {v}")))?;
+            if seen[v as usize] {
+                return Err(KcError::CorruptStream(format!("duplicate sequence {v}")));
+            }
+            seen[v as usize] = true;
+            ranked.push(seq);
+        }
+    }
+    let tree = SimplifiedTree::from_ranked(&ranked, config);
+
+    need(buf, 12, "stream header")?;
+    let stream_bits = buf.get_u64_le() as usize;
+    let stream_len = buf.get_u32_le() as usize;
+    if stream_bits > stream_len * 8 {
+        return Err(KcError::CorruptStream(
+            "stream bit count exceeds byte length".into(),
+        ));
+    }
+    need(buf, stream_len, "stream body")?;
+    let stream = Bytes::copy_from_slice(&buf[..stream_len]);
+    Ok(Container {
+        filters,
+        channels,
+        tree,
+        stream_bits,
+        stream,
+    })
+}
+
+/// Multi-kernel model container magic.
+pub const MODEL_MAGIC: &[u8; 4] = b"BKCM";
+
+/// Serialize a whole model's compressed 3×3 kernels into one container:
+/// `MODEL_MAGIC`, version, kernel count, then length-prefixed
+/// [`write_container`] records.
+pub fn write_model_container(kernels: &[CompressedKernel]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MODEL_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(kernels.len() as u32);
+    for k in kernels {
+        let record = write_container(k);
+        buf.put_u32_le(record.len() as u32);
+        buf.put_slice(&record);
+    }
+    buf.freeze()
+}
+
+/// Parse a model container back into per-kernel [`Container`]s.
+///
+/// # Errors
+///
+/// Returns [`KcError::CorruptStream`] on structural damage.
+pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
+    let mut buf = bytes;
+    if buf.remaining() < 10 {
+        return Err(KcError::CorruptStream("truncated model header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MODEL_MAGIC {
+        return Err(KcError::CorruptStream("bad model magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(KcError::CorruptStream(format!(
+            "unsupported model version {version}"
+        )));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count > 4096 {
+        return Err(KcError::CorruptStream(format!("implausible kernel count {count}")));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        if buf.remaining() < 4 {
+            return Err(KcError::CorruptStream(format!("truncated record {i} length")));
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(KcError::CorruptStream(format!("truncated record {i} body")));
+        }
+        out.push(read_container(&buf[..len])?);
+        buf.advance(len);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::KernelCodec;
+    use bitnn::weightgen::SeqDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn compressed() -> CompressedKernel {
+        let mut rng = StdRng::seed_from_u64(8);
+        let kernel = SeqDistribution::for_block(3, 0).sample_kernel(48, 48, &mut rng);
+        KernelCodec::paper().compress(&kernel).unwrap()
+    }
+
+    #[test]
+    fn container_roundtrip_is_lossless() {
+        let ck = compressed();
+        let original = ck.decompress().unwrap();
+        let bytes = write_container(&ck);
+        let parsed = read_container(&bytes).unwrap();
+        assert_eq!(parsed.filters, 48);
+        assert_eq!(parsed.channels, 48);
+        assert_eq!(parsed.decode_kernel().unwrap(), original);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let ck = compressed();
+        let mut bytes = write_container(&ck).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_container(&bytes),
+            Err(KcError::CorruptStream(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let ck = compressed();
+        let mut bytes = write_container(&ck).to_vec();
+        bytes[4] = 0xFF;
+        assert!(read_container(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let ck = compressed();
+        let bytes = write_container(&ck);
+        // Cut at a spread of offsets including section boundaries.
+        for cut in [0usize, 3, 5, 9, 13, 14, 20, bytes.len() / 2, bytes.len() - 1] {
+            let r = read_container(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn flipped_stream_bits_fail_or_differ() {
+        // Corrupting the stream body must never panic: it either errors
+        // out (invalid prefix / leftover bits) or decodes to a different,
+        // well-formed kernel.
+        let ck = compressed();
+        let original = ck.decompress().unwrap();
+        let clean = write_container(&ck);
+        let stream_start = clean.len() - ck.stream().len();
+        for i in 0..32.min(ck.stream().len()) {
+            let mut bytes = clean.to_vec();
+            bytes[stream_start + i] ^= 0x55;
+            match read_container(&bytes) {
+                Err(_) => {}
+                Ok(c) => match c.decode_kernel() {
+                    Err(_) => {}
+                    Ok(k) => assert_ne!(k, original, "flip at stream byte {i} went unnoticed"),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_table_entries_rejected() {
+        let ck = compressed();
+        let mut bytes = write_container(&ck).to_vec();
+        // First table entry sits after: 4 magic + 2 ver + 8 kc + 1 nodes +
+        // 8 caps + 2 len = 25; duplicate it into the second entry.
+        let (a, b) = (25usize, 27usize);
+        bytes[b] = bytes[a];
+        bytes[b + 1] = bytes[a + 1];
+        assert!(read_container(&bytes).is_err());
+    }
+
+    #[test]
+    fn implausible_geometry_rejected() {
+        let ck = compressed();
+        let mut bytes = write_container(&ck).to_vec();
+        // Zero filters.
+        bytes[6..10].copy_from_slice(&0u32.to_le_bytes());
+        assert!(read_container(&bytes).is_err());
+    }
+
+    #[test]
+    fn model_container_roundtrip() {
+        let codec = KernelCodec::paper_clustered();
+        let mut kernels = Vec::new();
+        let mut originals = Vec::new();
+        for block in 1..=3 {
+            let mut rng = StdRng::seed_from_u64(block as u64);
+            let k = SeqDistribution::for_block(block, 0).sample_kernel(16 * block, 16 * block, &mut rng);
+            let ck = codec.compress(&k).unwrap();
+            originals.push(ck.decompress().unwrap());
+            kernels.push(ck);
+        }
+        let bytes = write_model_container(&kernels);
+        let parsed = read_model_container(&bytes).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for (c, orig) in parsed.iter().zip(&originals) {
+            assert_eq!(&c.decode_kernel().unwrap(), orig);
+        }
+    }
+
+    #[test]
+    fn model_container_detects_damage() {
+        let codec = KernelCodec::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = SeqDistribution::for_block(1, 0).sample_kernel(16, 16, &mut rng);
+        let ck = codec.compress(&k).unwrap();
+        let bytes = write_model_container(&[ck]).to_vec();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'Z';
+        assert!(read_model_container(&bad).is_err());
+        // Truncations.
+        for cut in [5, 9, 12, bytes.len() - 1] {
+            assert!(read_model_container(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Oversized record length.
+        let mut bad = bytes.clone();
+        bad[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_model_container(&bad).is_err());
+    }
+
+    #[test]
+    fn stream_bits_exceeding_bytes_rejected() {
+        let ck = compressed();
+        let bytes = write_container(&ck).to_vec();
+        let stream_len_off = bytes.len() - ck.stream().len() - 4 - 8;
+        let mut bad = bytes.clone();
+        bad[stream_len_off..stream_len_off + 8]
+            .copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(read_container(&bad).is_err());
+    }
+}

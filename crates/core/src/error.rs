@@ -1,0 +1,55 @@
+//! Error type for the compression crate.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, KcError>;
+
+/// Errors produced by encoding, decoding, and clustering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KcError {
+    /// A sequence value was not representable (>= 512).
+    InvalidSequence(u16),
+    /// The tree configuration is unusable.
+    InvalidTreeConfig(String),
+    /// A sequence had no assigned code at encode time.
+    Unencodable(u16),
+    /// The compressed stream ended mid-codeword or held an invalid code.
+    CorruptStream(String),
+    /// Kernel shape was not `[K, C, 3, 3]`.
+    BadKernelShape(Vec<usize>),
+}
+
+impl fmt::Display for KcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KcError::InvalidSequence(s) => write!(f, "invalid bit sequence value {s}"),
+            KcError::InvalidTreeConfig(msg) => write!(f, "invalid tree configuration: {msg}"),
+            KcError::Unencodable(s) => write!(f, "bit sequence {s} has no assigned code"),
+            KcError::CorruptStream(msg) => write!(f, "corrupt compressed stream: {msg}"),
+            KcError::BadKernelShape(s) => write!(f, "kernel must be [K, C, 3, 3], got {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for KcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sendable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KcError>();
+        for e in [
+            KcError::InvalidSequence(999),
+            KcError::InvalidTreeConfig("x".into()),
+            KcError::Unencodable(3),
+            KcError::CorruptStream("y".into()),
+            KcError::BadKernelShape(vec![1]),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

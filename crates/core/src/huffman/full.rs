@@ -1,0 +1,404 @@
+//! Canonical full Huffman coding over the 512 sequences.
+//!
+//! This is the "unsimplified" baseline: optimal prefix codes built from the
+//! exact frequency table. The paper argues (Sec. III-B) that decoding a
+//! full Huffman stream at high throughput needs either big lookup tables or
+//! complex hardware, and that the simplified tree is a better
+//! simplicity/compression trade-off; the ablation bench quantifies the gap
+//! using this implementation.
+
+use crate::bitseq::{BitSeq, NUM_SEQUENCES};
+use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{KcError, Result};
+use crate::freq::FreqTable;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum supported code length (fits the `u32` bit-stream codes).
+pub const MAX_CODE_LEN: u8 = 32;
+
+/// A canonical Huffman codebook over bit sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullHuffman {
+    /// Code length per sequence value (0 = unassigned).
+    lengths: Vec<u8>,
+    /// Canonical code per sequence value.
+    codes: Vec<u32>,
+    /// Decode tables: for each length, (first_code, first_symbol_index)
+    /// into `sorted_symbols`.
+    first_code: Vec<u32>,
+    first_index: Vec<usize>,
+    /// Symbols sorted by (length, value) — canonical order.
+    sorted_symbols: Vec<BitSeq>,
+    max_len: u8,
+}
+
+impl FullHuffman {
+    /// Build an optimal prefix code for the sequences present in `freq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::InvalidTreeConfig`] if the table is empty or a
+    /// code would exceed [`MAX_CODE_LEN`] bits.
+    pub fn build(freq: &FreqTable) -> Result<Self> {
+        let mut lengths = vec![0u8; NUM_SEQUENCES];
+        let present: Vec<(u16, u64)> = (0..NUM_SEQUENCES as u16)
+            .filter(|&s| freq.count(BitSeq::new_unchecked(s)) > 0)
+            .map(|s| (s, freq.count(BitSeq::new_unchecked(s))))
+            .collect();
+        match present.len() {
+            0 => {
+                return Err(KcError::InvalidTreeConfig(
+                    "cannot build a Huffman code from an empty table".into(),
+                ))
+            }
+            1 => {
+                // Degenerate: a single symbol still needs one bit so the
+                // stream has codewords to count.
+                lengths[present[0].0 as usize] = 1;
+            }
+            _ => {
+                huffman_lengths(&present, &mut lengths)?;
+            }
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Build the canonical code from per-symbol lengths.
+    fn from_lengths(lengths: Vec<u8>) -> Result<Self> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len > MAX_CODE_LEN {
+            return Err(KcError::InvalidTreeConfig(format!(
+                "code length {max_len} exceeds {MAX_CODE_LEN}"
+            )));
+        }
+        // Canonical order: sort symbols by (length, value).
+        let mut sorted_symbols: Vec<BitSeq> = (0..NUM_SEQUENCES as u16)
+            .filter(|&s| lengths[s as usize] > 0)
+            .map(BitSeq::new_unchecked)
+            .collect();
+        sorted_symbols.sort_by_key(|s| (lengths[s.value() as usize], s.value()));
+
+        let mut bl_count = vec![0u32; max_len as usize + 1];
+        for &s in &sorted_symbols {
+            bl_count[lengths[s.value() as usize] as usize] += 1;
+        }
+        // First canonical code of each length.
+        let mut first_code = vec![0u32; max_len as usize + 2];
+        let mut code = 0u32;
+        for len in 1..=max_len as usize {
+            code = (code + bl_count[len - 1]) << 1;
+            first_code[len] = code;
+        }
+        // First symbol index (into sorted_symbols) of each length.
+        let mut first_index = vec![0usize; max_len as usize + 2];
+        let mut idx = 0usize;
+        for len in 1..=max_len as usize {
+            first_index[len] = idx;
+            idx += bl_count[len] as usize;
+        }
+        // Assign codes.
+        let mut codes = vec![0u32; NUM_SEQUENCES];
+        let mut next = first_code.clone();
+        for &s in &sorted_symbols {
+            let len = lengths[s.value() as usize] as usize;
+            codes[s.value() as usize] = next[len];
+            next[len] += 1;
+        }
+        Ok(FullHuffman {
+            lengths,
+            codes,
+            first_code,
+            first_index,
+            sorted_symbols,
+            max_len,
+        })
+    }
+
+    /// Code length of `seq` (0 if unassigned).
+    pub fn code_len(&self, seq: BitSeq) -> u8 {
+        self.lengths[seq.value() as usize]
+    }
+
+    /// Longest code length in the book.
+    pub fn max_code_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Number of symbols holding a code.
+    pub fn assigned(&self) -> usize {
+        self.sorted_symbols.len()
+    }
+
+    /// Append the code for `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::Unencodable`] if the sequence has no code.
+    pub fn encode(&self, seq: BitSeq, out: &mut BitWriter) -> Result<()> {
+        let len = self.lengths[seq.value() as usize];
+        if len == 0 {
+            return Err(KcError::Unencodable(seq.value()));
+        }
+        out.write_bits(self.codes[seq.value() as usize], len);
+        Ok(())
+    }
+
+    /// Decode one sequence using canonical first-code scanning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::CorruptStream`] on truncation or invalid codes.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<BitSeq> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | reader.read_bit()?;
+            let count = self.count_at(len);
+            if count > 0 && code >= self.first_code[len] && code < self.first_code[len] + count {
+                let offset = (code - self.first_code[len]) as usize;
+                return Ok(self.sorted_symbols[self.first_index[len] + offset]);
+            }
+        }
+        Err(KcError::CorruptStream("no codeword matched".into()))
+    }
+
+    fn count_at(&self, len: usize) -> u32 {
+        let next_start = if len == self.max_len as usize {
+            self.sorted_symbols.len()
+        } else {
+            self.first_index[len + 1]
+        };
+        (next_start - self.first_index[len]) as u32
+    }
+
+    /// Total compressed bits for a payload with the given counts.
+    pub fn compressed_bits(&self, freq: &FreqTable) -> u64 {
+        (0..NUM_SEQUENCES as u16)
+            .map(|s| freq.count(BitSeq::new_unchecked(s)) * self.lengths[s as usize] as u64)
+            .sum()
+    }
+
+    /// Expected bits per sequence under `freq`.
+    pub fn avg_bits(&self, freq: &FreqTable) -> f64 {
+        if freq.total() == 0 {
+            0.0
+        } else {
+            self.compressed_bits(freq) as f64 / freq.total() as f64
+        }
+    }
+}
+
+/// Standard heap-based Huffman: computes code lengths into `lengths`.
+fn huffman_lengths(present: &[(u16, u64)], lengths: &mut [u8]) -> Result<()> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        /// Tie-break for determinism.
+        serial: u32,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u16),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.weight.cmp(&other.weight).then(self.serial.cmp(&other.serial))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
+    let mut serial = 0u32;
+    for &(s, w) in present {
+        heap.push(Reverse(Node {
+            weight: w,
+            serial,
+            kind: NodeKind::Leaf(s),
+        }));
+        serial += 1;
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap().0;
+        let b = heap.pop().unwrap().0;
+        heap.push(Reverse(Node {
+            weight: a.weight + b.weight,
+            serial,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        }));
+        serial += 1;
+    }
+    let root = heap.pop().unwrap().0;
+    // Walk the tree assigning depths.
+    fn walk(node: &Node, depth: u8, lengths: &mut [u8]) -> Result<()> {
+        match &node.kind {
+            NodeKind::Leaf(s) => {
+                if depth > MAX_CODE_LEN {
+                    return Err(KcError::InvalidTreeConfig(format!(
+                        "code length {depth} exceeds {MAX_CODE_LEN}"
+                    )));
+                }
+                lengths[*s as usize] = depth.max(1);
+                Ok(())
+            }
+            NodeKind::Internal(a, b) => {
+                walk(a, depth + 1, lengths)?;
+                walk(b, depth + 1, lengths)
+            }
+        }
+    }
+    walk(&root, 0, lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnn::weightgen::SeqDistribution;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skewed_freq() -> FreqTable {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kernel = SeqDistribution::for_block(2, 0).sample_kernel(64, 64, &mut rng);
+        FreqTable::from_kernel(&kernel).unwrap()
+    }
+
+    #[test]
+    fn empty_table_is_error() {
+        assert!(FullHuffman::build(&FreqTable::new()).is_err());
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let mut f = FreqTable::new();
+        f.record(BitSeq::ZEROS);
+        let h = FullHuffman::build(&f).unwrap();
+        assert_eq!(h.code_len(BitSeq::ZEROS), 1);
+        assert_eq!(h.assigned(), 1);
+        let mut w = BitWriter::new();
+        h.encode(BitSeq::ZEROS, &mut w).unwrap();
+        let total = w.bits_written();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_limit(&bytes, total);
+        assert_eq!(h.decode(&mut r).unwrap(), BitSeq::ZEROS);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let mut f = FreqTable::new();
+        f.record(BitSeq::ZEROS);
+        for _ in 0..10 {
+            f.record(BitSeq::ONES);
+        }
+        let h = FullHuffman::build(&f).unwrap();
+        assert_eq!(h.code_len(BitSeq::ZEROS), 1);
+        assert_eq!(h.code_len(BitSeq::ONES), 1);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let h = FullHuffman::build(&skewed_freq()).unwrap();
+        let kraft: f64 = BitSeq::all()
+            .filter(|&s| h.code_len(s) > 0)
+            .map(|s| 2.0f64.powi(-(h.code_len(s) as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn optimality_beats_simplified_and_entropy_bound() {
+        let freq = skewed_freq();
+        let full = FullHuffman::build(&freq).unwrap();
+        let simp = crate::huffman::SimplifiedTree::build(&freq, crate::TreeConfig::paper());
+        let h = freq.entropy_bits();
+        let avg_full = full.avg_bits(&freq);
+        let avg_simp = simp.avg_bits(&freq);
+        assert!(avg_full >= h - 1e-9, "below entropy: {avg_full} < {h}");
+        assert!(avg_full <= h + 1.0, "Huffman within 1 bit of entropy");
+        assert!(avg_full <= avg_simp + 1e-9, "full must not lose to simplified");
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let freq = skewed_freq();
+        let h = FullHuffman::build(&freq).unwrap();
+        let top = freq.top_k(1)[0].0;
+        let rare = freq.bottom_k_present(1)[0].0;
+        assert!(h.code_len(top) <= h.code_len(rare));
+    }
+
+    #[test]
+    fn unassigned_symbol_unencodable() {
+        let mut f = FreqTable::new();
+        f.record(BitSeq::ZEROS);
+        f.record(BitSeq::ONES);
+        let h = FullHuffman::build(&f).unwrap();
+        let mut w = BitWriter::new();
+        assert!(matches!(
+            h.encode(BitSeq::new(7).unwrap(), &mut w),
+            Err(KcError::Unencodable(7))
+        ));
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let freq = skewed_freq();
+        let h = FullHuffman::build(&freq).unwrap();
+        let symbols: Vec<BitSeq> = freq
+            .sorted_desc()
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(s, _)| s)
+            .collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            h.encode(s, &mut w).unwrap();
+        }
+        let total = w.bits_written();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_limit(&bytes, total);
+        for &s in &symbols {
+            assert_eq!(h.decode(&mut r).unwrap(), s);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn roundtrip_arbitrary_counts(
+            counts in proptest::collection::vec(0u64..50, 512),
+            payload in proptest::collection::vec(0usize..512, 1..200)
+        ) {
+            let mut counts = counts;
+            // Ensure at least two symbols are present.
+            counts[0] = counts[0].max(1);
+            counts[511] = counts[511].max(1);
+            let freq = FreqTable::from_counts(counts.clone()).unwrap();
+            let h = FullHuffman::build(&freq).unwrap();
+            // Encode a payload of present symbols only.
+            let present: Vec<u16> = (0..512u16).filter(|&s| counts[s as usize] > 0).collect();
+            let symbols: Vec<BitSeq> = payload
+                .iter()
+                .map(|&i| BitSeq::new_unchecked(present[i % present.len()]))
+                .collect();
+            let mut w = BitWriter::new();
+            for &s in &symbols {
+                h.encode(s, &mut w).unwrap();
+            }
+            let total = w.bits_written();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::with_limit(&bytes, total);
+            for &s in &symbols {
+                prop_assert_eq!(h.decode(&mut r).unwrap(), s);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Huffman coding of bit sequences.
+//!
+//! Two coders are provided:
+//!
+//! * [`SimplifiedTree`] — the paper's contribution (Fig. 4): a chain-shaped
+//!   tree with a handful of nodes, each node being a *table* of sequences.
+//!   A codeword is `node prefix ++ table index`, so decoding needs one
+//!   prefix scan and one table lookup — cheap enough for the hardware
+//!   decoding unit.
+//! * [`full::FullHuffman`] — a textbook canonical Huffman coder over the
+//!   512 symbols, the ablation baseline showing what compression the
+//!   simplified tree gives up for its simplicity.
+
+pub mod full;
+pub mod simplified;
+
+pub use full::FullHuffman;
+pub use simplified::{SimplifiedTree, TreeConfig};

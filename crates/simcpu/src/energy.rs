@@ -1,0 +1,170 @@
+//! Energy accounting (extension experiment).
+//!
+//! The paper motivates kernel compression with edge devices but reports
+//! only performance and storage. Memory traffic dominates energy on edge
+//! SoCs, so the same statistics the simulator already collects support a
+//! first-order energy estimate with published per-access costs
+//! (Horowitz, ISSCC'14-style numbers at ~45 nm, in picojoules):
+//!
+//! * DRAM: ~20 pJ/byte,
+//! * L2: ~1.2 pJ/byte,
+//! * L1: ~0.6 pJ/byte,
+//! * vector ALU op: ~2 pJ,
+//! * decoding unit: table lookup + shift network per sequence, ~1 pJ.
+//!
+//! Absolute numbers are indicative only; the *ratio* between modes is the
+//! experiment.
+
+use crate::exec::ExecStats;
+use crate::mem::MemStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy costs in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Per byte moved over the DRAM channel.
+    pub dram_pj_per_byte: f64,
+    /// Per byte served from L2.
+    pub l2_pj_per_byte: f64,
+    /// Per byte served from L1.
+    pub l1_pj_per_byte: f64,
+    /// Per vector/scalar issue slot.
+    pub op_pj: f64,
+    /// Per sequence decoded by the hardware unit.
+    pub decode_pj_per_seq: f64,
+    /// Static/leakage power in pJ per cycle (whole core).
+    pub static_pj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            dram_pj_per_byte: 20.0,
+            l2_pj_per_byte: 1.2,
+            l1_pj_per_byte: 0.6,
+            op_pj: 2.0,
+            decode_pj_per_seq: 1.0,
+            static_pj_per_cycle: 5.0,
+        }
+    }
+}
+
+/// An energy estimate broken down by component.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// DRAM transfer energy (µJ).
+    pub dram_uj: f64,
+    /// Cache access energy (µJ).
+    pub cache_uj: f64,
+    /// Compute energy (µJ).
+    pub compute_uj: f64,
+    /// Decoding-unit energy (µJ).
+    pub decoder_uj: f64,
+    /// Static energy over the run time (µJ).
+    pub static_uj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.dram_uj + self.cache_uj + self.compute_uj + self.decoder_uj + self.static_uj
+    }
+}
+
+impl EnergyModel {
+    /// Estimate energy from a run's statistics. `decoded_seqs` is the
+    /// number of sequences the decoding unit produced (0 for baseline
+    /// and software modes); line size converts hit counts to bytes.
+    pub fn estimate(
+        &self,
+        exec: &ExecStats,
+        mem: &MemStats,
+        decoded_seqs: u64,
+        line_bytes: u64,
+    ) -> EnergyBreakdown {
+        let pj_to_uj = 1e-6;
+        EnergyBreakdown {
+            dram_uj: mem.dram_bytes as f64 * self.dram_pj_per_byte * pj_to_uj,
+            cache_uj: ((mem.l1_hits * line_bytes) as f64 * self.l1_pj_per_byte
+                + (mem.l2_hits * line_bytes) as f64 * self.l2_pj_per_byte)
+                * pj_to_uj,
+            compute_uj: exec.ops as f64 * self.op_pj * pj_to_uj,
+            decoder_uj: decoded_seqs as f64 * self.decode_pj_per_seq * pj_to_uj,
+            static_uj: exec.cycles as f64 * self.static_pj_per_cycle * pj_to_uj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(ops: u64, cycles: u64) -> ExecStats {
+        ExecStats {
+            cycles,
+            ops,
+            ..ExecStats::default()
+        }
+    }
+
+    #[test]
+    fn dram_dominates_for_traffic_heavy_runs() {
+        let m = EnergyModel::default();
+        let mem = MemStats {
+            dram_bytes: 1_000_000,
+            ..MemStats::default()
+        };
+        let e = m.estimate(&exec(1000, 10_000), &mem, 0, 64);
+        assert!(e.dram_uj > e.compute_uj);
+        assert!(e.dram_uj > e.static_uj);
+        assert!((e.dram_uj - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let m = EnergyModel::default();
+        let mem = MemStats {
+            dram_bytes: 1000,
+            l1_hits: 10,
+            l2_hits: 5,
+            ..MemStats::default()
+        };
+        let e = m.estimate(&exec(100, 1000), &mem, 50, 64);
+        let sum = e.dram_uj + e.cache_uj + e.compute_uj + e.decoder_uj + e.static_uj;
+        assert!((e.total_uj() - sum).abs() < 1e-12);
+        assert!(e.decoder_uj > 0.0);
+    }
+
+    #[test]
+    fn zero_stats_zero_energy() {
+        let m = EnergyModel::default();
+        let e = m.estimate(&ExecStats::default(), &MemStats::default(), 0, 64);
+        assert_eq!(e.total_uj(), 0.0);
+    }
+
+    #[test]
+    fn traffic_reduction_translates_to_energy() {
+        // The experiment's point: cutting DRAM bytes by 1.33x cuts the
+        // memory energy by the same factor.
+        let m = EnergyModel::default();
+        let base = m.estimate(
+            &exec(0, 0),
+            &MemStats {
+                dram_bytes: 133,
+                ..MemStats::default()
+            },
+            0,
+            64,
+        );
+        let hw = m.estimate(
+            &exec(0, 0),
+            &MemStats {
+                dram_bytes: 100,
+                ..MemStats::default()
+            },
+            0,
+            64,
+        );
+        assert!((base.dram_uj / hw.dram_uj - 1.33).abs() < 1e-9);
+    }
+}

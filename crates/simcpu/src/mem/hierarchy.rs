@@ -1,0 +1,243 @@
+//! L1 → L2 → DRAM with a next-line streaming prefetcher.
+
+use crate::config::CpuConfig;
+use crate::mem::{Cache, Dram};
+use std::collections::HashMap;
+
+/// Aggregate memory statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses that hit in L2.
+    pub l2_hits: u64,
+    /// Accesses that went to DRAM.
+    pub dram_accesses: u64,
+    /// Bytes moved over the DRAM channel (demand + prefetch + streams).
+    pub dram_bytes: u64,
+    /// Misses that were covered by an in-flight or completed prefetch.
+    pub prefetch_covered: u64,
+}
+
+/// The demand-load path of the memory system.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    dram: Dram,
+    line_bytes: u64,
+    prefetch_degree: usize,
+    /// In-flight / completed prefetched lines: line -> ready cycle.
+    prefetched: HashMap<u64, u64>,
+    /// Last line accessed per 4 KB region, to detect streams.
+    last_line: Option<u64>,
+    stats: MemStats,
+}
+
+impl Hierarchy {
+    /// Build from the CPU configuration.
+    pub fn new(cfg: &CpuConfig) -> Self {
+        Hierarchy {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            dram: Dram::new(cfg.dram),
+            line_bytes: cfg.l1.line_bytes as u64,
+            prefetch_degree: cfg.cost.prefetch_degree,
+            prefetched: HashMap::new(),
+            last_line: None,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Load `bytes` starting at `addr` at time `cycle`; returns the cycle
+    /// the data is available to the pipeline. Multi-line requests pay for
+    /// each line.
+    pub fn load_at(&mut self, cycle: u64, addr: u64, bytes: u64) -> u64 {
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes.max(1) - 1) / self.line_bytes;
+        let mut done = cycle;
+        for line in first..=last {
+            done = done.max(self.load_line(cycle, line));
+        }
+        done
+    }
+
+    fn load_line(&mut self, cycle: u64, line: u64) -> u64 {
+        let addr = line * self.line_bytes;
+        let l1_lat = self.l1.config().hit_latency;
+        if self.l1.access(addr) {
+            self.stats.l1_hits += 1;
+            return cycle + l1_lat;
+        }
+        // L1 miss: was it prefetched?
+        if let Some(ready) = self.prefetched.remove(&line) {
+            self.stats.prefetch_covered += 1;
+            self.maybe_prefetch(line, ready);
+            self.l2.access(addr); // keep L2 contents coherent-ish
+            return cycle.max(ready) + l1_lat;
+        }
+        let l2_lat = self.l2.config().hit_latency;
+        if self.l2.access(addr) {
+            self.stats.l2_hits += 1;
+            self.maybe_prefetch(line, cycle + l2_lat);
+            return cycle + l2_lat;
+        }
+        // DRAM.
+        self.stats.dram_accesses += 1;
+        self.stats.dram_bytes += self.line_bytes;
+        let done = self.dram.access_at(cycle + l2_lat, self.line_bytes);
+        self.maybe_prefetch(line, done);
+        done
+    }
+
+    /// Next-line prefetch on detected forward streams.
+    fn maybe_prefetch(&mut self, line: u64, trigger_done: u64) {
+        let is_stream = matches!(self.last_line, Some(prev) if line == prev + 1 || line == prev);
+        self.last_line = Some(line);
+        if !is_stream || self.prefetch_degree == 0 {
+            return;
+        }
+        for d in 1..=self.prefetch_degree as u64 {
+            let next = line + d;
+            let next_addr = next * self.line_bytes;
+            if self.prefetched.contains_key(&next) || self.l1.contains(next_addr) || self.l2.contains(next_addr)
+            {
+                continue;
+            }
+            self.stats.dram_bytes += self.line_bytes;
+            let ready = self.dram.access_at(trigger_done, self.line_bytes);
+            self.prefetched.insert(next, ready);
+        }
+    }
+
+    /// Model a store: write-allocate into L1, cost folded into issue slots
+    /// (write-back traffic is not separately modeled).
+    pub fn store_at(&mut self, _cycle: u64, addr: u64) {
+        self.l1.access(addr);
+    }
+
+    /// Stream transfer for the decoding unit's fetch engine. The request
+    /// goes through L2 (the unit sits on the LSU behind the L1) so a
+    /// stream that fits in L2 is served from there on re-reads; misses go
+    /// to DRAM line by line.
+    pub fn stream_fetch_at(&mut self, cycle: u64, addr: u64, bytes: u64) -> u64 {
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes.max(1) - 1) / self.line_bytes;
+        let l2_lat = self.l2.config().hit_latency;
+        let mut done = cycle;
+        for line in first..=last {
+            let line_addr = line * self.line_bytes;
+            if self.l2.access(line_addr) {
+                self.stats.l2_hits += 1;
+                done = done.max(cycle + l2_lat);
+            } else {
+                self.stats.dram_accesses += 1;
+                self.stats.dram_bytes += self.line_bytes;
+                done = done.max(self.dram.access_at(cycle + l2_lat, self.line_bytes));
+            }
+        }
+        done
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// The DRAM channel (for inspecting queue state in tests).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::new(&CpuConfig::default())
+    }
+
+    #[test]
+    fn l1_hit_is_cheap() {
+        let mut h = hierarchy();
+        let cold = h.load_at(0, 0x1000, 8);
+        let warm = h.load_at(cold, 0x1000, 8);
+        assert!(cold >= 120, "cold load goes to DRAM: {cold}");
+        assert_eq!(warm, cold + 2, "warm load is an L1 hit");
+        assert_eq!(h.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn multi_line_load_pays_per_line() {
+        let mut h = hierarchy();
+        let one = h.load_at(0, 0x2000, 8);
+        let mut h2 = hierarchy();
+        let two = h2.load_at(0, 0x2000, 128); // spans 2 lines
+        assert!(two > one, "{two} vs {one}");
+    }
+
+    #[test]
+    fn streaming_gets_prefetched() {
+        let mut h = hierarchy();
+        let mut cycle = 0;
+        // Walk a long stream; later lines should increasingly be covered
+        // by the prefetcher instead of paying full DRAM latency.
+        for i in 0..64u64 {
+            cycle = h.load_at(cycle, 0x10_0000 + i * 64, 64);
+        }
+        let s = h.stats();
+        assert!(s.prefetch_covered > 20, "prefetch covered {}", s.prefetch_covered);
+        // Every line was either a demand DRAM miss, prefetch-covered, or
+        // an L1/L2 hit.
+        assert_eq!(
+            s.prefetch_covered + s.dram_accesses + s.l1_hits + s.l2_hits,
+            64
+        );
+    }
+
+    #[test]
+    fn random_access_is_not_prefetched() {
+        let mut h = hierarchy();
+        let mut cycle = 0;
+        let mut addr = 0x40_0000u64;
+        for i in 0..32 {
+            addr = addr.wrapping_add(64 * 97 * (i + 1)); // non-unit stride
+            cycle = h.load_at(cycle, addr, 8);
+        }
+        assert_eq!(h.stats().prefetch_covered, 0);
+    }
+
+    #[test]
+    fn stream_fetch_moves_bytes_and_caches_in_l2() {
+        let mut h = hierarchy();
+        let cold = h.stream_fetch_at(0, 0x8000, 256);
+        assert!(cold >= 120);
+        assert_eq!(h.stats().dram_bytes, 256);
+        // Re-fetching the same stream hits L2.
+        let warm = h.stream_fetch_at(cold, 0x8000, 256);
+        assert_eq!(warm, cold + 12, "re-read served from L2");
+        assert_eq!(h.stats().dram_bytes, 256, "no extra DRAM traffic");
+    }
+
+    #[test]
+    fn l2_captures_medium_working_set() {
+        let mut h = hierarchy();
+        // Working set of 64 KB: bigger than L1 (32 KB), fits L2 (256 KB).
+        let lines = 64 * 1024 / 64;
+        let mut cycle = 0;
+        for round in 0..2 {
+            for i in 0..lines {
+                // Stride by 128 lines to defeat next-line prefetch.
+                let addr = ((i * 127) % lines) as u64 * 64;
+                cycle = h.load_at(cycle, addr, 8);
+            }
+            if round == 0 {
+                // warm-up
+                continue;
+            }
+        }
+        let s = h.stats();
+        assert!(s.l2_hits > 0, "L2 should capture re-references: {s:?}");
+    }
+}

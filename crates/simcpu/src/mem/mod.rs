@@ -1,0 +1,10 @@
+//! The memory system: caches, DRAM, and the hierarchy that ties them
+//! together with a streaming prefetcher.
+
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+
+pub use cache::Cache;
+pub use dram::Dram;
+pub use hierarchy::{Hierarchy, MemStats};

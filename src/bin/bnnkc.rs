@@ -1,0 +1,190 @@
+//! `bnnkc` — command-line front end for the kernel-compression pipeline.
+//!
+//! ```text
+//! bnnkc compress   --out model.bkcm [--seed 1] [--scale 0.25] [--no-cluster]
+//! bnnkc inspect    --in model.bkcm
+//! bnnkc verify     --in model.bkcm [--seed 1] [--scale 0.25] [--no-cluster]
+//! bnnkc simulate   [--image 224] [--ratio 1.33]
+//! ```
+//!
+//! `compress` builds the 13 calibrated ReActNet kernels, compresses each,
+//! and writes one model container. `inspect` prints per-kernel statistics
+//! from the container alone. `verify` regenerates the kernels and checks
+//! the container decodes to them (bit-exactly without clustering; within
+//! Hamming distance 1 per channel with it). `simulate` runs the timing
+//! model in the three modes.
+
+use bnnkc::prelude::*;
+use kc_core::container::{read_model_container, write_model_container};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: bnnkc <compress|inspect|verify|simulate> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "compress" => cmd_compress(&args),
+        "inspect" => cmd_inspect(&args),
+        "verify" => cmd_verify(&args),
+        "simulate" => cmd_simulate(&args),
+        other => {
+            eprintln!("unknown command `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn codec_from(args: &[String]) -> KernelCodec {
+    if args.iter().any(|a| a == "--no-cluster") {
+        KernelCodec::paper()
+    } else {
+        KernelCodec::paper_clustered()
+    }
+}
+
+fn build_kernels(args: &[String]) -> Vec<BitTensor> {
+    use rand::SeedableRng;
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let scale: f64 = flag_value(args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let channels = [32usize, 64, 128, 128, 256, 256, 512, 512, 512, 512, 512, 512, 1024];
+    (1..=13)
+        .map(|block| {
+            let c = ((channels[block - 1] as f64 * scale).round() as usize).max(8);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ block as u64);
+            SeqDistribution::for_block(block, 0).sample_kernel(c, c, &mut rng)
+        })
+        .collect()
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let out = flag_value(args, "--out").ok_or("--out <file> is required")?;
+    let codec = codec_from(args);
+    let kernels = build_kernels(args);
+    let mut compressed = Vec::new();
+    let (mut orig_bits, mut stream_bits) = (0usize, 0usize);
+    for (i, k) in kernels.iter().enumerate() {
+        let ck = codec.compress(k)?;
+        orig_bits += ck.original_bits();
+        stream_bits += ck.stream_bits();
+        println!(
+            "block {:>2}: {:>7} -> {:>7} bits ({:.3}x)",
+            i + 1,
+            ck.original_bits(),
+            ck.stream_bits(),
+            ck.ratio()
+        );
+        compressed.push(ck);
+    }
+    let bytes = write_model_container(&compressed);
+    std::fs::write(out, &bytes)?;
+    println!(
+        "\nwrote {out}: {} bytes, aggregate kernel ratio {:.3}x",
+        bytes.len(),
+        orig_bits as f64 / stream_bits as f64
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
+    let bytes = std::fs::read(input)?;
+    let containers = read_model_container(&bytes)?;
+    println!("{input}: {} compressed kernels, {} bytes total\n", containers.len(), bytes.len());
+    for (i, c) in containers.iter().enumerate() {
+        let seqs = c.filters * c.channels;
+        println!(
+            "kernel {:>2}: {}x{}x3x3, stream {:>7} bits ({:.3}x), code lengths {:?}, tables {:?}",
+            i + 1,
+            c.filters,
+            c.channels,
+            c.stream_bits,
+            (seqs * 9) as f64 / c.stream_bits as f64,
+            c.tree.length_table(),
+            (0..c.tree.config().nodes()).map(|n| c.tree.table(n).len()).collect::<Vec<_>>(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
+    let clustered = !args.iter().any(|a| a == "--no-cluster");
+    let bytes = std::fs::read(input)?;
+    let containers = read_model_container(&bytes)?;
+    let kernels = build_kernels(args);
+    if containers.len() != kernels.len() {
+        return Err(format!(
+            "container holds {} kernels, expected {}",
+            containers.len(),
+            kernels.len()
+        )
+        .into());
+    }
+    for (i, (c, original)) in containers.iter().zip(&kernels).enumerate() {
+        let decoded = c.decode_kernel()?;
+        if clustered {
+            let shape = original.shape();
+            for f in 0..shape[0] {
+                for ch in 0..shape[1] {
+                    let a = bitnn::weightgen::read_sequence(original, f, ch);
+                    let b = bitnn::weightgen::read_sequence(&decoded, f, ch);
+                    if (a ^ b).count_ones() > 1 {
+                        return Err(format!(
+                            "kernel {} channel ({f},{ch}) moved {} bits",
+                            i + 1,
+                            (a ^ b).count_ones()
+                        )
+                        .into());
+                    }
+                }
+            }
+        } else if &decoded != original {
+            return Err(format!("kernel {} did not round-trip bit-exactly", i + 1).into());
+        }
+        println!("kernel {:>2}: OK", i + 1);
+    }
+    println!("\nall kernels verified");
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let image: usize = flag_value(args, "--image").and_then(|v| v.parse().ok()).unwrap_or(224);
+    let ratio: f64 = flag_value(args, "--ratio").and_then(|v| v.parse().ok()).unwrap_or(1.33);
+    let mut cfg = ReActNetConfig::full();
+    cfg.image_size = image;
+    let model = ReActNet::new(cfg, 1);
+    let wls = model.workloads();
+    let cpu = CpuConfig::default();
+    let base = run_model(&cpu, &wls, Mode::Baseline, &[1.0]);
+    let sw = run_model(&cpu, &wls, Mode::SoftwareDecode, &[ratio]);
+    let hw = run_model(&cpu, &wls, Mode::HardwareDecode, &[ratio]);
+    println!("image {image}x{image}, compression ratio {ratio}:");
+    println!("  baseline: {:>12} cycles", base.total_cycles);
+    println!(
+        "  software: {:>12} cycles ({:.3}x slower)",
+        sw.total_cycles,
+        sw.total_cycles as f64 / base.total_cycles as f64
+    );
+    println!(
+        "  hardware: {:>12} cycles ({:.3}x faster)",
+        hw.total_cycles,
+        base.total_cycles as f64 / hw.total_cycles as f64
+    );
+    Ok(())
+}

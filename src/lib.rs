@@ -1,0 +1,61 @@
+//! # bnnkc — Exploiting Kernel Compression on BNNs
+//!
+//! An open-source reproduction of *"Exploiting Kernel Compression on
+//! BNNs"* (F. Silfa, J. M. Arnau, A. González — DATE 2023,
+//! [arXiv:2212.00608](https://arxiv.org/abs/2212.00608)).
+//!
+//! The paper observes that the 9-bit channel patterns ("bit sequences")
+//! of binary 3×3 kernels are heavily skewed in frequency, compresses them
+//! with a table-based simplified Huffman code plus a Hamming-1 clustering
+//! pass, and adds a small decoding unit to a mobile CPU so the compressed
+//! kernels also run *faster* (loads stream and overlap) instead of slower
+//! (software decoding overhead).
+//!
+//! This crate re-exports the three building blocks:
+//!
+//! * [`bitnn`] — the BNN inference substrate (bit-packed tensors, channel
+//!   packing, xnor-popcount kernels, the ReActNet model, calibrated
+//!   synthetic weights);
+//! * [`kc_core`] — the compression scheme itself (frequency analysis,
+//!   simplified + full Huffman coding, clustering, codecs);
+//! * [`simcpu`] — a cycle-approximate CPU model with the paper's decoding
+//!   unit (`lddu` / `ldps`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bnnkc::prelude::*;
+//!
+//! // A ReActNet-shaped model with weights calibrated to the paper's
+//! // published bit-sequence statistics.
+//! let model = ReActNet::tiny(42);
+//!
+//! // Compress every 3x3 kernel: encoding + Hamming-1 clustering.
+//! let codec = KernelCodec::paper_clustered();
+//! let ratio = model_compression_ratio(&model, &codec)?;
+//! assert!(ratio.ratio() > 1.0);
+//! # Ok::<(), kc_core::KcError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use bitnn;
+pub use kc_core;
+pub use simcpu;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use bitnn::infer::{compare_models, synthetic_batch, Agreement};
+    pub use bitnn::model::{BlockSpec, OpCategory, ReActNet, ReActNetConfig};
+    pub use bitnn::tensor::{BitTensor, Tensor};
+    pub use bitnn::weightgen::SeqDistribution;
+    pub use kc_core::cluster::{ClusterConfig, ClusterPlan};
+    pub use kc_core::codec::{model_compression_ratio, CompressedKernel, KernelCodec};
+    pub use kc_core::huffman::{FullHuffman, SimplifiedTree, TreeConfig};
+    pub use kc_core::{BitSeq, FreqTable};
+    pub use simcpu::config::CpuConfig;
+    pub use simcpu::run::{compare_modes, run_model, run_workload, Mode};
+}
