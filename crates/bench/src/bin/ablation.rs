@@ -32,7 +32,13 @@ fn main() {
     let full = FullHuffman::build(&freq).expect("non-empty table");
     let simp = SimplifiedTree::build(&freq, TreeConfig::paper());
     let mut t = TablePrinter::new();
-    t.row(vec!["Coder", "avg bits/seq", "ratio", "max code", "decode structure"]);
+    t.row(vec![
+        "Coder",
+        "avg bits/seq",
+        "ratio",
+        "max code",
+        "decode structure",
+    ]);
     t.row(vec![
         "entropy bound".to_string(),
         format!("{:.3}", freq.entropy_bits()),

@@ -48,9 +48,18 @@ fn main() {
     println!("Accuracy proxy — original vs clustered network (Hamming radius {radius})\n");
     let mut t = TablePrinter::new();
     t.row(vec!["Metric", "Value"]);
-    t.row(vec!["Inputs compared".to_string(), format!("{}", agg.inputs)]);
-    t.row(vec!["Sequences substituted".to_string(), format!("{total_subs}")]);
-    t.row(vec!["Top-1 agreement".to_string(), format!("{:.1}%", agg.top1 * 100.0)]);
+    t.row(vec![
+        "Inputs compared".to_string(),
+        format!("{}", agg.inputs),
+    ]);
+    t.row(vec![
+        "Sequences substituted".to_string(),
+        format!("{total_subs}"),
+    ]);
+    t.row(vec![
+        "Top-1 agreement".to_string(),
+        format!("{:.1}%", agg.top1 * 100.0),
+    ]);
     t.row(vec![
         "Mean |logit delta|".to_string(),
         format!("{:.4}", agg.mean_abs_dev),

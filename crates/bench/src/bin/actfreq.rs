@@ -35,10 +35,19 @@ fn main() {
         }
     }
 
-    println!("Activation bit-sequence statistics ({} inputs, tiny model)\n", inputs);
+    println!(
+        "Activation bit-sequence statistics ({} inputs, tiny model)\n",
+        inputs
+    );
     let mut t = TablePrinter::new();
     t.row(vec![
-        "Block", "Windows", "Distinct", "Top-64 (%)", "Top-256 (%)", "Entropy (bits)", "Simpl. ratio",
+        "Block",
+        "Windows",
+        "Distinct",
+        "Top-64 (%)",
+        "Top-256 (%)",
+        "Entropy (bits)",
+        "Simpl. ratio",
     ]);
     for (i, freq) in per_block.iter().enumerate() {
         let tree = kc_core::SimplifiedTree::build(freq, TreeConfig::paper());
@@ -49,7 +58,11 @@ fn main() {
             format!("{}", i + 1),
             format!("{}", freq.total()),
             format!("{}", freq.distinct()),
-            format!("{:.1} (kernel {:.1})", freq.top_k_coverage_pct(64), kfreq.top_k_coverage_pct(64)),
+            format!(
+                "{:.1} (kernel {:.1})",
+                freq.top_k_coverage_pct(64),
+                kfreq.top_k_coverage_pct(64)
+            ),
             format!("{:.1}", freq.top_k_coverage_pct(256)),
             format!("{:.2}", freq.entropy_bits()),
             format!("{ratio:.3}"),

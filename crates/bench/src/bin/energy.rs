@@ -40,7 +40,15 @@ fn main() {
 
     println!("Energy extension — full ReActNet geometry ({image}x{image})\n");
     let mut t = TablePrinter::new();
-    t.row(vec!["Mode", "DRAM (µJ)", "cache (µJ)", "compute (µJ)", "decoder (µJ)", "static (µJ)", "total (µJ)"]);
+    t.row(vec![
+        "Mode",
+        "DRAM (µJ)",
+        "cache (µJ)",
+        "compute (µJ)",
+        "decoder (µJ)",
+        "static (µJ)",
+        "total (µJ)",
+    ]);
     let mut totals = Vec::new();
     for (name, mode, seqs) in [
         ("baseline", Mode::Baseline, 0),

@@ -20,7 +20,13 @@ fn main() {
 
     println!("Fig. 3 — frequency of use for the top-16 bit sequences (block {block})\n");
     let mut table = TablePrinter::new();
-    table.row(vec!["Rank", "Sequence", "Freq (%)", "Bar", "Paper top-16 member?"]);
+    table.row(vec![
+        "Rank",
+        "Sequence",
+        "Freq (%)",
+        "Bar",
+        "Paper top-16 member?",
+    ]);
     for (rank, (seq, _)) in freq.top_k(16).into_iter().enumerate() {
         let pct = freq.percent(seq);
         let bar = "#".repeat((pct * 4.0).round() as usize);
@@ -30,7 +36,11 @@ fn main() {
             format!("{seq}"),
             format!("{pct:5.2}"),
             bar,
-            if in_paper { "yes".into() } else { "no".to_string() },
+            if in_paper {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     print!("{}", table.render());

@@ -38,7 +38,10 @@ fn main() {
         .collect();
     println!(
         "Per-block clustering ratios (scale {scale}): {:?}",
-        ratios.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+        ratios
+            .iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     let mut model_cfg = ReActNetConfig::full();
@@ -54,7 +57,11 @@ fn main() {
 
     let mut table = TablePrinter::new();
     table.row(vec!["Mode", "Cycles (M)", "Time @1GHz (ms)", "vs baseline"]);
-    for (name, run) in [("Baseline (daBNN-style)", &base), ("Software decode", &sw), ("Hardware decode unit", &hw)] {
+    for (name, run) in [
+        ("Baseline (daBNN-style)", &base),
+        ("Software decode", &sw),
+        ("Hardware decode unit", &hw),
+    ] {
         table.row(vec![
             name.to_string(),
             format!("{:.1}", run.total_cycles as f64 / 1e6),
@@ -66,8 +73,14 @@ fn main() {
 
     let sw_slowdown = sw.total_cycles as f64 / base.total_cycles as f64;
     let hw_speedup = base.total_cycles as f64 / hw.total_cycles as f64;
-    println!("\nSoftware slowdown: {}", vs(sw_slowdown, headline::SW_SLOWDOWN));
-    println!("Hardware speedup:  {}", vs(hw_speedup, headline::HW_SPEEDUP));
+    println!(
+        "\nSoftware slowdown: {}",
+        vs(sw_slowdown, headline::SW_SLOWDOWN)
+    );
+    println!(
+        "Hardware speedup:  {}",
+        vs(hw_speedup, headline::HW_SPEEDUP)
+    );
 
     let b3 = base.category_cycles(OpCategory::Conv3x3);
     let h3 = hw.category_cycles(OpCategory::Conv3x3);

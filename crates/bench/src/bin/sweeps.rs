@@ -36,7 +36,10 @@ fn main() {
     t.row(vec!["Ratio", "Speedup"]);
     for ratio in [1.0, 1.1, 1.2, 1.32, 1.5, 2.0] {
         let cpu = CpuConfig::default();
-        t.row(vec![format!("{ratio:.2}"), format!("{:.3}x", speedup(&cpu, &wls, ratio))]);
+        t.row(vec![
+            format!("{ratio:.2}"),
+            format!("{:.3}x", speedup(&cpu, &wls, ratio)),
+        ]);
     }
     print!("{}", t.render());
     println!("(Even at ratio 1.0 the unit helps — fetch/decode overlap hides load");
@@ -50,7 +53,10 @@ fn main() {
     for bw in [1.0, 2.0, 4.0, 8.0, 16.0] {
         let mut cpu = CpuConfig::default();
         cpu.dram.bytes_per_cycle = bw;
-        t.row(vec![format!("{bw:.0}"), format!("{:.3}x", speedup(&cpu, &wls, 1.33))]);
+        t.row(vec![
+            format!("{bw:.0}"),
+            format!("{:.3}x", speedup(&cpu, &wls, 1.33)),
+        ]);
     }
     print!("{}", t.render());
     println!("(Scarce bandwidth throttles both modes; the advantage saturates once");
@@ -63,7 +69,10 @@ fn main() {
     for rate in [0.5, 1.0, 1.55, 2.0, 4.0] {
         let mut cpu = CpuConfig::default();
         cpu.decode_unit.decode_per_cycle = rate;
-        t.row(vec![format!("{rate:.2}"), format!("{:.3}x", speedup(&cpu, &wls, 1.33))]);
+        t.row(vec![
+            format!("{rate:.2}"),
+            format!("{:.3}x", speedup(&cpu, &wls, 1.33)),
+        ]);
     }
     print!("{}", t.render());
     println!("(Below ~1 seq/cycle the decoder itself becomes the bottleneck and the");

@@ -49,18 +49,27 @@ fn main() {
     let kernel = block_kernel(5, seed, scale);
     let freq = kc_core::FreqTable::from_kernel(&kernel).expect("3x3 kernel");
     let enc_tree = kc_core::SimplifiedTree::build(&freq, kc_core::TreeConfig::paper());
-    let plan = kc_core::cluster::ClusterPlan::build(&freq, &kc_core::cluster::ClusterConfig::default());
+    let plan =
+        kc_core::cluster::ClusterPlan::build(&freq, &kc_core::cluster::ClusterConfig::default());
     let post = plan.apply_to_freq(&freq);
     let clu_tree = kc_core::SimplifiedTree::build(&post, kc_core::TreeConfig::paper());
     println!("\nPer-node usage, block 5 (paper Sec. VI quotes ~46/24/23/5% before and");
     println!("~66/25/8/0.6% after clustering):");
     println!(
         "  Encoding:   {:?} %",
-        enc_tree.node_usage_pct(&freq).iter().map(|p| (p * 10.0).round() / 10.0).collect::<Vec<_>>()
+        enc_tree
+            .node_usage_pct(&freq)
+            .iter()
+            .map(|p| (p * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
     println!(
         "  Clustering: {:?} %",
-        clu_tree.node_usage_pct(&post).iter().map(|p| (p * 10.0).round() / 10.0).collect::<Vec<_>>()
+        clu_tree
+            .node_usage_pct(&post)
+            .iter()
+            .map(|p| (p * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
 
     if arg_flag(&args, "--model") {
@@ -73,6 +82,9 @@ fn main() {
             mr.compressed_bits as f64 / 1e6,
             vs(mr.ratio(), headline::MODEL_RATIO),
         );
-        println!("  mean kernel payload ratio: {}", vs(mr.mean_kernel_ratio, headline::KERNEL_RATIO));
+        println!(
+            "  mean kernel payload ratio: {}",
+            vs(mr.mean_kernel_ratio, headline::KERNEL_RATIO)
+        );
     }
 }

@@ -137,8 +137,12 @@ mod tests {
 
     #[test]
     fn slice_accumulator_matches_scalar_loop() {
-        let a: Vec<u64> = (0..13).map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1)).collect();
-        let b: Vec<u64> = (0..13).map(|i| 0xc2b2_ae3d_27d4_eb4fu64.wrapping_mul(i + 3)).collect();
+        let a: Vec<u64> = (0..13)
+            .map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1))
+            .collect();
+        let b: Vec<u64> = (0..13)
+            .map(|i| 0xc2b2_ae3d_27d4_eb4fu64.wrapping_mul(i + 3))
+            .collect();
         let expect: u32 = a.iter().zip(&b).map(|(&x, &y)| xnor_popcount(x, y)).sum();
         assert_eq!(xnor_popcount_slice(&a, &b), expect);
     }

@@ -150,7 +150,9 @@ mod tests {
         let mut t = BitTensor::zeros(shape);
         let mut s = seed | 1;
         for i in 0..t.len() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if s >> 63 == 1 {
                 t.set(i, true);
             }
@@ -199,7 +201,10 @@ mod tests {
         assert!(load_conv3_weights(&mut m, &bad).is_err());
         // Truncations.
         for cut in [3usize, 9, 12, bytes.len() / 2] {
-            assert!(load_conv3_weights(&mut m, &bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                load_conv3_weights(&mut m, &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 

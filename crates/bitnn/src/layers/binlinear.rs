@@ -52,7 +52,11 @@ impl BinLinear {
     pub fn forward_2d(&self, input: &Tensor) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 2, "BinLinear expects a 2-D tensor");
-        assert_eq!(shape[1], self.in_features(), "feature mismatch in BinLinear");
+        assert_eq!(
+            shape[1],
+            self.in_features(),
+            "feature mismatch in BinLinear"
+        );
         let n = shape[0];
         let k = self.in_features();
         let mut a = PackedMatrix::zeros(n, k);
@@ -82,7 +86,11 @@ impl Layer for BinLinear {
     }
 
     fn describe(&self) -> String {
-        format!("BinLinear({}->{}, 1-bit)", self.in_features(), self.out_features())
+        format!(
+            "BinLinear({}->{}, 1-bit)",
+            self.in_features(),
+            self.out_features()
+        )
     }
 }
 

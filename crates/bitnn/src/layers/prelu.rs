@@ -38,7 +38,11 @@ impl RPReLU {
 
     /// Plain PReLU with a uniform slope and no shifts.
     pub fn plain(channels: usize, slope: f32) -> Self {
-        RPReLU::new(vec![0.0; channels], vec![slope; channels], vec![0.0; channels])
+        RPReLU::new(
+            vec![0.0; channels],
+            vec![slope; channels],
+            vec![0.0; channels],
+        )
     }
 
     /// Number of channels.

@@ -178,7 +178,10 @@ impl QuantLinear {
     pub fn forward_2d(&self, input: &Tensor) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 2, "QuantLinear expects a 2-D tensor");
-        assert_eq!(shape[1], self.in_features, "feature mismatch in QuantLinear");
+        assert_eq!(
+            shape[1], self.in_features,
+            "feature mismatch in QuantLinear"
+        );
         let n = shape[0];
         let (input_q, in_scale) = quantize_symmetric(input.data());
         let out_scale = in_scale * self.w_scale;
@@ -207,7 +210,10 @@ impl Layer for QuantLinear {
     }
 
     fn describe(&self) -> String {
-        format!("QuantLinear({}->{}, 8-bit)", self.in_features, self.out_features)
+        format!(
+            "QuantLinear({}->{}, 8-bit)",
+            self.in_features, self.out_features
+        )
     }
 }
 

@@ -203,7 +203,10 @@ mod tests {
             bn1: BatchNorm::identity(c_in),
             act1: RPReLU::plain(c_in, 0.25),
             sign2: RSign::zero(c_in),
-            conv1: BinConv2d::new(random_kernel(&[c_out, c_in, 1, 1], seed ^ 1), Conv2dParams::default()),
+            conv1: BinConv2d::new(
+                random_kernel(&[c_out, c_in, 1, 1], seed ^ 1),
+                Conv2dParams::default(),
+            ),
             bn2: BatchNorm::identity(c_out),
             act2: RPReLU::plain(c_out, 0.25),
         }

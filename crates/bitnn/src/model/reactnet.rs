@@ -106,7 +106,10 @@ impl ReActNetConfig {
         let mut c = self.stem_channels;
         for (i, b) in self.blocks.iter().enumerate() {
             if b.in_ch != c {
-                return Err(format!("block {i}: expects {c} input channels, spec says {}", b.in_ch));
+                return Err(format!(
+                    "block {i}: expects {c} input channels, spec says {}",
+                    b.in_ch
+                ));
             }
             if b.out_ch != b.in_ch && b.out_ch != 2 * b.in_ch {
                 return Err(format!("block {i}: out_ch must be C or 2C"));
@@ -152,7 +155,8 @@ impl ReActNet {
             random_floats(stem * config.input_channels * 9, 1.0, seed ^ 0xA11CE),
         )
         .expect("consistent stem shape");
-        let input_conv = QuantConv2d::from_float(&input_weights, Conv2dParams { stride: 2, pad: 1 });
+        let input_conv =
+            QuantConv2d::from_float(&input_weights, Conv2dParams { stride: 2, pad: 1 });
 
         let mut blocks = Vec::with_capacity(config.blocks.len());
         for (i, spec) in config.blocks.iter().enumerate() {
@@ -252,7 +256,10 @@ impl ReActNet {
     pub fn forward(&self, input: &Tensor) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "input must be [N, C, H, W]");
-        assert_eq!(shape[1], self.config.input_channels, "input channel mismatch");
+        assert_eq!(
+            shape[1], self.config.input_channels,
+            "input channel mismatch"
+        );
         let mut x = self.input_conv.forward(input);
         for b in &self.blocks {
             x = b.forward(&x);
@@ -271,7 +278,10 @@ impl ReActNet {
     pub fn forward_traced(&self, input: &Tensor) -> (Tensor, Vec<BitTensor>) {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "input must be [N, C, H, W]");
-        assert_eq!(shape[1], self.config.input_channels, "input channel mismatch");
+        assert_eq!(
+            shape[1], self.config.input_channels,
+            "input channel mismatch"
+        );
         let mut x = self.input_conv.forward(input);
         let mut traces = Vec::with_capacity(self.blocks.len());
         for b in &self.blocks {
@@ -393,11 +403,7 @@ mod tests {
     #[test]
     fn tiny_forward_shape() {
         let m = ReActNet::tiny(1);
-        let x = Tensor::from_vec(
-            &[2, 3, 32, 32],
-            random_floats(2 * 3 * 32 * 32, 1.0, 7),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(&[2, 3, 32, 32], random_floats(2 * 3 * 32 * 32, 1.0, 7)).unwrap();
         let y = m.forward(&x);
         assert_eq!(y.shape(), &[2, 10]);
         assert!(y.data().iter().all(|v| v.is_finite()));

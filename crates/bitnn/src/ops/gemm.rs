@@ -158,7 +158,9 @@ mod tests {
         let mut out = vec![0i32; m * n];
         for i in 0..m {
             for j in 0..n {
-                out[i * n + j] = (0..k).map(|x| sign(a[i * k + x]) * sign(b[j * k + x])).sum();
+                out[i * n + j] = (0..k)
+                    .map(|x| sign(a[i * k + x]) * sign(b[j * k + x]))
+                    .sum();
             }
         }
         out
@@ -182,7 +184,10 @@ mod tests {
     fn dim_mismatch_is_error() {
         let a = PackedMatrix::zeros(2, 10);
         let b = PackedMatrix::zeros(3, 11);
-        assert!(matches!(gemm_binary(&a, &b), Err(BitnnError::DimMismatch { .. })));
+        assert!(matches!(
+            gemm_binary(&a, &b),
+            Err(BitnnError::DimMismatch { .. })
+        ));
     }
 
     #[test]

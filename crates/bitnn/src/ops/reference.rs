@@ -36,7 +36,8 @@ pub fn conv2d_reference(input: &Tensor, kernel: &Tensor, params: Conv2dParams) -
                             for kx in 0..kw {
                                 let iy = (oy * params.stride + ky) as isize - params.pad as isize;
                                 let ix = (ox * params.stride + kx) as isize - params.pad as isize;
-                                let x = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                let x = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                                {
                                     input.at4(img, ch, iy as usize, ix as usize)
                                 } else {
                                     -1.0 // padding value in the ±1 domain

@@ -259,7 +259,9 @@ mod tests {
         let mut t = BitTensor::zeros(shape);
         let mut s = seed | 1;
         for i in 0..t.len() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if s >> 63 == 1 {
                 t.set(i, true);
             }

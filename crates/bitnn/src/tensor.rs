@@ -102,7 +102,9 @@ impl Tensor {
     #[inline]
     pub fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         debug_assert_eq!(self.shape.len(), 4);
-        debug_assert!(n < self.shape[0] && c < self.shape[1] && h < self.shape[2] && w < self.shape[3]);
+        debug_assert!(
+            n < self.shape[0] && c < self.shape[1] && h < self.shape[2] && w < self.shape[3]
+        );
         ((n * self.shape[1] + c) * self.shape[2] + h) * self.shape[3] + w
     }
 
@@ -155,7 +157,11 @@ impl Tensor {
         self.data
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.0.cmp(&a.0))
+            })
             .map(|(i, _)| i)
     }
 }

@@ -528,7 +528,9 @@ mod tests {
     fn fig3_published_top16_rank_early() {
         // The paper's observed top-16 should all live in the head of our
         // ranking (they are anchors or one bit away from one).
-        let fig3 = [0u16, 511, 256, 255, 4, 510, 1, 507, 508, 64, 3, 504, 447, 7, 448, 63];
+        let fig3 = [
+            0u16, 511, 256, 255, 4, 510, 1, 507, 508, 64, 3, 504, 447, 7, 448, 63,
+        ];
         let r = naturalness_ranking(0);
         let pos = |s: u16| r.iter().position(|&x| x == s).unwrap();
         for &s in &fig3 {
@@ -617,6 +619,9 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(11);
         let mut r2 = StdRng::seed_from_u64(11);
         let d = SeqDistribution::for_block(3, 4);
-        assert_eq!(d.sample_kernel(2, 8, &mut r1), d.sample_kernel(2, 8, &mut r2));
+        assert_eq!(
+            d.sample_kernel(2, 8, &mut r1),
+            d.sample_kernel(2, 8, &mut r2)
+        );
     }
 }

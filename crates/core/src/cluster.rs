@@ -176,7 +176,10 @@ mod tests {
     fn substitutions_respect_distance_budget() {
         let (_, freq) = kernel_and_freq();
         let plan = ClusterPlan::build(&freq, &ClusterConfig::default());
-        assert!(plan.replaced() > 0, "skewed table should yield substitutions");
+        assert!(
+            plan.replaced() > 0,
+            "skewed table should yield substitutions"
+        );
         for s in plan.substitutions() {
             assert_eq!(s.from.hamming(s.to), s.distance);
             assert!(s.distance == 1);

@@ -404,9 +404,7 @@ mod tests {
     #[test]
     fn custom_two_node_tree_works_end_to_end() {
         let k = kernel(7, 23);
-        let codec = KernelCodec::new(
-            crate::TreeConfig::with_capacities(vec![64, 256]).unwrap(),
-        );
+        let codec = KernelCodec::new(crate::TreeConfig::with_capacities(vec![64, 256]).unwrap());
         let ck = codec.compress(&k).unwrap();
         // Code lengths: 1+6 = 7 and 2+8 = 10 (or widened).
         assert_eq!(ck.tree().code_len(0), 7);

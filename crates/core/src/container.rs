@@ -124,7 +124,9 @@ pub fn read_container(bytes: &[u8]) -> Result<Container> {
     }
     let version = buf.get_u16_le();
     if version != VERSION {
-        return Err(KcError::CorruptStream(format!("unsupported version {version}")));
+        return Err(KcError::CorruptStream(format!(
+            "unsupported version {version}"
+        )));
     }
     need(buf, 8, "kernel header")?;
     let filters = buf.get_u32_le() as usize;
@@ -235,12 +237,16 @@ pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
     }
     let count = buf.get_u32_le() as usize;
     if count > 4096 {
-        return Err(KcError::CorruptStream(format!("implausible kernel count {count}")));
+        return Err(KcError::CorruptStream(format!(
+            "implausible kernel count {count}"
+        )));
     }
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         if buf.remaining() < 4 {
-            return Err(KcError::CorruptStream(format!("truncated record {i} length")));
+            return Err(KcError::CorruptStream(format!(
+                "truncated record {i} length"
+            )));
         }
         let len = buf.get_u32_le() as usize;
         if buf.remaining() < len {
@@ -301,7 +307,17 @@ mod tests {
         let ck = compressed();
         let bytes = write_container(&ck);
         // Cut at a spread of offsets including section boundaries.
-        for cut in [0usize, 3, 5, 9, 13, 14, 20, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [
+            0usize,
+            3,
+            5,
+            9,
+            13,
+            14,
+            20,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
             let r = read_container(&bytes[..cut]);
             assert!(r.is_err(), "cut at {cut} must fail");
         }
@@ -357,7 +373,11 @@ mod tests {
         let mut originals = Vec::new();
         for block in 1..=3 {
             let mut rng = StdRng::seed_from_u64(block as u64);
-            let k = SeqDistribution::for_block(block, 0).sample_kernel(16 * block, 16 * block, &mut rng);
+            let k = SeqDistribution::for_block(block, 0).sample_kernel(
+                16 * block,
+                16 * block,
+                &mut rng,
+            );
             let ck = codec.compress(&k).unwrap();
             originals.push(ck.decompress().unwrap());
             kernels.push(ck);
@@ -397,8 +417,7 @@ mod tests {
         let bytes = write_container(&ck).to_vec();
         let stream_len_off = bytes.len() - ck.stream().len() - 4 - 8;
         let mut bad = bytes.clone();
-        bad[stream_len_off..stream_len_off + 8]
-            .copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        bad[stream_len_off..stream_len_off + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
         assert!(read_container(&bad).is_err());
     }
 }

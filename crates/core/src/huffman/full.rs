@@ -204,7 +204,9 @@ fn huffman_lengths(present: &[(u16, u64)], lengths: &mut [u8]) -> Result<()> {
     }
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.weight.cmp(&other.weight).then(self.serial.cmp(&other.serial))
+            self.weight
+                .cmp(&other.weight)
+                .then(self.serial.cmp(&other.serial))
         }
     }
     impl PartialOrd for Node {
@@ -321,7 +323,10 @@ mod tests {
         let avg_simp = simp.avg_bits(&freq);
         assert!(avg_full >= h - 1e-9, "below entropy: {avg_full} < {h}");
         assert!(avg_full <= h + 1.0, "Huffman within 1 bit of entropy");
-        assert!(avg_full <= avg_simp + 1e-9, "full must not lose to simplified");
+        assert!(
+            avg_full <= avg_simp + 1e-9,
+            "full must not lose to simplified"
+        );
     }
 
     #[test]

@@ -244,9 +244,10 @@ impl SimplifiedTree {
         }
         debug_assert!(node < n);
         let idx = reader.read_bits(self.index_bits[node])? as usize;
-        self.tables[node].get(idx).copied().ok_or_else(|| {
-            KcError::CorruptStream(format!("index {idx} beyond node {node} table"))
-        })
+        self.tables[node]
+            .get(idx)
+            .copied()
+            .ok_or_else(|| KcError::CorruptStream(format!("index {idx} beyond node {node} table")))
     }
 
     /// Total compressed size in bits of a payload with the given counts.
@@ -416,7 +417,10 @@ mod tests {
         let tree = SimplifiedTree::build(&freq, TreeConfig::paper());
         let bytes = [0xFFu8, 0xFF];
         let mut r = BitReader::new(&bytes);
-        assert!(matches!(tree.decode(&mut r), Err(KcError::CorruptStream(_))));
+        assert!(matches!(
+            tree.decode(&mut r),
+            Err(KcError::CorruptStream(_))
+        ));
     }
 
     #[test]
@@ -429,7 +433,10 @@ mod tests {
         let bytes = w.into_bytes();
         // Cut the stream one bit short of the 6-bit code.
         let mut r = BitReader::with_limit(&bytes, 5);
-        assert!(matches!(tree.decode(&mut r), Err(KcError::CorruptStream(_))));
+        assert!(matches!(
+            tree.decode(&mut r),
+            Err(KcError::CorruptStream(_))
+        ));
     }
 
     #[test]

@@ -157,8 +157,7 @@ impl DecodeUnit {
                 // Decode pace: one sequence per 1/decode_per_cycle cycles,
                 // no earlier than the chunk's arrival.
                 let earliest = state.last_chunk_done.max(state.start) as f64;
-                state.decode_clock =
-                    state.decode_clock.max(earliest) + 1.0 / cfg.decode_per_cycle;
+                state.decode_clock = state.decode_clock.max(earliest) + 1.0 / cfg.decode_per_cycle;
                 state.decoded += 1;
             }
             state.group_ready.push(state.decode_clock.ceil() as u64);

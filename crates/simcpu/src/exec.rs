@@ -121,7 +121,8 @@ impl Machine {
                 // MSHR budget: wait for the oldest outstanding miss if full.
                 while self.inflight.len() >= self.cfg.cost.mshrs {
                     let oldest = self.inflight.pop_front().expect("nonempty");
-                    self.stats.mem_stall_cycles += self.stall_until(oldest.min(self.pending_ready.max(oldest)));
+                    self.stats.mem_stall_cycles +=
+                        self.stall_until(oldest.min(self.pending_ready.max(oldest)));
                 }
                 let done = self.mem.load_at(self.cycle, addr, bytes as u64);
                 if done > self.cycle {
@@ -276,7 +277,10 @@ mod tests {
             TraceOp::Vop { count: 1 },
         ]);
         let s = m.stats();
-        assert!(s.unit_stall_cycles + s.mem_stall_cycles > 0, "first ldps waits");
+        assert!(
+            s.unit_stall_cycles + s.mem_stall_cycles > 0,
+            "first ldps waits"
+        );
         assert_eq!(m.unit_stats().words_served, 1);
     }
 

@@ -100,7 +100,9 @@ impl Hierarchy {
         for d in 1..=self.prefetch_degree as u64 {
             let next = line + d;
             let next_addr = next * self.line_bytes;
-            if self.prefetched.contains_key(&next) || self.l1.contains(next_addr) || self.l2.contains(next_addr)
+            if self.prefetched.contains_key(&next)
+                || self.l1.contains(next_addr)
+                || self.l2.contains(next_addr)
             {
                 continue;
             }
@@ -187,7 +189,11 @@ mod tests {
             cycle = h.load_at(cycle, 0x10_0000 + i * 64, 64);
         }
         let s = h.stats();
-        assert!(s.prefetch_covered > 20, "prefetch covered {}", s.prefetch_covered);
+        assert!(
+            s.prefetch_covered > 20,
+            "prefetch covered {}",
+            s.prefetch_covered
+        );
         // Every line was either a demand DRAM miss, prefetch-covered, or
         // an L1/L2 hit.
         assert_eq!(

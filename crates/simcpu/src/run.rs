@@ -127,7 +127,11 @@ impl ModelRun {
     pub fn to_table(&self) -> String {
         let mut s = String::from("Operation     Execution time (%)\n");
         for c in OpCategory::ALL {
-            s.push_str(&format!("{:<13} {:>17.1}\n", c.label(), self.category_pct(c)));
+            s.push_str(&format!(
+                "{:<13} {:>17.1}\n",
+                c.label(),
+                self.category_pct(c)
+            ));
         }
         s
     }
@@ -159,7 +163,13 @@ pub fn run_model(
         } else {
             1.0
         };
-        layers.push(run_workload_salted(&mut machine, wl, mode, ratio, salt as u64));
+        layers.push(run_workload_salted(
+            &mut machine,
+            wl,
+            mode,
+            ratio,
+            salt as u64,
+        ));
         // Post-conv element-wise work (BN + bias + RPReLU + next sign).
         if matches!(wl.category, OpCategory::Conv3x3 | OpCategory::Conv1x1) {
             let others = LayerWorkload {
@@ -173,7 +183,13 @@ pub fn run_model(
                 ow: wl.ow,
                 precision_bits: 32,
             };
-            layers.push(run_workload_salted(&mut machine, &others, mode, 1.0, salt as u64));
+            layers.push(run_workload_salted(
+                &mut machine,
+                &others,
+                mode,
+                1.0,
+                salt as u64,
+            ));
         }
     }
     let total_cycles = layers.iter().map(|l| l.cycles).sum();
@@ -314,10 +330,7 @@ mod tests {
         let model = ReActNet::tiny(3);
         let run = run_model(&cfg, &model.workloads(), Mode::Baseline, &[1.0]);
         for c in OpCategory::ALL {
-            assert!(
-                run.category_cycles(c) > 0,
-                "category {c} has no cycles"
-            );
+            assert!(run.category_cycles(c) > 0, "category {c} has no cycles");
         }
         let pct_sum: f64 = OpCategory::ALL.iter().map(|&c| run.category_pct(c)).sum();
         assert!((pct_sum - 100.0).abs() < 1e-6);
@@ -354,7 +367,11 @@ mod tests {
         let wls = model.workloads();
         let s = compare_modes(&cfg, &wls, Mode::HardwareDecode, &[1.33]);
         assert!(s.baseline_cycles > 0 && s.scheme_cycles > 0);
-        assert!(s.factor() > 0.5 && s.factor() < 3.0, "factor {}", s.factor());
+        assert!(
+            s.factor() > 0.5 && s.factor() < 3.0,
+            "factor {}",
+            s.factor()
+        );
     }
 
     #[test]

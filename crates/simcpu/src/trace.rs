@@ -249,7 +249,12 @@ pub fn conv1x1_ops(wl: &LayerWorkload, cfg: &CpuConfig, salt: u64, emit: &mut dy
 }
 
 /// Generate the 8-bit quantized convolution trace (the input layer).
-pub fn quant_conv_ops(wl: &LayerWorkload, cfg: &CpuConfig, salt: u64, emit: &mut dyn FnMut(TraceOp)) {
+pub fn quant_conv_ops(
+    wl: &LayerWorkload,
+    cfg: &CpuConfig,
+    salt: u64,
+    emit: &mut dyn FnMut(TraceOp),
+) {
     let pixels = (wl.oh * wl.ow) as u64;
     let tile = cfg.pixel_tile as u64;
     let k_filters = wl.out_ch as u64;
@@ -374,7 +379,10 @@ mod tests {
             .count();
         assert_eq!(wloads, 0, "hardware mode loads no weights through caches");
         let ldps = ops.iter().filter(|op| matches!(op, TraceOp::Ldps)).count() as u64;
-        let lddu = ops.iter().filter(|op| matches!(op, TraceOp::Lddu { .. })).count() as u64;
+        let lddu = ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Lddu { .. }))
+            .count() as u64;
         let wl = wl3();
         let tiles = (wl.oh * wl.ow).div_ceil(CpuConfig::default().pixel_tile) as u64;
         assert_eq!(lddu, tiles);

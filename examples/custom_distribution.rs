@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Sweep tree shapes under the 512-entry table budget ---
     println!("\nTree sweep (hardware budget: 512 table entries, 1 KB):");
     let candidates: Vec<Vec<usize>> = vec![
-        vec![32, 64, 64, 256],  // the paper's shape
+        vec![32, 64, 64, 256], // the paper's shape
         vec![16, 32, 128, 256],
         vec![64, 64, 128, 256],
         vec![64, 128, 256],
@@ -60,11 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..ClusterConfig::default()
             });
         let ck = codec.compress(&kernel)?;
-        let moved: u64 = ck
-            .substitutions()
-            .iter()
-            .map(|s| freq.count(s.from))
-            .sum();
+        let moved: u64 = ck.substitutions().iter().map(|s| freq.count(s.from)).sum();
         println!(
             "  N={n:>3}: ratio {:.3}, {} substitutions touching {:.1}% of weights' channels",
             ck.ratio(),

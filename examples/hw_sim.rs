@@ -17,9 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Decoder configuration structure (what `lddu` loads, Table III):");
     println!("  number of bit sequences : {}", decoder_cfg.num_sequences);
     println!("  compressed stream ptr   : {:#x}", decoder_cfg.stream_ptr);
-    println!("  compressed stream bytes : {}", decoder_cfg.stream_len_bytes);
-    println!("  Huffman node code bits  : {:?}", decoder_cfg.node_code_lengths);
-    println!("  node table entries      : {:?}", decoder_cfg.node_table_sizes);
+    println!(
+        "  compressed stream bytes : {}",
+        decoder_cfg.stream_len_bytes
+    );
+    println!(
+        "  Huffman node code bits  : {:?}",
+        decoder_cfg.node_code_lengths
+    );
+    println!(
+        "  node table entries      : {:?}",
+        decoder_cfg.node_table_sizes
+    );
     println!(
         "  uncompressed-table usage: {}/512 entries ({} bytes of the 1 KB budget)",
         decoder_cfg.table_entries(),

@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    calibrated to the bit-sequence statistics the paper published
     //    for the trained ImageNet model (Table II / Fig. 3).
     let model = ReActNet::tiny(42);
-    println!("Model: {} basic blocks, {} classes", model.num_blocks(), model.config().num_classes);
+    println!(
+        "Model: {} basic blocks, {} classes",
+        model.num_blocks(),
+        model.config().num_classes
+    );
 
     // 2. Run an inference to see the substrate working end to end.
     let input = synthetic_batch(1, 3, 32, 7).remove(0);
@@ -28,10 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    9-bit "bit sequences", one per channel (Fig. 2).
     let kernel = model.conv3_weights(0);
     let freq = FreqTable::from_kernel(kernel)?;
-    println!("\nBlock 1 kernel: {} sequences, {} distinct", freq.total(), freq.distinct());
+    println!(
+        "\nBlock 1 kernel: {} sequences, {} distinct",
+        freq.total(),
+        freq.distinct()
+    );
     println!("Top-5 sequences:");
     for (seq, count) in freq.top_k(5) {
-        println!("  seq {seq:>3} ({seq:b}): {count} uses ({:.1}%)", freq.percent(seq));
+        println!(
+            "  seq {seq:>3} ({seq:b}): {count} uses ({:.1}%)",
+            freq.percent(seq)
+        );
     }
     println!(
         "Top-64 coverage: {:.1}%   entropy: {:.2} bits/sequence",

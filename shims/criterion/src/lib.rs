@@ -1,0 +1,226 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock harness exposing the subset of criterion's API the
+//! bench suite uses (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, the `criterion_group!`
+//! / `criterion_main!` macros). Measurements are a fixed warm-up plus a
+//! mean over timed batches — good enough for relative comparisons and for
+//! keeping `cargo bench` runnable offline; swap in real criterion for
+//! statistically rigorous numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use black_box_reexport::black_box;
+
+mod black_box_reexport {
+    pub use std::hint::black_box;
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean time per iteration of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until it
+        // runs long enough to time reliably.
+        let mut batch = 1u64;
+        let batch_floor = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.last_mean = total / iters.max(1) as u32;
+    }
+}
+
+fn report(name: &str, mean: Duration, throughput: Option<Throughput>) {
+    let ns = mean.as_nanos();
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("{name:<40} {ns:>12} ns/iter   {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0 => {
+            let rate = n as f64 / mean.as_secs_f64() / (1 << 20) as f64;
+            println!("{name:<40} {ns:>12} ns/iter   {rate:>14.1} MiB/s");
+        }
+        _ => println!("{name:<40} {ns:>12} ns/iter"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (marker for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: 20,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, b.last_mean, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! Supplies the `Serialize` / `Deserialize` trait names and (behind the
+//! `derive` feature) the matching no-op derive macros, so config structs
+//! can keep their upstream-compatible annotations while the workspace
+//! builds without crates.io access. No data format ships in-tree, so the
+//! traits carry no methods.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The in-tree types only *declare* `#[derive(Serialize, Deserialize)]`;
+//! nothing serializes them yet (no `serde_json` or other format crate is
+//! present). These derives therefore expand to nothing — the annotations
+//! stay source-compatible with upstream serde so a later PR can swap the
+//! real crates in and gain working impls without touching the call sites.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

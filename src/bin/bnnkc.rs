@@ -50,6 +50,21 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Parse `flag`'s value, or use `default` when the flag is absent.
+/// A present-but-unparseable value is an error, not a silent default.
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, Box<dyn std::error::Error>> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for {flag}").into()),
+    }
+}
+
 fn codec_from(args: &[String]) -> KernelCodec {
     if args.iter().any(|a| a == "--no-cluster") {
         KernelCodec::paper()
@@ -58,24 +73,32 @@ fn codec_from(args: &[String]) -> KernelCodec {
     }
 }
 
-fn build_kernels(args: &[String]) -> Vec<BitTensor> {
+fn build_kernels(args: &[String]) -> Result<Vec<BitTensor>, Box<dyn std::error::Error>> {
     use rand::SeedableRng;
-    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
-    let scale: f64 = flag_value(args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
-    let channels = [32usize, 64, 128, 128, 256, 256, 512, 512, 512, 512, 512, 512, 1024];
-    (1..=13)
-        .map(|block| {
-            let c = ((channels[block - 1] as f64 * scale).round() as usize).max(8);
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    let scale: f64 = parse_flag(args, "--scale", 0.25)?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    // Channel schedule comes from the canonical full model, so the CLI's
+    // kernels always track the architecture the simulator runs.
+    let blocks = ReActNetConfig::full().blocks;
+    Ok(blocks
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let block = i + 1;
+            let c = ((spec.in_ch as f64 * scale).round() as usize).max(8);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ block as u64);
             SeqDistribution::for_block(block, 0).sample_kernel(c, c, &mut rng)
         })
-        .collect()
+        .collect())
 }
 
 fn cmd_compress(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let out = flag_value(args, "--out").ok_or("--out <file> is required")?;
     let codec = codec_from(args);
-    let kernels = build_kernels(args);
+    let kernels = build_kernels(args)?;
     let mut compressed = Vec::new();
     let (mut orig_bits, mut stream_bits) = (0usize, 0usize);
     for (i, k) in kernels.iter().enumerate() {
@@ -105,7 +128,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let bytes = std::fs::read(input)?;
     let containers = read_model_container(&bytes)?;
-    println!("{input}: {} compressed kernels, {} bytes total\n", containers.len(), bytes.len());
+    println!(
+        "{input}: {} compressed kernels, {} bytes total\n",
+        containers.len(),
+        bytes.len()
+    );
     for (i, c) in containers.iter().enumerate() {
         let seqs = c.filters * c.channels;
         println!(
@@ -116,7 +143,9 @@ fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             c.stream_bits,
             (seqs * 9) as f64 / c.stream_bits as f64,
             c.tree.length_table(),
-            (0..c.tree.config().nodes()).map(|n| c.tree.table(n).len()).collect::<Vec<_>>(),
+            (0..c.tree.config().nodes())
+                .map(|n| c.tree.table(n).len())
+                .collect::<Vec<_>>(),
         );
     }
     Ok(())
@@ -127,7 +156,7 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let clustered = !args.iter().any(|a| a == "--no-cluster");
     let bytes = std::fs::read(input)?;
     let containers = read_model_container(&bytes)?;
-    let kernels = build_kernels(args);
+    let kernels = build_kernels(args)?;
     if containers.len() != kernels.len() {
         return Err(format!(
             "container holds {} kernels, expected {}",
@@ -164,8 +193,14 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let image: usize = flag_value(args, "--image").and_then(|v| v.parse().ok()).unwrap_or(224);
-    let ratio: f64 = flag_value(args, "--ratio").and_then(|v| v.parse().ok()).unwrap_or(1.33);
+    let image: usize = parse_flag(args, "--image", 224)?;
+    let ratio: f64 = parse_flag(args, "--ratio", 1.33)?;
+    if image == 0 {
+        return Err("--image must be at least 1".into());
+    }
+    if !ratio.is_finite() || ratio <= 0.0 {
+        return Err("--ratio must be positive".into());
+    }
     let mut cfg = ReActNetConfig::full();
     cfg.image_size = image;
     let model = ReActNet::new(cfg, 1);

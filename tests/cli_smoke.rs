@@ -1,0 +1,127 @@
+//! Smoke test for the `bnnkc` CLI: every subcommand must work end-to-end
+//! from a fresh checkout, and `compress → verify` must round-trip both
+//! with clustering (Hamming-1 tolerance) and without (bit-exact).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bnnkc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bnnkc"))
+        .args(args)
+        .output()
+        .expect("failed to spawn bnnkc")
+}
+
+fn tmp_file(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bnnkc-smoke-{}-{name}", std::process::id()));
+    p
+}
+
+struct TempFile(PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn compress_verify_inspect_roundtrip_clustered() {
+    let out = TempFile(tmp_file("clustered.bkcm"));
+    let path = out.0.to_str().unwrap();
+
+    let c = bnnkc(&["compress", "--out", path, "--scale", "0.125"]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+    let stdout = String::from_utf8_lossy(&c.stdout);
+    assert!(
+        stdout.contains("block 13"),
+        "missing per-block report: {stdout}"
+    );
+    assert!(
+        stdout.contains("aggregate kernel ratio"),
+        "missing summary: {stdout}"
+    );
+
+    let v = bnnkc(&["verify", "--in", path, "--scale", "0.125"]);
+    assert!(v.status.success(), "verify failed: {v:?}");
+    assert!(String::from_utf8_lossy(&v.stdout).contains("all kernels verified"));
+
+    let i = bnnkc(&["inspect", "--in", path]);
+    assert!(i.status.success(), "inspect failed: {i:?}");
+    let stdout = String::from_utf8_lossy(&i.stdout);
+    assert!(
+        stdout.contains("13 compressed kernels"),
+        "bad inspect header: {stdout}"
+    );
+    assert!(
+        stdout.contains("code lengths"),
+        "missing code lengths: {stdout}"
+    );
+}
+
+#[test]
+fn compress_verify_roundtrip_bit_exact_without_clustering() {
+    let out = TempFile(tmp_file("exact.bkcm"));
+    let path = out.0.to_str().unwrap();
+
+    let c = bnnkc(&[
+        "compress",
+        "--out",
+        path,
+        "--scale",
+        "0.125",
+        "--no-cluster",
+    ]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+    let v = bnnkc(&["verify", "--in", path, "--scale", "0.125", "--no-cluster"]);
+    assert!(v.status.success(), "verify failed: {v:?}");
+    assert!(String::from_utf8_lossy(&v.stdout).contains("all kernels verified"));
+}
+
+#[test]
+fn verify_rejects_wrong_seed() {
+    let out = TempFile(tmp_file("seeded.bkcm"));
+    let path = out.0.to_str().unwrap();
+
+    let c = bnnkc(&["compress", "--out", path, "--scale", "0.125", "--seed", "1"]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+    // Clustered containers decode to Hamming-1 neighbours of the seed-1
+    // kernels; kernels from a different seed are statistically far away.
+    let v = bnnkc(&["verify", "--in", path, "--scale", "0.125", "--seed", "2"]);
+    assert!(
+        !v.status.success(),
+        "verify must fail for a mismatched seed"
+    );
+}
+
+#[test]
+fn simulate_runs_on_defaults_and_small_images() {
+    // Small image keeps the smoke test fast; defaults are covered by the
+    // run_model path being identical modulo the loop trip counts.
+    let s = bnnkc(&["simulate", "--image", "32"]);
+    assert!(s.status.success(), "simulate failed: {s:?}");
+    let stdout = String::from_utf8_lossy(&s.stdout);
+    assert!(
+        stdout.contains("baseline"),
+        "missing baseline line: {stdout}"
+    );
+    assert!(
+        stdout.contains("software"),
+        "missing software line: {stdout}"
+    );
+    assert!(
+        stdout.contains("hardware"),
+        "missing hardware line: {stdout}"
+    );
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    assert!(!bnnkc(&[]).status.success());
+    assert!(!bnnkc(&["frobnicate"]).status.success());
+    assert!(!bnnkc(&["compress"]).status.success(), "--out is required");
+    assert!(!bnnkc(&["verify", "--in", "/nonexistent/path.bkcm"])
+        .status
+        .success());
+}

@@ -11,7 +11,9 @@ fn compressed_block(channels: usize) -> (CompressedKernel, BitTensor) {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
     let kernel = SeqDistribution::for_block(6, 0).sample_kernel(channels, channels, &mut rng);
-    let ck = KernelCodec::paper_clustered().compress(&kernel).expect("compress");
+    let ck = KernelCodec::paper_clustered()
+        .compress(&kernel)
+        .expect("compress");
     (ck, kernel)
 }
 
@@ -42,7 +44,10 @@ fn decoder_config_drives_the_unit_end_to_end() {
     assert_eq!(stats.words_served, num_groups * WORDS_PER_GROUP);
     // The unit fetched at least the whole stream, in input-buffer chunks.
     assert!(stats.stream_bytes >= cfg.stream_len_bytes);
-    assert_eq!(stats.stream_bytes % cpu.decode_unit.input_buffer_bytes as u64, 0);
+    assert_eq!(
+        stats.stream_bytes % cpu.decode_unit.input_buffer_bytes as u64,
+        0
+    );
 }
 
 #[test]
@@ -54,7 +59,10 @@ fn estimated_stream_size_matches_real_compression() {
         let analytic = stream_bytes(ck.num_sequences() as u64, ck.ratio());
         let real = ck.stream().len() as u64;
         let rel = (analytic as f64 - real as f64).abs() / real as f64;
-        assert!(rel < 0.01, "{channels} ch: analytic {analytic} vs real {real}");
+        assert!(
+            rel < 0.01,
+            "{channels} ch: analytic {analytic} vs real {real}"
+        );
     }
 }
 
@@ -88,11 +96,13 @@ fn table_budget_holds_for_every_full_size_block() {
     // block's codebook even at full channel counts.
     for block in 1..=13 {
         use rand::SeedableRng;
-        let c = [32, 64, 128, 128, 256, 256, 512, 512, 512, 512, 512, 512, 1024][block - 1];
+        let c = bench::BLOCK_CHANNELS[block - 1];
         let c = c.min(256); // statistics saturate well below full width
         let mut rng = rand::rngs::StdRng::seed_from_u64(block as u64);
         let kernel = SeqDistribution::for_block(block, 0).sample_kernel(c, c, &mut rng);
-        let ck = KernelCodec::paper_clustered().compress(&kernel).expect("compress");
+        let ck = KernelCodec::paper_clustered()
+            .compress(&kernel)
+            .expect("compress");
         let cfg = ck.decoder_config(0);
         assert!(
             cfg.table_entries() <= 512,

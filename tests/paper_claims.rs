@@ -22,9 +22,15 @@ fn table5_clustering_beats_encoding_every_block() {
         let kernel = stat_kernel(block, 3);
         let enc = encoding.compress(&kernel).expect("encoding").ratio();
         let clu = clustering.compress(&kernel).expect("clustering").ratio();
-        assert!(clu > enc, "block {block}: clustering {clu} <= encoding {enc}");
+        assert!(
+            clu > enc,
+            "block {block}: clustering {clu} <= encoding {enc}"
+        );
         assert!((1.05..1.45).contains(&enc), "block {block}: encoding {enc}");
-        assert!((1.20..1.55).contains(&clu), "block {block}: clustering {clu}");
+        assert!(
+            (1.20..1.55).contains(&clu),
+            "block {block}: clustering {clu}"
+        );
     }
 }
 
@@ -138,7 +144,10 @@ fn coding_hierarchy_holds_on_all_blocks() {
         let h = freq.entropy_bits();
         let full = FullHuffman::build(&freq).expect("non-empty");
         let simp = SimplifiedTree::build(&freq, TreeConfig::paper());
-        assert!(full.avg_bits(&freq) + 1e-9 >= h, "block {block}: Huffman beat entropy");
+        assert!(
+            full.avg_bits(&freq) + 1e-9 >= h,
+            "block {block}: Huffman beat entropy"
+        );
         assert!(
             simp.avg_bits(&freq) + 1e-9 >= full.avg_bits(&freq),
             "block {block}: simplified beat full Huffman"

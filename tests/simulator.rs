@@ -56,7 +56,11 @@ fn less_bandwidth_never_speeds_things_up() {
         let mut cfg = CpuConfig::default();
         cfg.dram.bytes_per_cycle = bw;
         let st = run_workload(&cfg, &wl, Mode::Baseline, 1.0);
-        assert!(st.cycles <= prev, "bw {bw}: {} > previous {prev}", st.cycles);
+        assert!(
+            st.cycles <= prev,
+            "bw {bw}: {} > previous {prev}",
+            st.cycles
+        );
         prev = st.cycles;
     }
 }
@@ -108,7 +112,10 @@ fn category_cycles_partition_total() {
     let cfg = CpuConfig::default();
     let model = ReActNet::tiny(9);
     let run = run_model(&cfg, &model.workloads(), Mode::Baseline, &[1.0]);
-    let sum: u64 = OpCategory::ALL.iter().map(|&c| run.category_cycles(c)).sum();
+    let sum: u64 = OpCategory::ALL
+        .iter()
+        .map(|&c| run.category_cycles(c))
+        .sum();
     assert_eq!(sum, run.total_cycles);
 }
 
@@ -130,7 +137,12 @@ fn bigger_layers_take_longer() {
     let cfg = CpuConfig::default();
     let small = run_workload(&cfg, &conv_layer(64, 4), Mode::Baseline, 1.0);
     let big = run_workload(&cfg, &conv_layer(128, 8), Mode::Baseline, 1.0);
-    assert!(big.cycles > small.cycles * 4, "{} vs {}", big.cycles, small.cycles);
+    assert!(
+        big.cycles > small.cycles * 4,
+        "{} vs {}",
+        big.cycles,
+        small.cycles
+    );
 }
 
 #[test]
