@@ -2,7 +2,7 @@
 //! compute substrate every experiment runs on.
 
 use bitnn::bitword::{popcount_swar, xnor_popcount_slice};
-use bitnn::ops::gemm::{gemm_binary, PackedMatrix};
+use bitnn::ops::gemm::{gemm_binary, gemm_binary_naive, PackedMatrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -63,6 +63,9 @@ fn bench_gemm(c: &mut Criterion) {
         g.throughput(Throughput::Elements((32 * 32 * k) as u64));
         g.bench_with_input(BenchmarkId::new("32x32", k), &k, |bench, _| {
             bench.iter(|| gemm_binary(black_box(&a), black_box(&b)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("32x32_naive", k), &k, |bench, _| {
+            bench.iter(|| gemm_binary_naive(black_box(&a), black_box(&b)).unwrap())
         });
     }
     g.finish();

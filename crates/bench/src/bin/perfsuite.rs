@@ -1,0 +1,423 @@
+//! perfsuite — the tracked performance suite for the binary hot path.
+//!
+//! Times the three tiers the execution engine accelerates, each against
+//! the seed's scalar baseline which is kept bit-identical in-tree:
+//!
+//! 1. **GEMM** — `gemm_binary_naive` (seed scalar) vs the register-blocked
+//!    tiled kernel vs the parallel [`Engine`] at 1/2/4/8 threads.
+//! 2. **Conv 3×3** — `conv2d_binary` (seed direct scalar) vs the engine's
+//!    lowerings (direct / im2col / auto) and thread counts.
+//! 3. **End-to-end** — `ReActNet::tiny` forward over a batch:
+//!    `forward_scalar` per image vs `forward_batch` at 1/2/4/8 threads.
+//!
+//! Every engine configuration is asserted bit-exact against its baseline
+//! before being timed. Results are printed as a table and written to
+//! `BENCH_perf.json` (override with `--out PATH`), then the file is
+//! re-read through [`bench::perfjson`] and structurally validated, so CI's
+//! `--smoke` run proves the tracked artifact stays parseable.
+//!
+//! Flags: `--smoke` (tiny shapes, CI-fast), `--out PATH`, `--seed N`.
+
+use bench::{arg_flag, arg_u64, perfjson, TablePrinter};
+use bitnn::engine::{Engine, ExecPolicy, Lowering};
+use bitnn::infer::synthetic_batch;
+use bitnn::model::ReActNet;
+use bitnn::ops::conv::{conv2d_binary, Conv2dParams};
+use bitnn::ops::gemm::{gemm_binary, gemm_binary_naive, PackedMatrix};
+use bitnn::pack::{PackedActivations, PackedKernel};
+use bitnn::tensor::BitTensor;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed configuration.
+struct Entry {
+    name: &'static str,
+    threads: usize,
+    ns: f64,
+}
+
+/// One benchmark tier.
+struct Section {
+    name: &'static str,
+    config: String,
+    baseline_name: &'static str,
+    baseline_ns: f64,
+    entries: Vec<Entry>,
+}
+
+impl Section {
+    fn entry_ns(&self, name: &str, threads: usize) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.threads == threads)
+            .map(|e| e.ns)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Best-of-three mean wall time per iteration, with one warmup call.
+fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
+    let mut t = BitTensor::zeros(shape);
+    let mut s = seed | 1;
+    for i in 0..t.len() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if s >> 63 == 1 {
+            t.set(i, true);
+        }
+    }
+    t
+}
+
+fn random_bools(n: usize, seed: u64) -> Vec<bool> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 63 == 1
+        })
+        .collect()
+}
+
+fn engine(threads: usize, lowering: Lowering) -> Engine {
+    Engine::new(ExecPolicy { threads, lowering })
+}
+
+fn bench_gemm(smoke: bool, seed: u64) -> Section {
+    let (m, n, k, iters) = if smoke {
+        (8usize, 6usize, 96usize, 3usize)
+    } else {
+        (96, 64, 1024, 30)
+    };
+    let a = PackedMatrix::from_bools(m, k, &random_bools(m * k, seed)).unwrap();
+    let b = PackedMatrix::from_bools(n, k, &random_bools(n * k, seed ^ 0xBEEF)).unwrap();
+
+    let expect = gemm_binary_naive(&a, &b).unwrap();
+    assert_eq!(gemm_binary(&a, &b).unwrap(), expect, "tiled GEMM mismatch");
+
+    let baseline_ns = time_ns(iters, || {
+        black_box(gemm_binary_naive(black_box(&a), black_box(&b)).unwrap());
+    });
+    let mut entries = vec![Entry {
+        name: "tiled",
+        threads: 1,
+        ns: time_ns(iters, || {
+            black_box(gemm_binary(black_box(&a), black_box(&b)).unwrap());
+        }),
+    }];
+    for t in THREADS {
+        let eng = engine(t, Lowering::Auto);
+        assert_eq!(eng.gemm(&a, &b).unwrap(), expect, "engine GEMM mismatch");
+        let mut out = Vec::new();
+        entries.push(Entry {
+            name: "engine",
+            threads: t,
+            ns: time_ns(iters, || {
+                eng.gemm_into(black_box(&a), black_box(&b), &mut out)
+                    .unwrap();
+                black_box(&out);
+            }),
+        });
+    }
+    Section {
+        name: "gemm_binary",
+        config: format!("m={m} n={n} k={k}"),
+        baseline_name: "naive_scalar",
+        baseline_ns,
+        entries,
+    }
+}
+
+fn bench_conv(smoke: bool, seed: u64) -> Section {
+    let (c, hw, kf, iters) = if smoke {
+        (8usize, 6usize, 8usize, 3usize)
+    } else {
+        (64, 28, 64, 20)
+    };
+    let params = Conv2dParams { stride: 1, pad: 1 };
+    let acts = PackedActivations::pack(&random_bits(&[1, c, hw, hw], seed)).unwrap();
+    let kernel = PackedKernel::pack(&random_bits(&[kf, c, 3, 3], seed ^ 0xF00D)).unwrap();
+
+    let expect = conv2d_binary(&acts, &kernel, params).unwrap();
+    let baseline_ns = time_ns(iters, || {
+        black_box(conv2d_binary(black_box(&acts), black_box(&kernel), params).unwrap());
+    });
+
+    let mut entries = Vec::new();
+    let run = |name: &'static str, threads: usize, lowering: Lowering| {
+        let eng = engine(threads, lowering);
+        let mut scratch = bitnn::engine::ConvScratch::default();
+        let got = eng
+            .conv2d(&acts, (&kernel).into(), params, &mut scratch)
+            .unwrap();
+        assert_eq!(got.data(), expect.data(), "engine conv mismatch ({name})");
+        Entry {
+            name,
+            threads,
+            ns: time_ns(iters, || {
+                black_box(
+                    eng.conv2d(
+                        black_box(&acts),
+                        black_box(&kernel).into(),
+                        params,
+                        &mut scratch,
+                    )
+                    .unwrap(),
+                );
+            }),
+        }
+    };
+    entries.push(run("engine_direct", 1, Lowering::Direct));
+    entries.push(run("engine_im2col", 1, Lowering::Im2col));
+    for t in THREADS {
+        entries.push(run("engine", t, Lowering::Auto));
+    }
+    Section {
+        name: "conv2d_3x3",
+        config: format!("c={c} h=w={hw} kf={kf} stride=1 pad=1"),
+        baseline_name: "direct_scalar",
+        baseline_ns,
+        entries,
+    }
+}
+
+fn bench_e2e(smoke: bool, seed: u64) -> Section {
+    // Batch 32 is the serving shape: large enough that the fork-join cost
+    // of the 8-thread configuration amortizes the way it would under
+    // sustained traffic.
+    let (batch, iters) = if smoke { (2usize, 1usize) } else { (32, 4) };
+    let model = ReActNet::tiny(seed);
+    let inputs = synthetic_batch(batch, 3, 32, seed ^ 0xACE);
+
+    let expect: Vec<_> = inputs.iter().map(|x| model.forward_scalar(x)).collect();
+    let baseline_ns = time_ns(iters, || {
+        for x in &inputs {
+            black_box(model.forward_scalar(black_box(x)));
+        }
+    });
+
+    let mut entries = Vec::new();
+    for t in THREADS {
+        let eng = engine(t, Lowering::Auto);
+        let got = model.forward_batch(&inputs, &eng);
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.data(), e.data(), "engine forward mismatch at {t} threads");
+        }
+        entries.push(Entry {
+            name: "engine_batch",
+            threads: t,
+            ns: time_ns(iters, || {
+                black_box(model.forward_batch(black_box(&inputs), &eng));
+            }),
+        });
+    }
+    Section {
+        name: "reactnet_tiny_forward",
+        config: format!("batch={batch} image=32x32"),
+        baseline_name: "forward_scalar",
+        baseline_ns,
+        entries,
+    }
+}
+
+fn emit_json(sections: &[Section], mode: &str, out_path: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"bnnkc-perfsuite/v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", perfjson::escape(mode)));
+    s.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    s.push_str("  \"sections\": [\n");
+    for (i, sec) in sections.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            perfjson::escape(sec.name)
+        ));
+        s.push_str(&format!(
+            "      \"config\": \"{}\",\n",
+            perfjson::escape(&sec.config)
+        ));
+        s.push_str(&format!(
+            "      \"baseline\": {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}},\n",
+            perfjson::escape(sec.baseline_name),
+            sec.baseline_ns
+        ));
+        s.push_str("      \"entries\": [\n");
+        for (j, e) in sec.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"name\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.1}, \"speedup_vs_baseline\": {:.3}}}{}\n",
+                perfjson::escape(e.name),
+                e.threads,
+                e.ns,
+                sec.baseline_ns / e.ns,
+                if j + 1 == sec.entries.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 == sections.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let gemm = &sections[0];
+    let e2e = &sections[2];
+    s.push_str("  \"criteria\": [\n");
+    s.push_str(&format!(
+        "    {{\"name\": \"gemm_tiled_1t_speedup\", \"target\": 1.5, \"measured\": {:.3}}},\n",
+        gemm.baseline_ns / gemm.entry_ns("tiled", 1)
+    ));
+    s.push_str(&format!(
+        "    {{\"name\": \"e2e_8t_speedup\", \"target\": 4.0, \"measured\": {:.3}}}\n",
+        e2e.baseline_ns / e2e.entry_ns("engine_batch", 8)
+    ));
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    std::fs::write(out_path, &s).expect("write BENCH_perf.json");
+    s
+}
+
+/// Structural validation of the emitted document (CI's `--smoke` gate).
+fn validate(doc: &perfjson::Value) -> Result<(), String> {
+    if doc.get("schema").and_then(|v| v.as_str()) != Some("bnnkc-perfsuite/v1") {
+        return Err("missing or wrong schema tag".into());
+    }
+    let sections = doc
+        .get("sections")
+        .and_then(|v| v.as_arr())
+        .ok_or("sections must be an array")?;
+    if sections.len() != 3 {
+        return Err(format!("expected 3 sections, found {}", sections.len()));
+    }
+    for sec in sections {
+        let name = sec
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("section without a name")?;
+        let base = sec
+            .get("baseline")
+            .and_then(|b| b.get("ns_per_iter"))
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("section {name}: missing baseline ns"))?;
+        if !(base.is_finite() && base > 0.0) {
+            return Err(format!("section {name}: non-positive baseline ns"));
+        }
+        let entries = sec
+            .get("entries")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| format!("section {name}: entries must be an array"))?;
+        if entries.is_empty() {
+            return Err(format!("section {name}: no entries"));
+        }
+        for e in entries {
+            let ns = e
+                .get("ns_per_iter")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(-1.0);
+            let sp = e
+                .get("speedup_vs_baseline")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(-1.0);
+            if !(ns.is_finite() && ns > 0.0 && sp.is_finite() && sp > 0.0) {
+                return Err(format!("section {name}: malformed entry"));
+            }
+        }
+    }
+    let criteria = doc
+        .get("criteria")
+        .and_then(|v| v.as_arr())
+        .ok_or("criteria must be an array")?;
+    if criteria.len() != 2 {
+        return Err("expected 2 criteria".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = arg_flag(&args, "--smoke");
+    let seed = arg_u64(&args, "--seed", 0xBEEF);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let mode = if smoke { "smoke" } else { "full" };
+
+    println!("perfsuite ({mode}), seed {seed:#x}");
+    let sections = vec![
+        bench_gemm(smoke, seed),
+        bench_conv(smoke, seed),
+        bench_e2e(smoke, seed),
+    ];
+
+    let mut table = TablePrinter::new();
+    table.row(vec![
+        "section", "config", "impl", "thr", "ns/iter", "speedup",
+    ]);
+    for sec in &sections {
+        table.row(vec![
+            sec.name.to_string(),
+            sec.config.clone(),
+            sec.baseline_name.to_string(),
+            "1".into(),
+            format!("{:.0}", sec.baseline_ns),
+            "1.00x".into(),
+        ]);
+        for e in &sec.entries {
+            table.row(vec![
+                String::new(),
+                String::new(),
+                e.name.to_string(),
+                e.threads.to_string(),
+                format!("{:.0}", e.ns),
+                format!("{:.2}x", sec.baseline_ns / e.ns),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+
+    let written = emit_json(&sections, mode, &out_path);
+    let parsed = match perfjson::parse(&written) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: emitted {out_path} does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = validate(&parsed) {
+        eprintln!("FAIL: emitted {out_path} is malformed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} (validated, schema bnnkc-perfsuite/v1)");
+
+    let gemm = &sections[0];
+    let e2e = &sections[2];
+    println!(
+        "criteria: gemm tiled 1t speedup {:.2}x (target 1.5x), e2e 8t speedup {:.2}x (target 4x)",
+        gemm.baseline_ns / gemm.entry_ns("tiled", 1),
+        e2e.baseline_ns / e2e.entry_ns("engine_batch", 8),
+    );
+}

@@ -124,6 +124,8 @@ impl TablePrinter {
     }
 }
 
+pub mod perfjson;
+
 /// Parse a `--scale X` / `--seed N` style flag list (tiny hand-rolled
 /// parser so the harnesses need no CLI dependency).
 pub fn arg_f64(args: &[String], flag: &str, default: f64) -> f64 {

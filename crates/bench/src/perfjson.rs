@@ -1,0 +1,351 @@
+//! Minimal JSON reader for validating `BENCH_perf.json`.
+//!
+//! The perf suite emits its results as JSON so the numbers can be tracked
+//! PR-over-PR; this module is the dependency-free parser the suite (and
+//! CI's `perfsuite --smoke` step) uses to prove the emitted file actually
+//! parses. It supports the full JSON value grammar; `\uXXXX` escapes are
+//! decoded for scalar (non-surrogate) code points, which covers
+//! everything [`escape`] can emit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Keys are sorted (BTreeMap); the perf schema never relies
+    /// on member order.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member of an object, if this is an object containing `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (one value plus optional whitespace).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing garbage.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let b = text.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.i,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.b.get(self.i) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(&c) => Err(self.err(&format!("unexpected byte 0x{c:02x}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.b.get(self.i).copied();
+                    self.i += 1;
+                    match esc {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("malformed \\u escape"))?;
+                            self.i += 4;
+                            s.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                }
+                Some(&c) if c < 0x20 => return Err(self.err("control byte in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so valid).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
+                        self.i += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.b[start..self.i]).expect("valid UTF-8"));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.i;
+        self.eat(b'-');
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("valid UTF-8");
+        text.parse::<f64>().map(Value::Num).map_err(|_| ParseError {
+            at: start,
+            msg: format!("invalid number '{text}'"),
+        })
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Arr(out));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            out.insert(key, v);
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Obj(out));
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+/// Escape a string for embedding in emitted JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Value::Num(-1250.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structure() {
+        let v = parse(r#"{"a": [1, 2, {"b": "x"}], "c": null}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[2].get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{]",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        // Includes control chars that escape() emits as \uXXXX.
+        let original = "line\n\t\"quoted\" \\ bell\u{7} vt\u{b} done";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(original));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap().as_str(), Some("Aé"));
+        assert!(parse("\"\\ud800\"").is_err()); // lone surrogate
+        assert!(parse("\"\\u12\"").is_err()); // truncated
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = parse("\"héllo → wörld\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo → wörld"));
+    }
+}

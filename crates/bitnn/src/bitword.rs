@@ -79,27 +79,69 @@ pub fn popcount_swar(mut x: u64) -> u32 {
 /// This is the inner loop of every binary convolution and GEMM in the
 /// crate; keeping it in one place lets the benches measure it in isolation.
 ///
+/// Four *independent* accumulators break the `acc += popcount(..)` addition
+/// dependency chain, so the CPU can keep several `popcnt`s in flight — the
+/// same multi-accumulator trick daBNN's NEON kernel uses across 128-bit
+/// registers.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-#[inline]
+#[inline(always)]
 pub fn xnor_popcount_slice(a: &[u64], b: &[u64]) -> u32 {
     assert_eq!(a.len(), b.len(), "lane slices must have equal length");
-    let mut acc = 0u32;
-    // Process 4 lanes per iteration to expose ILP, mirroring how the NEON
-    // kernel in daBNN unrolls over 128-bit registers.
+    let mut acc = [0u32; 4];
     let mut chunks_a = a.chunks_exact(4);
     let mut chunks_b = b.chunks_exact(4);
     for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        acc += xnor_popcount(ca[0], cb[0]);
-        acc += xnor_popcount(ca[1], cb[1]);
-        acc += xnor_popcount(ca[2], cb[2]);
-        acc += xnor_popcount(ca[3], cb[3]);
+        acc[0] += xnor_popcount(ca[0], cb[0]);
+        acc[1] += xnor_popcount(ca[1], cb[1]);
+        acc[2] += xnor_popcount(ca[2], cb[2]);
+        acc[3] += xnor_popcount(ca[3], cb[3]);
     }
     for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        acc += xnor_popcount(x, y);
+        acc[0] += xnor_popcount(x, y);
     }
-    acc
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// OR the low `nbits` bits of `src` into `dst`, starting at bit offset
+/// `off` of `dst`.
+///
+/// This is the word-at-a-time bit blit used by the im2col lowering and the
+/// kernel flattener: an unaligned copy of a packed bit run without touching
+/// individual bits. Bits of `src` beyond `nbits` must be zero (the packed
+/// containers guarantee clean tails), and the destination range must
+/// already be zero or the result is the OR of both.
+///
+/// # Panics
+///
+/// Panics if `dst` is too short to hold bit `off + nbits - 1`.
+#[inline]
+pub fn or_bits(dst: &mut [u64], off: usize, src: &[u64], nbits: usize) {
+    if nbits == 0 {
+        return;
+    }
+    let nw = nbits.div_ceil(64);
+    let word = off / 64;
+    let shift = off % 64;
+    debug_assert!(src[..nw].iter().enumerate().all(|(i, &w)| {
+        let used = (nbits - i * 64).min(64);
+        used == 64 || w & !mask(used) == 0
+    }));
+    if shift == 0 {
+        for (d, &s) in dst[word..word + nw].iter_mut().zip(&src[..nw]) {
+            *d |= s;
+        }
+    } else {
+        for (i, &v) in src[..nw].iter().enumerate() {
+            dst[word + i] |= v << shift;
+            let hi = v >> (64 - shift);
+            if hi != 0 {
+                dst[word + i + 1] |= hi;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +195,50 @@ mod tests {
         xnor_popcount_slice(&[0], &[0, 1]);
     }
 
+    #[test]
+    fn or_bits_aligned_and_unaligned() {
+        let src = [0b1011u64, 0b1];
+        let mut dst = [0u64; 3];
+        or_bits(&mut dst, 0, &src, 65);
+        assert_eq!(dst, [0b1011, 0b1, 0]);
+        let mut dst = [0u64; 3];
+        or_bits(&mut dst, 62, &src, 65);
+        // bit 0 of src -> bit 62, bit 1 -> 63, bit 3 -> 65, bit 64 -> 126.
+        assert_eq!(dst[0], 0b11 << 62);
+        assert_eq!(dst[1], 0b10 | (1 << 62));
+        assert_eq!(dst[2], 0);
+        // Two separate blits compose to the same result.
+        let mut dst2 = [0u64; 3];
+        or_bits(&mut dst2, 62, &[0b1011], 4);
+        or_bits(&mut dst2, 126, &[0b1], 1);
+        assert_eq!(dst2, dst);
+    }
+
+    proptest! {
+        #[test]
+        fn or_bits_matches_per_bit_copy(
+            bits in proptest::collection::vec(any::<bool>(), 1..150),
+            off in 0usize..130
+        ) {
+            let mut src = vec![0u64; bits.len().div_ceil(64)];
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    src[i / 64] |= 1 << (i % 64);
+                }
+            }
+            let total = off + bits.len();
+            let mut dst = vec![0u64; total.div_ceil(64)];
+            or_bits(&mut dst, off, &src, bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                let j = off + i;
+                prop_assert_eq!((dst[j / 64] >> (j % 64)) & 1 == 1, b, "bit {}", i);
+            }
+            // No stray bits outside the target range.
+            let set: u32 = dst.iter().map(|w| w.count_ones()).sum();
+            prop_assert_eq!(set as usize, bits.iter().filter(|&&b| b).count());
+        }
+    }
+
     proptest! {
         #[test]
         fn swar_matches_native(x in any::<u64>()) {
@@ -162,6 +248,22 @@ mod tests {
         #[test]
         fn masked_popcount_never_exceeds_n(a in any::<u64>(), b in any::<u64>(), n in 0usize..=64) {
             prop_assert!(xnor_popcount_masked(a, b, n) <= n as u32);
+        }
+
+        #[test]
+        fn slice_accumulator_matches_per_lane_count_ones(
+            pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..40)
+        ) {
+            // Cross-check the unrolled multi-accumulator path against the
+            // definitional per-lane xnor + count_ones sum.
+            let a: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+            let expect: u32 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (!(x ^ y)).count_ones())
+                .sum();
+            prop_assert_eq!(xnor_popcount_slice(&a, &b), expect);
         }
 
         #[test]

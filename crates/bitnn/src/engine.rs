@@ -1,0 +1,604 @@
+//! Parallel tiled execution engine for the binary hot path.
+//!
+//! The paper's premise is that xnor-popcount inference is compute-bound on
+//! the binary GEMM/conv substrate; this module is the piece that actually
+//! drives that substrate at speed:
+//!
+//! * **Register-blocked GEMM** — every matrix product goes through the
+//!   `MR×NR` micro-kernel in [`crate::ops::gemm`], which reuses loaded
+//!   lanes across output rows and keeps several popcounts in flight.
+//! * **Scoped thread pool** — a dependency-free fork-join pool built on
+//!   [`std::thread::scope`]. Each parallel operation splits a contiguous
+//!   output range (GEMM rows, conv output rows, batch items) into disjoint
+//!   bands, one per worker, so no synchronization is needed beyond the
+//!   final join.
+//! * **Shape-dependent lowering** — per layer, [`ExecPolicy::lowering`]
+//!   picks between the direct channel-packed convolution and the
+//!   im2col-lowered GEMM (daBNN makes the same choice per shape). 1×1
+//!   stride-1 convolutions skip lowering entirely: the channel-packed
+//!   activations already *are* the GEMM operand.
+//! * **Scratch-buffer reuse** — the im2col matrix, the flat GEMM output,
+//!   the binarized activation bits, and the packed activations live in a
+//!   [`Scratch`] that the model's forward pass threads through every
+//!   layer, so steady-state inference stops allocating per layer.
+//!
+//! Every path is bit-exact against [`crate::ops::reference`]: binary dot
+//! products are integers, so the engine's outputs are *identical* to the
+//! scalar seed path, and the property tests at the bottom of this module
+//! assert exactly that across random shapes, strides, pads, and thread
+//! counts.
+
+use crate::error::{BitnnError, Result};
+use crate::ops::conv::{conv2d_direct_rows, kernel_position_ones, Conv2dParams};
+use crate::ops::gemm::{gemm_rows_into, PackedMatrix};
+use crate::ops::im2col::{im2col_kernel_packed, im2col_rows};
+use crate::pack::{PackedActivations, PackedKernel};
+use crate::tensor::{BitTensor, Tensor};
+use std::thread;
+
+/// Set a buffer's length without zero-filling retained elements — for
+/// outputs whose every element is written before being read.
+fn resize_unfilled(v: &mut Vec<i32>, n: usize) {
+    if v.len() != n {
+        v.clear();
+        v.resize(n, 0);
+    }
+}
+
+/// How a convolution is lowered onto the binary compute substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lowering {
+    /// Choose per shape: 1×1 stride-1 pad-0 layers run as a GEMM over the
+    /// packed activations, narrow layers (≤ [`IM2COL_MAX_CHANNELS`]
+    /// channels) are im2col-lowered so the tiled GEMM amortizes their
+    /// short channel vectors, and wide layers run the direct conv whose
+    /// long channel dots already saturate the popcount units.
+    #[default]
+    Auto,
+    /// Always use the direct channel-packed convolution.
+    Direct,
+    /// Always lower to im2col + GEMM.
+    Im2col,
+}
+
+/// Stack size for pool workers. The band kernels are flat loops with a
+/// few KB of locals, so 512 KiB leaves two orders of magnitude of headroom
+/// while keeping spawns cheap.
+const WORKER_STACK_BYTES: usize = 512 * 1024;
+
+/// Channel-count threshold for [`Lowering::Auto`]: at or below this the
+/// im2col lowering wins (short channel vectors, per-position call overhead
+/// dominates the direct path); above it the direct path's long dots win
+/// and the 9× activation duplication stops paying for itself.
+pub const IM2COL_MAX_CHANNELS: usize = 256;
+
+/// Execution policy: worker count and lowering choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Number of worker threads parallel sections may use (≥ 1). Workers
+    /// are scoped per operation; `1` means everything runs inline on the
+    /// calling thread.
+    pub threads: usize,
+    /// Convolution lowering selection.
+    pub lowering: Lowering,
+}
+
+impl Default for ExecPolicy {
+    /// All available hardware parallelism, automatic lowering.
+    fn default() -> Self {
+        ExecPolicy {
+            threads: thread::available_parallelism().map_or(1, usize::from),
+            lowering: Lowering::Auto,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Everything inline on the calling thread, automatic lowering.
+    pub fn single_threaded() -> Self {
+        ExecPolicy {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// `threads` workers, automatic lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        ExecPolicy {
+            threads,
+            ..Default::default()
+        }
+    }
+}
+
+/// Borrowed kernel representations for [`Engine::conv2d`].
+///
+/// The channel-packed form is always required; the im2col weight matrix
+/// and the per-position ones counts (padding closed form) are optional
+/// cached accelerations that layers precompute once at construction (see
+/// [`crate::layers::BinConv2d::forms`]). Forms that are absent are built
+/// on the fly by the lowering that needs them.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelForms<'a> {
+    /// Channel-packed kernel.
+    pub packed: &'a PackedKernel,
+    /// Cached im2col weight matrix (one row per filter, position-major
+    /// columns), used by the GEMM lowerings.
+    pub lowered: Option<&'a PackedMatrix>,
+    /// Cached per-filter, per-position ones counts, used by the direct
+    /// lowering's `-1`-padding closed form.
+    pub pad_ones: Option<&'a [u32]>,
+}
+
+impl<'a> From<&'a PackedKernel> for KernelForms<'a> {
+    /// A bare packed kernel with no cached forms.
+    fn from(packed: &'a PackedKernel) -> Self {
+        KernelForms {
+            packed,
+            lowered: None,
+            pad_ones: None,
+        }
+    }
+}
+
+/// Reusable buffers for the engine's own lowering steps.
+///
+/// Owned by [`Scratch`]; split out so a caller can hold `&PackedActivations`
+/// from one scratch field while the engine mutates these.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    /// The im2col-lowered activation matrix.
+    pub(crate) im2col: PackedMatrix,
+    /// Flat `[pixels × filters]` GEMM output before the NCHW scatter.
+    pub(crate) flat: Vec<i32>,
+}
+
+/// Reusable forward-pass buffers threaded through the model so steady-state
+/// inference stops allocating per layer.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Engine-internal lowering buffers.
+    pub conv: ConvScratch,
+    /// Binarized activations (output of the sign stages).
+    pub bits: BitTensor,
+    /// Channel-packed binarized activations.
+    pub packed: PackedActivations,
+    /// Raw convolution output of the current stage.
+    pub conv_out: Tensor,
+    /// Fused bn + shortcut + activation output of the 3×3 stage.
+    pub mid: Tensor,
+}
+
+/// The parallel tiled executor. Cheap to construct and [`Clone`]; holds no
+/// buffers (those live in [`Scratch`]) and no long-lived threads (workers
+/// are scoped per operation).
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    policy: ExecPolicy,
+}
+
+impl Engine {
+    /// Engine with an explicit policy.
+    pub fn new(policy: ExecPolicy) -> Self {
+        Engine { policy }
+    }
+
+    /// Engine that runs everything inline on the calling thread.
+    pub fn single_threaded() -> Self {
+        Engine::new(ExecPolicy::single_threaded())
+    }
+
+    /// Engine with `threads` workers and automatic lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        Engine::new(ExecPolicy::with_threads(threads))
+    }
+
+    /// The policy this engine executes under.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// A copy of this engine pinned to one thread — used inside already
+    /// parallel sections (e.g. per batch item) to avoid oversubscription.
+    pub fn inner(&self) -> Engine {
+        Engine::new(ExecPolicy {
+            threads: 1,
+            ..self.policy
+        })
+    }
+
+    /// Fork-join over a mutable output slice of `items * width` elements.
+    ///
+    /// The items are split into at most `policy.threads` contiguous bands
+    /// of at least `grain` items each; every worker gets a disjoint
+    /// `&mut` band plus the index of its first item, and the calling
+    /// thread processes the last band itself. With one band the closure
+    /// runs inline, so a single-threaded engine never spawns.
+    pub(crate) fn parallel_chunks<T, F>(&self, out: &mut [T], width: usize, grain: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if out.is_empty() || width == 0 {
+            return;
+        }
+        debug_assert_eq!(out.len() % width, 0);
+        let items = out.len() / width;
+        let bands = self.policy.threads.min(items.div_ceil(grain.max(1))).max(1);
+        if bands <= 1 {
+            f(0, out);
+            return;
+        }
+        let per = items.div_ceil(bands);
+        thread::scope(|s| {
+            let f = &f;
+            let mut rest = out;
+            let mut first = 0usize;
+            while !rest.is_empty() {
+                let take = (per * width).min(rest.len());
+                let (band, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let start = first;
+                first += take / width;
+                if rest.is_empty() {
+                    f(start, band); // last band on the calling thread
+                } else {
+                    // Small stacks: workers run flat compute loops, and a
+                    // lean spawn keeps the fork-join overhead visible at
+                    // high thread counts on few cores in check.
+                    thread::Builder::new()
+                        .stack_size(WORKER_STACK_BYTES)
+                        .spawn_scoped(s, move || f(start, band))
+                        .expect("spawn worker thread");
+                }
+            }
+        });
+    }
+
+    /// Binary GEMM under this policy (see [`crate::ops::gemm::gemm_binary`]
+    /// for operand semantics): rows of `a` are chunked across workers, each
+    /// running the register-blocked micro-kernel on its band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::DimMismatch`] if the inner dimensions differ.
+    pub fn gemm(&self, a: &PackedMatrix, b: &PackedMatrix) -> Result<Vec<i32>> {
+        let mut out = Vec::new();
+        self.gemm_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Engine::gemm`] into a reusable output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::DimMismatch`] if the inner dimensions differ.
+    pub fn gemm_into(&self, a: &PackedMatrix, b: &PackedMatrix, out: &mut Vec<i32>) -> Result<()> {
+        if a.cols() != b.cols() {
+            return Err(BitnnError::DimMismatch {
+                op: "gemm_binary",
+                lhs: vec![a.rows(), a.cols()],
+                rhs: vec![b.rows(), b.cols()],
+            });
+        }
+        resize_unfilled(out, a.rows() * b.rows());
+        let (aw, bw) = (a.words(), b.words());
+        let (lanes, k, bn) = (a.lanes(), a.cols(), b.rows());
+        self.parallel_chunks(&mut out[..], bn, 8, |first, band| {
+            gemm_rows_into(aw, bw, lanes, k, bn, first, band);
+        });
+        Ok(())
+    }
+
+    /// Binary 2-D convolution under this policy, producing the same
+    /// `[N, K, OH, OW]` tensor as [`crate::ops::conv::conv2d_binary`]
+    /// bit-for-bit.
+    ///
+    /// `kernel` carries the packed kernel plus whatever cached forms the
+    /// caller has (`KernelForms::from(&packed)` for none); missing forms
+    /// are built on the fly by the lowering that needs them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::DimMismatch`] when the channel counts
+    /// disagree.
+    pub fn conv2d(
+        &self,
+        acts: &PackedActivations,
+        kernel: KernelForms<'_>,
+        params: Conv2dParams,
+        scratch: &mut ConvScratch,
+    ) -> Result<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.conv2d_into(acts, kernel, params, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Engine::conv2d`] into a reusable output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::DimMismatch`] when the channel counts
+    /// disagree.
+    pub fn conv2d_into(
+        &self,
+        acts: &PackedActivations,
+        kernel: KernelForms<'_>,
+        params: Conv2dParams,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        let packed = kernel.packed;
+        if acts.channels() != packed.channels() {
+            return Err(BitnnError::DimMismatch {
+                op: "conv2d_binary",
+                lhs: vec![acts.channels()],
+                rhs: vec![packed.channels()],
+            });
+        }
+        let (n, c, h, w) = (acts.batch(), acts.channels(), acts.height(), acts.width());
+        let (kf, kh, kw) = (packed.filters(), packed.kh(), packed.kw());
+        let oh = params.out_dim(h, kh);
+        let ow = params.out_dim(w, kw);
+        // Every lowering writes every output element, so skip the zero-fill.
+        out.reset_for_overwrite(&[n, kf, oh, ow]);
+
+        let pointwise = kh == 1 && kw == 1 && params.stride == 1 && params.pad == 0;
+        let use_im2col = match self.policy.lowering {
+            Lowering::Direct => false,
+            Lowering::Im2col => true,
+            Lowering::Auto => pointwise || c <= IM2COL_MAX_CHANNELS,
+        };
+        if !use_im2col {
+            let built;
+            let pad_ones = match kernel.pad_ones {
+                Some(p) => p,
+                None => {
+                    built = kernel_position_ones(packed);
+                    &built
+                }
+            };
+            self.parallel_chunks(out.data_mut(), ow, 4, |first, band| {
+                conv2d_direct_rows(acts, packed, params, pad_ones, first, band);
+            });
+            return Ok(());
+        }
+
+        let pixels = n * oh * ow;
+        if pointwise && self.policy.lowering != Lowering::Im2col {
+            // The packed activations are already the GEMM operand: one
+            // C-bit row per pixel, and the 1×1 kernel is one C-bit row per
+            // filter. No lowering, no copies.
+            resize_unfilled(&mut scratch.flat, pixels * kf);
+            let (aw, bw, lanes) = (acts.words(), packed.words(), acts.lanes());
+            self.parallel_chunks(&mut scratch.flat[..], kf, 16, |first, band| {
+                gemm_rows_into(aw, bw, lanes, c, kf, first, band);
+            });
+        } else {
+            let cols = kh * kw * c;
+            scratch.im2col.reset(pixels, cols);
+            let lanes = scratch.im2col.lanes();
+            self.parallel_chunks(scratch.im2col.words_mut(), lanes, 16, |first, band| {
+                im2col_rows(acts, kh, kw, params, first, band, lanes);
+            });
+            let built;
+            let lk = match kernel.lowered {
+                Some(m) => m,
+                None => {
+                    built = im2col_kernel_packed(packed);
+                    &built
+                }
+            };
+            debug_assert_eq!(lk.cols(), cols);
+            resize_unfilled(&mut scratch.flat, pixels * kf);
+            let (aw, bw) = (scratch.im2col.words(), lk.words());
+            self.parallel_chunks(&mut scratch.flat[..], kf, 16, |first, band| {
+                gemm_rows_into(aw, bw, lanes, cols, kf, first, band);
+            });
+        }
+
+        // Scatter flat [N*OH*OW, KF] to NCHW.
+        let ohw = oh * ow;
+        let od = out.data_mut();
+        for img in 0..n {
+            for pix in 0..ohw {
+                let src = &scratch.flat[(img * ohw + pix) * kf..][..kf];
+                for (k, &v) in src.iter().enumerate() {
+                    od[(img * kf + k) * ohw + pix] = v as f32;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::conv2d_binary;
+    use crate::ops::gemm::gemm_binary_naive;
+    use crate::ops::reference::{conv2d_reference, matmul_reference};
+    use proptest::prelude::*;
+
+    fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
+        let mut t = BitTensor::zeros(shape);
+        let mut s = seed | 1;
+        for i in 0..t.len() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if s >> 63 == 1 {
+                t.set(i, true);
+            }
+        }
+        t
+    }
+
+    fn random_bools(n: usize, seed: u64) -> Vec<bool> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s >> 63 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert_eq!(ExecPolicy::single_threaded().threads, 1);
+        assert_eq!(ExecPolicy::with_threads(3).threads, 3);
+        assert!(ExecPolicy::default().threads >= 1);
+        assert_eq!(Engine::with_threads(5).policy().threads, 5);
+        assert_eq!(Engine::with_threads(5).inner().policy().threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        ExecPolicy::with_threads(0);
+    }
+
+    #[test]
+    fn parallel_chunks_covers_every_item_once() {
+        for threads in [1usize, 2, 3, 8] {
+            for items in [1usize, 2, 7, 64] {
+                let engine = Engine::with_threads(threads);
+                let mut out = vec![0u32; items * 3];
+                engine.parallel_chunks(&mut out, 3, 1, |first, band| {
+                    for (i, row) in band.chunks_mut(3).enumerate() {
+                        for v in row.iter_mut() {
+                            *v += (first + i) as u32 + 1;
+                        }
+                    }
+                });
+                let expect: Vec<u32> = (0..items).flat_map(|i| [i as u32 + 1; 3]).collect();
+                assert_eq!(out, expect, "threads={threads} items={items}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_dim_mismatch_is_error() {
+        let a = PackedMatrix::zeros(2, 10);
+        let b = PackedMatrix::zeros(3, 11);
+        assert!(Engine::single_threaded().gemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn conv_channel_mismatch_is_error() {
+        let a = PackedActivations::pack(&BitTensor::zeros(&[1, 8, 4, 4])).unwrap();
+        let k = PackedKernel::pack(&BitTensor::zeros(&[1, 16, 3, 3])).unwrap();
+        let mut s = ConvScratch::default();
+        assert!(Engine::single_threaded()
+            .conv2d(&a, (&k).into(), Conv2dParams::default(), &mut s)
+            .is_err());
+    }
+
+    #[test]
+    fn pointwise_gemm_path_matches_direct() {
+        let a = random_bits(&[2, 70, 5, 4], 11);
+        let wk = random_bits(&[9, 70, 1, 1], 13);
+        let pa = PackedActivations::pack(&a).unwrap();
+        let pk = PackedKernel::pack(&wk).unwrap();
+        let mut s = ConvScratch::default();
+        let fast = Engine::with_threads(4)
+            .conv2d(&pa, (&pk).into(), Conv2dParams::default(), &mut s)
+            .unwrap();
+        let direct = conv2d_binary(&pa, &pk, Conv2dParams::default()).unwrap();
+        assert_eq!(fast.shape(), direct.shape());
+        assert_eq!(fast.data(), direct.data());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite: the parallel engine is bit-exact vs `ops::reference`
+        /// conv across random shapes, strides, pads, thread counts, and
+        /// every lowering.
+        #[test]
+        fn engine_conv_matches_reference(
+            c in 1usize..70,
+            h in 3usize..7,
+            w in 3usize..7,
+            n in 1usize..3,
+            kf in 1usize..4,
+            ks in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            threads in 1usize..5,
+            lowering_pick in 0usize..3,
+            seed in any::<u64>()
+        ) {
+            let lowering = [Lowering::Auto, Lowering::Direct, Lowering::Im2col][lowering_pick];
+            let a = random_bits(&[n, c, h, w], seed);
+            let wk = random_bits(&[kf, c, ks, ks], !seed);
+            let pa = PackedActivations::pack(&a).unwrap();
+            let pk = PackedKernel::pack(&wk).unwrap();
+            let params = Conv2dParams { stride, pad };
+            let engine = Engine::new(ExecPolicy { threads, lowering });
+            let mut scratch = ConvScratch::default();
+            let got = engine.conv2d(&pa, (&pk).into(), params, &mut scratch).unwrap();
+            let expect = conv2d_reference(&a.to_tensor(), &wk.to_tensor(), params);
+            prop_assert_eq!(got.shape(), expect.shape());
+            for (g, e) in got.data().iter().zip(expect.data()) {
+                prop_assert_eq!(*g, *e);
+            }
+        }
+
+        /// Satellite: the parallel engine GEMM is bit-exact vs the float
+        /// reference and the seed's scalar loop for any thread count.
+        #[test]
+        fn engine_gemm_matches_reference(
+            m in 1usize..9, kn in 1usize..7, k in 1usize..200,
+            threads in 1usize..5,
+            seed in any::<u64>()
+        ) {
+            let a_bits = random_bools(m * k, seed);
+            let b_bits = random_bools(kn * k, !seed);
+            let a = PackedMatrix::from_bools(m, k, &a_bits).unwrap();
+            let b = PackedMatrix::from_bools(kn, k, &b_bits).unwrap();
+            let engine = Engine::with_threads(threads);
+            let got = engine.gemm(&a, &b).unwrap();
+            prop_assert_eq!(&got, &gemm_binary_naive(&a, &b).unwrap());
+            let sgn = |v: bool| if v { 1.0f32 } else { -1.0 };
+            let af: Vec<f32> = a_bits.iter().map(|&v| sgn(v)).collect();
+            let bf: Vec<f32> = b_bits.iter().map(|&v| sgn(v)).collect();
+            let reference = matmul_reference(&af, &bf, m, kn, k);
+            for (g, e) in got.iter().zip(&reference) {
+                prop_assert_eq!(*g as f32, *e);
+            }
+        }
+
+        /// The engine's reusable-scratch conv gives identical results when
+        /// the scratch is reused across differently-shaped layers.
+        #[test]
+        fn scratch_reuse_is_clean_across_shapes(
+            c1 in 1usize..40, c2 in 1usize..40, seed in any::<u64>()
+        ) {
+            let engine = Engine::with_threads(2);
+            let mut scratch = ConvScratch::default();
+            for (i, &c) in [c1, c2, c1].iter().enumerate() {
+                let a = random_bits(&[1, c, 5, 5], seed ^ i as u64);
+                let wk = random_bits(&[3, c, 3, 3], !seed ^ i as u64);
+                let pa = PackedActivations::pack(&a).unwrap();
+                let pk = PackedKernel::pack(&wk).unwrap();
+                let params = Conv2dParams { stride: 1, pad: 1 };
+                let got = engine.conv2d(&pa, (&pk).into(), params, &mut scratch).unwrap();
+                let expect = conv2d_binary(&pa, &pk, params).unwrap();
+                prop_assert_eq!(got.data(), expect.data());
+            }
+        }
+    }
+}

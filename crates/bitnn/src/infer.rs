@@ -5,6 +5,7 @@
 //! the same inputs and compare predictions and logits. Perfect agreement
 //! means clustering provably cannot change any downstream accuracy number.
 
+use crate::engine::Engine;
 use crate::model::ReActNet;
 use crate::tensor::Tensor;
 use crate::weightgen::random_floats;
@@ -42,14 +43,31 @@ pub fn synthetic_batch(n: usize, channels: usize, size: usize, seed: u64) -> Vec
 /// Panics if `inputs` is empty or the models produce different logit
 /// shapes.
 pub fn compare_models(a: &ReActNet, b: &ReActNet, inputs: &[Tensor]) -> Agreement {
+    compare_models_with(a, b, inputs, &Engine::single_threaded())
+}
+
+/// [`compare_models`] with both models' forward passes batched across the
+/// engine's worker threads. Results are identical to the single-threaded
+/// comparison (the engine is bit-exact); only the wall-clock changes.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the models produce different logit
+/// shapes.
+pub fn compare_models_with(
+    a: &ReActNet,
+    b: &ReActNet,
+    inputs: &[Tensor],
+    engine: &Engine,
+) -> Agreement {
     assert!(!inputs.is_empty(), "need at least one input");
+    let outs_a = a.forward_batch(inputs, engine);
+    let outs_b = b.forward_batch(inputs, engine);
     let mut matches = 0usize;
     let mut dev_sum = 0.0f64;
     let mut dev_max = 0.0f64;
     let mut dev_count = 0usize;
-    for x in inputs {
-        let ya = a.forward(x);
-        let yb = b.forward(x);
+    for (ya, yb) in outs_a.iter().zip(&outs_b) {
         assert_eq!(ya.shape(), yb.shape(), "logit shape mismatch");
         if ya.argmax() == yb.argmax() {
             matches += 1;
@@ -82,6 +100,16 @@ mod tests {
         assert_eq!(agg.mean_abs_dev, 0.0);
         assert_eq!(agg.max_abs_dev, 0.0);
         assert_eq!(agg.inputs, 3);
+    }
+
+    #[test]
+    fn parallel_comparison_matches_single_threaded() {
+        let a = ReActNet::tiny(1);
+        let b = ReActNet::tiny(2);
+        let inputs = synthetic_batch(4, 3, 32, 17);
+        let serial = compare_models(&a, &b, &inputs);
+        let parallel = compare_models_with(&a, &b, &inputs, &Engine::with_threads(4));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -4,17 +4,26 @@
 //! Owns both the flat binary weights (harvested by the compression crate as
 //! bit sequences) and the channel-packed form used by the fast path.
 
+use crate::engine::{ConvScratch, Engine, KernelForms};
 use crate::layers::sign::RSign;
 use crate::layers::Layer;
-use crate::ops::conv::{conv2d_binary, Conv2dParams};
+use crate::ops::conv::{conv2d_binary, kernel_position_ones, Conv2dParams};
+use crate::ops::gemm::PackedMatrix;
+use crate::ops::im2col::im2col_kernel_packed;
 use crate::pack::{PackedActivations, PackedKernel};
 use crate::tensor::{BitTensor, Tensor};
 
 /// A 1-bit convolution: binarize input (plain sign), run xnor-popcount conv.
+///
+/// Besides the channel-packed kernel the layer caches its im2col-lowered
+/// weight matrix and per-position ones counts, so the execution engine's
+/// lowerings never rebuild either on the hot path (see [`Self::forms`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinConv2d {
     weights: BitTensor,
     packed: PackedKernel,
+    lowered: PackedMatrix,
+    pad_ones: Vec<u32>,
     params: Conv2dParams,
 }
 
@@ -26,9 +35,13 @@ impl BinConv2d {
     /// Panics if `weights` is not 4-D.
     pub fn new(weights: BitTensor, params: Conv2dParams) -> Self {
         let packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
+        let lowered = im2col_kernel_packed(&packed);
+        let pad_ones = kernel_position_ones(&packed);
         BinConv2d {
             weights,
             packed,
+            lowered,
+            pad_ones,
             params,
         }
     }
@@ -41,6 +54,21 @@ impl BinConv2d {
     /// The channel-packed kernel.
     pub fn packed(&self) -> &PackedKernel {
         &self.packed
+    }
+
+    /// The cached im2col-lowered weight matrix (one row per filter,
+    /// `KH*KW*C` position-major columns).
+    pub fn lowered(&self) -> &PackedMatrix {
+        &self.lowered
+    }
+
+    /// All cached kernel forms, for [`Engine::conv2d`].
+    pub fn forms(&self) -> KernelForms<'_> {
+        KernelForms {
+            packed: &self.packed,
+            lowered: Some(&self.lowered),
+            pad_ones: Some(&self.pad_ones),
+        }
     }
 
     /// Convolution hyper-parameters.
@@ -76,12 +104,29 @@ impl BinConv2d {
             "replacement weights must keep the shape"
         );
         self.packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
+        self.lowered = im2col_kernel_packed(&self.packed);
+        self.pad_ones = kernel_position_ones(&self.packed);
         self.weights = weights;
     }
 
-    /// Forward over an already-binarized, already-packed input.
+    /// Forward over an already-binarized, already-packed input (the seed's
+    /// scalar path, kept as the perf-tracking baseline).
     pub fn forward_packed(&self, acts: &PackedActivations) -> Tensor {
         conv2d_binary(acts, &self.packed, self.params).expect("channel counts validated at build")
+    }
+
+    /// Forward over packed input through the execution engine, writing into
+    /// a reusable output tensor. Bit-exact with [`Self::forward_packed`].
+    pub fn forward_packed_with(
+        &self,
+        acts: &PackedActivations,
+        engine: &Engine,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) {
+        engine
+            .conv2d_into(acts, self.forms(), self.params, scratch, out)
+            .expect("channel counts validated at build");
     }
 }
 

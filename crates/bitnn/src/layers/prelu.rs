@@ -53,10 +53,32 @@ impl RPReLU {
     /// Apply the activation to one scalar of channel `c`.
     #[inline]
     pub fn apply(&self, c: usize, x: f32) -> f32 {
-        let t = x - self.shift_in[c];
-        let y = if t > 0.0 { t } else { self.slope[c] * t };
-        y + self.shift_out[c]
+        let (si, sl, so) = self.channel_params(c);
+        apply_params(si, sl, so, x)
     }
+
+    /// The `(shift_in, slope, shift_out)` triple of channel `c`, for
+    /// callers that hoist the per-channel loads out of an inner loop and
+    /// apply [`apply_params`] per element (the engine's fused block
+    /// stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn channel_params(&self, c: usize) -> (f32, f32, f32) {
+        (self.shift_in[c], self.slope[c], self.shift_out[c])
+    }
+}
+
+/// The RPReLU formula on already-hoisted channel parameters:
+/// `y = (x - shift_in) > 0 ? (x - shift_in) : slope * (x - shift_in)`,
+/// plus `shift_out`. Exactly [`RPReLU::apply`]'s arithmetic.
+#[inline(always)]
+pub fn apply_params(shift_in: f32, slope: f32, shift_out: f32, x: f32) -> f32 {
+    let t = x - shift_in;
+    let y = if t > 0.0 { t } else { slope * t };
+    y + shift_out
 }
 
 impl Layer for RPReLU {

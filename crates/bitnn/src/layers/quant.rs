@@ -13,6 +13,11 @@ use crate::tensor::Tensor;
 
 /// Symmetric 8-bit quantizer: returns `(q, scale)` with
 /// `q = round(x / scale)` clamped to `[-127, 127]`.
+///
+/// `inline(always)` so the ISA-dispatched forward passes get a
+/// vectorizable instantiation (max-reduction and round/clamp both map to
+/// vector ops under AVX).
+#[inline(always)]
 pub fn quantize_symmetric(data: &[f32]) -> (Vec<i8>, f32) {
     let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
@@ -33,6 +38,9 @@ pub fn dequantize(q: i32, scale: f32) -> f32 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantConv2d {
     weights_q: Vec<i8>,
+    /// Tap-major transposed weights `wt[(ch*kh + ky)*kw + kx][k]`, cached
+    /// at construction for [`Self::forward_fast`]'s filter-inner loop.
+    weights_t: Vec<i32>,
     w_scale: f32,
     filters: usize,
     channels: usize,
@@ -51,13 +59,26 @@ impl QuantConv2d {
         let shape = weights.shape();
         assert_eq!(shape.len(), 4, "QuantConv2d weights must be 4-D");
         let (q, w_scale) = quantize_symmetric(weights.data());
+        let (kf, c, kh, kw) = (shape[0], shape[1], shape[2], shape[3]);
+        let mut weights_t = vec![0i32; kf * c * kh * kw];
+        for k in 0..kf {
+            for ch in 0..c {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        weights_t[(((ch * kh) + ky) * kw + kx) * kf + k] =
+                            q[((k * c + ch) * kh + ky) * kw + kx] as i32;
+                    }
+                }
+            }
+        }
         QuantConv2d {
             weights_q: q,
+            weights_t,
             w_scale,
-            filters: shape[0],
-            channels: shape[1],
-            kh: shape[2],
-            kw: shape[3],
+            filters: kf,
+            channels: c,
+            kh,
+            kw,
             params,
         }
     }
@@ -75,6 +96,102 @@ impl QuantConv2d {
     #[inline]
     fn w_at(&self, k: usize, c: usize, y: usize, x: usize) -> i32 {
         self.weights_q[((k * self.channels + c) * self.kh + y) * self.kw + x] as i32
+    }
+
+    /// Forward pass with the accumulation restructured for speed: the
+    /// accumulator is laid out pixel-major with the *filter* index
+    /// innermost, so each kernel tap broadcasts one input sample against
+    /// all filters in a contiguous (vectorizable) run, and the valid
+    /// output range per tap is precomputed so the inner loops carry no
+    /// bounds branch. Integer accumulation is associative, so the result
+    /// is bit-exact with [`Layer::forward`]; the engine's forward path
+    /// uses this variant while the trait method stays the scalar seed
+    /// baseline. Dispatches to an AVX2 instantiation when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D with the layer's channel count.
+    pub fn forward_fast(&self, input: &Tensor) -> Tensor {
+        #[cfg(target_arch = "x86_64")]
+        {
+            /// AVX2 instantiation of [`QuantConv2d::forward_fast_impl`].
+            #[target_feature(enable = "avx2,popcnt")]
+            unsafe fn fast_avx2(layer: &QuantConv2d, input: &Tensor) -> Tensor {
+                layer.forward_fast_impl(input)
+            }
+            if crate::simd::avx2() {
+                // SAFETY: avx2 + popcnt were detected at runtime.
+                return unsafe { fast_avx2(self, input) };
+            }
+        }
+        self.forward_fast_impl(input)
+    }
+
+    /// Portable body of [`Self::forward_fast`].
+    #[inline(always)]
+    fn forward_fast_impl(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "QuantConv2d expects 4-D input");
+        assert_eq!(shape[1], self.channels, "channel mismatch in QuantConv2d");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (stride, pad) = (self.params.stride, self.params.pad);
+        let kf = self.filters;
+        let oh = self.params.out_dim(h, self.kh);
+        let ow = self.params.out_dim(w, self.kw);
+        let (input_q, in_scale) = quantize_symmetric(input.data());
+        let out_scale = in_scale * self.w_scale;
+        let wt = &self.weights_t; // tap-major, cached at construction
+        let mut out = Tensor::zeros(&[n, kf, oh, ow]);
+        let mut acc = vec![0i32; oh * ow * kf];
+        // Valid output index range for kernel tap offset `t` along an axis
+        // of input extent `extent` and output extent `out_extent`: exactly
+        // the `o` with `0 <= o*stride + t - pad < extent`.
+        let valid = |t: usize, extent: usize, out_extent: usize| -> (usize, usize) {
+            let lo = if t >= pad {
+                0
+            } else {
+                (pad - t).div_ceil(stride)
+            };
+            let hi = if extent + pad > t {
+                ((extent - 1 + pad - t) / stride + 1).min(out_extent)
+            } else {
+                0
+            };
+            (lo.min(hi), hi)
+        };
+        for img in 0..n {
+            acc.fill(0);
+            for ch in 0..c {
+                let plane = &input_q[(img * c + ch) * h * w..][..h * w];
+                for ky in 0..self.kh {
+                    let (oy_lo, oy_hi) = valid(ky, h, oh);
+                    for kx in 0..self.kw {
+                        let wrow = &wt[(((ch * self.kh) + ky) * self.kw + kx) * kf..][..kf];
+                        let (ox_lo, ox_hi) = valid(kx, w, ow);
+                        for oy in oy_lo..oy_hi {
+                            let iy = oy * stride + ky - pad;
+                            let irow = &plane[iy * w..][..w];
+                            for ox in ox_lo..ox_hi {
+                                let v = irow[ox * stride + kx - pad] as i32;
+                                let arow = &mut acc[(oy * ow + ox) * kf..][..kf];
+                                for (a, &wv) in arow.iter_mut().zip(wrow) {
+                                    *a += v * wv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Dequantize, transposing [pixel][filter] to NCHW.
+            let od = &mut out.data_mut()[img * kf * oh * ow..][..kf * oh * ow];
+            for pix in 0..oh * ow {
+                let arow = &acc[pix * kf..][..kf];
+                for (k, &a) in arow.iter().enumerate() {
+                    od[k * oh * ow + pix] = dequantize(a, out_scale);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -258,6 +375,26 @@ mod tests {
         // Float: 1*1 + 2*-1 + -1*0.5 + 0.5*0.25 = -1.375.
         assert_eq!(out.shape(), &[1, 1, 1, 1]);
         assert!((out.data()[0] - -1.375).abs() < 0.05, "{}", out.data()[0]);
+    }
+
+    #[test]
+    fn forward_fast_is_bit_exact_with_forward() {
+        use crate::weightgen::random_floats;
+        // Integer accumulation commutes, so the restructured loop must
+        // reproduce the scalar path exactly across strides/pads/kernels.
+        for (kh, kw, stride, pad) in [(3, 3, 1, 1), (3, 3, 2, 1), (1, 1, 1, 0), (2, 2, 2, 0)] {
+            let w = Tensor::from_vec(
+                &[4, 3, kh, kw],
+                random_floats(4 * 3 * kh * kw, 1.0, (kh * 10 + stride) as u64),
+            )
+            .unwrap();
+            let conv = QuantConv2d::from_float(&w, Conv2dParams { stride, pad });
+            let x = Tensor::from_vec(&[2, 3, 8, 7], random_floats(2 * 3 * 8 * 7, 1.0, 5)).unwrap();
+            let a = conv.forward(&x);
+            let b = conv.forward_fast(&x);
+            assert_eq!(a.shape(), b.shape());
+            assert_eq!(a.data(), b.data(), "k{kh}x{kw} s{stride} p{pad}");
+        }
     }
 
     #[test]

@@ -44,25 +44,81 @@ impl RSign {
     ///
     /// Panics if the channel dimension does not match the shift count.
     pub fn binarize(&self, input: &Tensor) -> BitTensor {
+        let mut out = BitTensor::zeros(&[0]);
+        self.binarize_into(input, &mut out);
+        out
+    }
+
+    /// [`Self::binarize`] into a reusable output buffer.
+    ///
+    /// `out` is re-shaped and cleared, reusing its allocation — the
+    /// execution engine threads one such buffer through the forward pass
+    /// so binarization stops allocating per layer. The inner loop walks
+    /// each contiguous channel row once and sets bits through the packed
+    /// words directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel dimension does not match the shift count.
+    pub fn binarize_into(&self, input: &Tensor, out: &mut BitTensor) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            /// AVX2 instantiation of [`RSign::binarize_into_impl`].
+            #[target_feature(enable = "avx2")]
+            unsafe fn binarize_avx2(layer: &RSign, input: &Tensor, out: &mut BitTensor) {
+                layer.binarize_into_impl(input, out);
+            }
+            if crate::simd::avx2() {
+                // SAFETY: avx2 was detected at runtime.
+                return unsafe { binarize_avx2(self, input, out) };
+            }
+        }
+        self.binarize_into_impl(input, out);
+    }
+
+    /// Portable body of [`Self::binarize_into`]: the channel row is split
+    /// at 64-bit boundaries of the flat index so whole output words are
+    /// assembled in a register (a vectorizable compare-and-pack) and
+    /// stored once; ragged head/tail bits fall back to single-bit ORs.
+    #[inline(always)]
+    fn binarize_into_impl(&self, input: &Tensor, out: &mut BitTensor) {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "RSign expects a 4-D tensor");
         assert_eq!(shape[1], self.shifts.len(), "channel mismatch in RSign");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
-        let mut out = BitTensor::zeros(shape);
-        for img in 0..n {
+        let hw = h * w;
+        out.reset(shape);
+        let data = input.data();
+        let words = out.words_mut();
+        let mut base = 0usize;
+        for _img in 0..n {
             for ch in 0..c {
                 let a = self.shifts[ch];
-                for y in 0..h {
-                    for x in 0..w {
-                        if input.at4(img, ch, y, x) >= a {
-                            let i = out.idx4(img, ch, y, x);
-                            out.set(i, true);
-                        }
-                    }
+                let row = &data[base..base + hw];
+                // Ragged head up to the next word boundary.
+                let head = (64 - (base & 63)).min(hw) & 63;
+                for (j, &v) in row[..head].iter().enumerate() {
+                    let i = base + j;
+                    words[i >> 6] |= u64::from(v >= a) << (i & 63);
                 }
+                // Aligned middle: one packed word per 64 comparisons.
+                let mut j = head;
+                while j + 64 <= hw {
+                    let mut wd = 0u64;
+                    for (bit, &v) in row[j..j + 64].iter().enumerate() {
+                        wd |= u64::from(v >= a) << bit;
+                    }
+                    words[(base + j) >> 6] = wd;
+                    j += 64;
+                }
+                // Ragged tail.
+                for (off, &v) in row[j..].iter().enumerate() {
+                    let i = base + j + off;
+                    words[i >> 6] |= u64::from(v >= a) << (i & 63);
+                }
+                base += hw;
             }
         }
-        out
     }
 }
 

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod bitword;
+pub mod engine;
 pub mod error;
 pub mod infer;
 pub mod io;
@@ -42,9 +43,11 @@ pub mod layers;
 pub mod model;
 pub mod ops;
 pub mod pack;
+mod simd;
 pub mod tensor;
 pub mod weightgen;
 
+pub use engine::{Engine, ExecPolicy, KernelForms, Lowering, Scratch};
 pub use error::{BitnnError, Result};
 pub use pack::{PackedActivations, PackedKernel};
 pub use tensor::{BitTensor, Tensor};

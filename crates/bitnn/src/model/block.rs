@@ -9,6 +9,8 @@
 //! average-pooled when the stride is 2; around the 1×1 conv the identity is
 //! channel-duplicated when the block doubles the channel count.
 
+use crate::engine::{Engine, Scratch};
+use crate::layers::prelu::apply_params;
 use crate::layers::{BatchNorm, BinConv2d, Layer, RPReLU, RSign};
 use crate::pack::PackedActivations;
 use crate::tensor::Tensor;
@@ -84,6 +86,55 @@ impl BasicBlock {
         (self.act2.forward(&add(&bn_out, &shortcut)), bits_3x3)
     }
 
+    /// Forward pass through the execution engine with scratch-buffer
+    /// reuse. Bit-exact with [`Self::forward`].
+    ///
+    /// The convolutions run through the engine's tiled/parallel lowering
+    /// into reused buffers, and each stage's batch-norm, shortcut add, and
+    /// RPReLU are fused into a single pass over the conv output (same
+    /// per-element operation order as the scalar path, so the float
+    /// results are identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match.
+    pub fn forward_with(&self, x: &Tensor, engine: &Engine, scratch: &mut Scratch) -> Tensor {
+        // --- 3x3 stage ---
+        self.sign1.binarize_into(x, &mut scratch.bits);
+        scratch
+            .packed
+            .repack(&scratch.bits)
+            .expect("4-D input validated by binarize");
+        self.conv3.forward_packed_with(
+            &scratch.packed,
+            engine,
+            &mut scratch.conv,
+            &mut scratch.conv_out,
+        );
+        fuse_spatial_stage(
+            &scratch.conv_out,
+            x,
+            self.stride(),
+            &self.bn1,
+            &self.act1,
+            &mut scratch.mid,
+        );
+
+        // --- 1x1 stage ---
+        self.sign2.binarize_into(&scratch.mid, &mut scratch.bits);
+        scratch
+            .packed
+            .repack(&scratch.bits)
+            .expect("4-D input validated by binarize");
+        self.conv1.forward_packed_with(
+            &scratch.packed,
+            engine,
+            &mut scratch.conv,
+            &mut scratch.conv_out,
+        );
+        fuse_channel_stage(&scratch.conv_out, &scratch.mid, &self.bn2, &self.act2)
+    }
+
     /// Parameter storage in bits across all stages.
     pub fn param_bits(&self) -> usize {
         self.sign1.param_bits()
@@ -95,6 +146,166 @@ impl BasicBlock {
             + self.bn2.param_bits()
             + self.act2.param_bits()
     }
+}
+
+/// Fused `BatchNorm → (+ spatial shortcut) → RPReLU` for the 3×3 stage:
+/// one pass over the conv output instead of three tensor-sized passes and
+/// two intermediate allocations. Applies, per element, exactly
+/// `act(bn(conv) + shortcut)` in the scalar path's operation order, with
+/// the stride-2 average-pool shortcut computed on the fly. Dispatches to
+/// an AVX2 instantiation when available (see [`crate::simd`]).
+#[inline]
+fn fuse_spatial_stage(
+    conv: &Tensor,
+    x: &Tensor,
+    stride: usize,
+    bn: &BatchNorm,
+    act: &RPReLU,
+    out: &mut Tensor,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        /// AVX2 instantiation of [`fuse_spatial_portable`].
+        #[target_feature(enable = "avx2")]
+        unsafe fn fuse_spatial_avx2(
+            conv: &Tensor,
+            x: &Tensor,
+            stride: usize,
+            bn: &BatchNorm,
+            act: &RPReLU,
+            out: &mut Tensor,
+        ) {
+            fuse_spatial_portable(conv, x, stride, bn, act, out);
+        }
+        if crate::simd::avx2() {
+            // SAFETY: avx2 was detected at runtime.
+            return unsafe { fuse_spatial_avx2(conv, x, stride, bn, act, out) };
+        }
+    }
+    fuse_spatial_portable(conv, x, stride, bn, act, out);
+}
+
+/// Portable body of [`fuse_spatial_stage`].
+#[inline(always)]
+fn fuse_spatial_portable(
+    conv: &Tensor,
+    x: &Tensor,
+    stride: usize,
+    bn: &BatchNorm,
+    act: &RPReLU,
+    out: &mut Tensor,
+) {
+    let shape = conv.shape();
+    let (n, c, oh, ow) = (shape[0], shape[1], shape[2], shape[3]);
+    let (h, w) = (x.shape()[2], x.shape()[3]);
+    // Every element is written below, so skip the zero-fill.
+    out.reset_for_overwrite(shape);
+    let scale = bn.folded_scale();
+    let offset = bn.folded_offset();
+    let cd = conv.data();
+    let xd = x.data();
+    let od = out.data_mut();
+    let ohw = oh * ow;
+    let hw = h * w;
+    for img in 0..n {
+        for ch in 0..c {
+            let (s, o) = (scale[ch], offset[ch]);
+            let (si, sl, so) = act.channel_params(ch);
+            let crow = &cd[(img * c + ch) * ohw..][..ohw];
+            let xrow = &xd[(img * c + ch) * hw..][..hw];
+            let orow = &mut od[(img * c + ch) * ohw..][..ohw];
+            match stride {
+                1 => {
+                    for ((ov, &cv), &xv) in orow.iter_mut().zip(crow).zip(xrow) {
+                        *ov = apply_params(si, sl, so, (s * cv + o) + xv);
+                    }
+                }
+                2 => {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            // 2×2 average pool with the trailing odd
+                            // row/column dropped — same accumulation order
+                            // as `avg_pool_2x2`.
+                            let mut acc = 0.0f32;
+                            let mut cnt = 0;
+                            for dy in 0..2 {
+                                for dx in 0..2 {
+                                    let y = oy * 2 + dy;
+                                    let xx = ox * 2 + dx;
+                                    if y < h && xx < w {
+                                        acc += xrow[y * w + xx];
+                                        cnt += 1;
+                                    }
+                                }
+                            }
+                            let sc = acc / cnt as f32;
+                            let i = oy * ow + ox;
+                            orow[i] = apply_params(si, sl, so, (s * crow[i] + o) + sc);
+                        }
+                    }
+                }
+                s => panic!("unsupported shortcut stride {s}"),
+            }
+        }
+    }
+}
+
+/// Fused `BatchNorm → (+ channel shortcut) → RPReLU` for the 1×1 stage.
+/// The channel-duplication shortcut (`C → 2C` blocks) reads channel
+/// `ch % C` of `mid` on the fly instead of materializing the widened
+/// tensor. Dispatches to an AVX2 instantiation when available.
+#[inline]
+fn fuse_channel_stage(conv: &Tensor, mid: &Tensor, bn: &BatchNorm, act: &RPReLU) -> Tensor {
+    #[cfg(target_arch = "x86_64")]
+    {
+        /// AVX2 instantiation of [`fuse_channel_portable`].
+        #[target_feature(enable = "avx2")]
+        unsafe fn fuse_channel_avx2(
+            conv: &Tensor,
+            mid: &Tensor,
+            bn: &BatchNorm,
+            act: &RPReLU,
+        ) -> Tensor {
+            fuse_channel_portable(conv, mid, bn, act)
+        }
+        if crate::simd::avx2() {
+            // SAFETY: avx2 was detected at runtime.
+            return unsafe { fuse_channel_avx2(conv, mid, bn, act) };
+        }
+    }
+    fuse_channel_portable(conv, mid, bn, act)
+}
+
+/// Portable body of [`fuse_channel_stage`].
+#[inline(always)]
+fn fuse_channel_portable(conv: &Tensor, mid: &Tensor, bn: &BatchNorm, act: &RPReLU) -> Tensor {
+    let shape = conv.shape();
+    let (n, c_out, oh, ow) = (shape[0], shape[1], shape[2], shape[3]);
+    let c_in = mid.shape()[1];
+    assert!(
+        c_out == c_in || c_out == 2 * c_in,
+        "channel shortcut requires C or 2C output"
+    );
+    let mut out = Tensor::zeros(shape);
+    let scale = bn.folded_scale();
+    let offset = bn.folded_offset();
+    let cd = conv.data();
+    let md = mid.data();
+    let od = out.data_mut();
+    let ohw = oh * ow;
+    for img in 0..n {
+        for ch in 0..c_out {
+            let (s, o) = (scale[ch], offset[ch]);
+            let (si, sl, so) = act.channel_params(ch);
+            let crow = &cd[(img * c_out + ch) * ohw..][..ohw];
+            let mrow = &md[(img * c_in + ch % c_in) * ohw..][..ohw];
+            let orow = &mut od[(img * c_out + ch) * ohw..][..ohw];
+            for ((ov, &cv), &mv) in orow.iter_mut().zip(crow).zip(mrow) {
+                *ov = apply_params(si, sl, so, (s * cv + o) + mv);
+            }
+        }
+    }
+    out
 }
 
 /// Element-wise sum of same-shape tensors.
@@ -265,6 +476,37 @@ mod tests {
         let y = avg_pool_2x2(&x);
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
         assert_eq!(y.data()[0], 2.5);
+    }
+
+    #[test]
+    fn engine_forward_is_bit_exact_with_scalar() {
+        use crate::engine::{Engine, Scratch};
+        use crate::weightgen::random_floats;
+        // Every block shape class: identity, stride-2, channel-doubling,
+        // and both combined — fused engine path must match the scalar path
+        // bit-for-bit (binary convs are integers; the float stages run the
+        // same per-element operations in the same order).
+        for (c_in, c_out, stride, hw) in [(8, 8, 1, 6), (8, 8, 2, 8), (8, 16, 1, 4), (8, 16, 2, 7)]
+        {
+            let b = block(c_in, c_out, stride, 77 + c_out as u64 + stride as u64);
+            let x = Tensor::from_vec(
+                &[2, c_in, hw, hw],
+                random_floats(2 * c_in * hw * hw, 1.0, 99),
+            )
+            .unwrap();
+            let scalar = b.forward(&x);
+            for threads in [1, 4] {
+                let engine = Engine::with_threads(threads);
+                let mut scratch = Scratch::default();
+                let fused = b.forward_with(&x, &engine, &mut scratch);
+                assert_eq!(scalar.shape(), fused.shape());
+                assert_eq!(
+                    scalar.data(),
+                    fused.data(),
+                    "c_in={c_in} c_out={c_out} stride={stride} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! derived from; with it, the storage breakdown reproduces paper Table I
 //! (3×3 convolutions ≈ 68% of all bits).
 
+use crate::engine::{Engine, Scratch};
 use crate::layers::{
     global_avg_pool, BatchNorm, BinConv2d, Layer, QuantConv2d, QuantLinear, RPReLU, RSign,
 };
@@ -250,10 +251,74 @@ impl ReActNet {
 
     /// Full forward pass: `[N, 3, S, S]` image → `[N, num_classes]` logits.
     ///
+    /// Runs through the execution engine's fast path (tiled kernels,
+    /// fused block stages, scratch-buffer reuse) on the calling thread;
+    /// bit-exact with the scalar seed path ([`Self::forward_scalar`]).
+    /// Use [`Self::forward_with`] to supply a policy and a long-lived
+    /// scratch, or [`Self::forward_batch`] for multi-image parallelism.
+    ///
     /// # Panics
     ///
     /// Panics if the input shape does not match the configuration.
     pub fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_with(input, &Engine::single_threaded(), &mut Scratch::default())
+    }
+
+    /// Forward pass under an explicit [`Engine`] policy with caller-owned
+    /// scratch buffers (reused across calls, so steady-state inference
+    /// stops allocating per layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the configuration.
+    pub fn forward_with(&self, input: &Tensor, engine: &Engine, scratch: &mut Scratch) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, H, W]");
+        assert_eq!(
+            shape[1], self.config.input_channels,
+            "input channel mismatch"
+        );
+        let mut x = self.input_conv.forward_fast(input);
+        for b in &self.blocks {
+            x = b.forward_with(&x, engine, scratch);
+        }
+        let pooled = global_avg_pool(&x);
+        self.classifier.forward_2d(&pooled)
+    }
+
+    /// Forward a batch of independent inputs, chunking the items across
+    /// the engine's worker threads (each worker runs the single-threaded
+    /// fast path with its own scratch, so there is no oversubscription).
+    /// Results are in input order and bit-exact with per-item
+    /// [`Self::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input shape does not match the configuration.
+    pub fn forward_batch(&self, inputs: &[Tensor], engine: &Engine) -> Vec<Tensor> {
+        let mut slots: Vec<Option<Tensor>> = inputs.iter().map(|_| None).collect();
+        let inner = engine.inner();
+        engine.parallel_chunks(&mut slots, 1, 1, |first, band| {
+            let mut scratch = Scratch::default();
+            for (i, slot) in band.iter_mut().enumerate() {
+                *slot = Some(self.forward_with(&inputs[first + i], &inner, &mut scratch));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|t| t.expect("every batch item computed"))
+            .collect()
+    }
+
+    /// The seed's scalar forward pass: per-position dot products, no
+    /// tiling, no fusion, fresh allocations per layer. Kept bit-identical
+    /// as the perf-tracking baseline that `perfsuite` measures the engine
+    /// against, and as an oracle for the equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the configuration.
+    pub fn forward_scalar(&self, input: &Tensor) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "input must be [N, C, H, W]");
         assert_eq!(
@@ -407,6 +472,32 @@ mod tests {
         let y = m.forward(&x);
         assert_eq!(y.shape(), &[2, 10]);
         assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn engine_forward_matches_scalar_and_batch() {
+        let m = ReActNet::tiny(4);
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|i| {
+                Tensor::from_vec(
+                    &[1, 3, 32, 32],
+                    random_floats(3 * 32 * 32, 1.0, 11 + i as u64),
+                )
+                .unwrap()
+            })
+            .collect();
+        let engine = Engine::with_threads(4);
+        let batched = m.forward_batch(&inputs, &engine);
+        assert_eq!(batched.len(), 3);
+        let mut scratch = Scratch::default();
+        for (x, via_batch) in inputs.iter().zip(&batched) {
+            let scalar = m.forward_scalar(x);
+            let fast = m.forward(x);
+            let with = m.forward_with(x, &engine, &mut scratch);
+            assert_eq!(scalar.data(), fast.data());
+            assert_eq!(scalar.data(), with.data());
+            assert_eq!(scalar.data(), via_batch.data());
+        }
     }
 
     #[test]

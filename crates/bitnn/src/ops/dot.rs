@@ -1,6 +1,6 @@
 //! Channel-wise binary dot products with tail-lane masking.
 
-use crate::bitword::{mask, xnor, xnor_popcount};
+use crate::bitword::{mask, xnor, xnor_popcount_slice};
 use crate::LANE_BITS;
 
 /// Accumulator for multi-position binary dot products.
@@ -35,6 +35,28 @@ impl DotAcc {
     }
 }
 
+/// The seed's original channel dot: one accumulator, one lane at a time.
+///
+/// Frozen bit-for-bit as the scalar baseline that `perfsuite` tracks the
+/// engine against — [`crate::ops::conv::conv2d_binary`] and
+/// [`crate::ops::gemm::gemm_binary_naive`] call this so their timings keep
+/// meaning the seed code path even as [`dot_channels`] evolves.
+#[inline]
+pub(crate) fn dot_channels_seed(a: &[u64], w: &[u64], c: usize) -> u32 {
+    let full = c / LANE_BITS;
+    let rem = c % LANE_BITS;
+    debug_assert!(a.len() >= full + usize::from(rem > 0));
+    debug_assert!(w.len() >= full + usize::from(rem > 0));
+    let mut acc = 0u32;
+    for l in 0..full {
+        acc += crate::bitword::xnor_popcount(a[l], w[l]);
+    }
+    if rem > 0 {
+        acc += (xnor(a[full], w[full]) & mask(rem)).count_ones();
+    }
+    acc
+}
+
 /// Xnor-popcount over `c` channel bits spread across lanes.
 ///
 /// The final lane is masked when `c` is not a multiple of 64 so that the
@@ -44,16 +66,14 @@ impl DotAcc {
 /// # Panics
 ///
 /// Panics in debug builds if the slices are shorter than `c` requires.
-#[inline]
+#[inline(always)]
 pub fn dot_channels(a: &[u64], w: &[u64], c: usize) -> u32 {
     let full = c / LANE_BITS;
     let rem = c % LANE_BITS;
     debug_assert!(a.len() >= full + usize::from(rem > 0));
     debug_assert!(w.len() >= full + usize::from(rem > 0));
-    let mut acc = 0u32;
-    for l in 0..full {
-        acc += xnor_popcount(a[l], w[l]);
-    }
+    // The full lanes go through the unrolled multi-accumulator path.
+    let mut acc = xnor_popcount_slice(&a[..full], &w[..full]);
     if rem > 0 {
         acc += (xnor(a[full], w[full]) & mask(rem)).count_ones();
     }

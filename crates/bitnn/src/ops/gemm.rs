@@ -3,13 +3,34 @@
 //! Dense layers and 1×1 convolutions reduce to a binary matrix multiply:
 //! `out[m][n] = <A_row_m, B_row_n>` in the ±1 domain, computed as
 //! `2 * popcount(xnor) - K` (paper Eq. 2).
+//!
+//! Two implementations are provided:
+//!
+//! * [`gemm_binary`] — the register-blocked fast path. A
+//!   [`MR`]`×`[`NR`] micro-kernel keeps one tile of output accumulators
+//!   live across the whole lane loop, so every loaded activation lane is
+//!   reused [`NR`] times and every weight lane [`MR`] times, and the
+//!   independent accumulators break the popcount addition dependency
+//!   chain (the daBNN register-tiling idea on `u64` lanes).
+//! * [`gemm_binary_naive`] — the seed's scalar row-by-row loop, kept
+//!   bit-identical as the perf-tracking baseline and as a second
+//!   implementation for cross-checking.
+//!
+//! # Clean-tail invariant
+//!
+//! When `cols` is not a multiple of 64, the unused high bits of each row's
+//! last lane must be **zero** in both operands. All constructors and
+//! [`PackedMatrix::set`] maintain this; the fast path exploits it by
+//! counting the tail zeros as agreements and subtracting the constant
+//! correction afterwards instead of masking inside the inner loop.
 
+use crate::bitword::xnor_popcount_slice;
 use crate::error::{BitnnError, Result};
-use crate::ops::dot::dot_channels;
+use crate::ops::dot::dot_channels_seed;
 use crate::{lanes_for, LANE_BITS};
 
 /// A binary matrix stored row-major with each row packed into `u64` lanes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PackedMatrix {
     rows: usize,
     cols: usize,
@@ -29,7 +50,23 @@ impl PackedMatrix {
         }
     }
 
+    /// Re-shape this matrix to `rows × cols` and clear every bit, reusing
+    /// the existing allocation when it is large enough.
+    ///
+    /// This is the scratch-buffer entry point: the im2col lowering calls it
+    /// once per layer instead of allocating a fresh matrix.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.lanes = lanes_for(cols);
+        self.data.clear();
+        self.data.resize(rows * self.lanes, 0);
+    }
+
     /// Build from booleans in row-major order.
+    ///
+    /// Bits are packed a word at a time: each group of 64 booleans is
+    /// assembled in a register and stored with a single write.
     ///
     /// # Errors
     ///
@@ -42,11 +79,16 @@ impl PackedMatrix {
             });
         }
         let mut m = PackedMatrix::zeros(rows, cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                if bits[r * cols + c] {
-                    m.set(r, c, true);
+        if cols == 0 {
+            return Ok(m);
+        }
+        for (row_bits, row) in bits.chunks(cols).zip(m.data.chunks_mut(m.lanes)) {
+            for (chunk, word) in row_bits.chunks(LANE_BITS).zip(row.iter_mut()) {
+                let mut w = 0u64;
+                for (i, &b) in chunk.iter().enumerate() {
+                    w |= (b as u64) << i;
                 }
+                *word = w;
             }
         }
         Ok(m)
@@ -101,6 +143,10 @@ impl PackedMatrix {
     }
 
     /// Mutable packed lanes of row `r`.
+    ///
+    /// Callers must keep the clean-tail invariant: bits at column indices
+    /// `>= cols()` in the last lane must stay zero, or the GEMM fast path
+    /// will count them as agreements.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [u64] {
         &mut self.data[r * self.lanes..(r + 1) * self.lanes]
@@ -110,18 +156,230 @@ impl PackedMatrix {
     pub fn words(&self) -> &[u64] {
         &self.data
     }
+
+    /// Raw words, mutable. Same clean-tail caveat as [`Self::row_mut`].
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Check the clean-tail invariant (used by tests and debug assertions).
+    pub fn tails_clean(&self) -> bool {
+        let rem = self.cols % LANE_BITS;
+        if rem == 0 || self.lanes == 0 {
+            return true;
+        }
+        let tail = !crate::bitword::mask(rem);
+        (0..self.rows).all(|r| self.data[(r + 1) * self.lanes - 1] & tail == 0)
+    }
+}
+
+/// Rows per micro-kernel tile along the `a` (activation) dimension.
+pub const MR: usize = 4;
+/// Rows per micro-kernel tile along the `b` (weight) dimension.
+pub const NR: usize = 2;
+
+/// The register-blocked inner tile: [`MR`] rows of `a` against [`NR`] rows
+/// of `b`, all lanes, eight independent accumulators.
+#[inline(always)]
+fn microkernel_4x2(a: &[u64], b: &[u64], lanes: usize) -> [u32; MR * NR] {
+    // Real (non-debug) asserts so the bounds checks below are elided.
+    assert_eq!(a.len(), MR * lanes);
+    assert_eq!(b.len(), NR * lanes);
+    let mut acc = [0u32; MR * NR];
+    for l in 0..lanes {
+        let w0 = b[l];
+        let w1 = b[lanes + l];
+        let x0 = a[l];
+        let x1 = a[lanes + l];
+        let x2 = a[2 * lanes + l];
+        let x3 = a[3 * lanes + l];
+        acc[0] += (!(x0 ^ w0)).count_ones();
+        acc[1] += (!(x0 ^ w1)).count_ones();
+        acc[2] += (!(x1 ^ w0)).count_ones();
+        acc[3] += (!(x1 ^ w1)).count_ones();
+        acc[4] += (!(x2 ^ w0)).count_ones();
+        acc[5] += (!(x2 ^ w1)).count_ones();
+        acc[6] += (!(x3 ^ w0)).count_ones();
+        acc[7] += (!(x3 ^ w1)).count_ones();
+    }
+    acc
+}
+
+/// Tiled GEMM over raw packed words for a contiguous band of `a` rows.
+///
+/// `a_words`/`b_words` are row-major with `lanes` words per row and `k`
+/// logical bits per row (clean tails required); `bn` is the number of `b`
+/// rows (the output width). Writes ±1-domain dot products for `a` rows
+/// `m_start ..` into `out`, whose length determines how many rows are
+/// computed. This is the worker body the [`crate::engine::Engine`] hands
+/// to each thread with a disjoint output band; it dispatches to an
+/// AVX2+popcnt instantiation when the CPU has one (see [`crate::simd`]).
+#[inline]
+pub(crate) fn gemm_rows_into(
+    a_words: &[u64],
+    b_words: &[u64],
+    lanes: usize,
+    k: usize,
+    bn: usize,
+    m_start: usize,
+    out: &mut [i32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        /// AVX2+popcnt instantiation of [`gemm_rows_portable`].
+        #[target_feature(enable = "avx2,popcnt")]
+        unsafe fn gemm_rows_avx2(
+            a_words: &[u64],
+            b_words: &[u64],
+            lanes: usize,
+            k: usize,
+            bn: usize,
+            m_start: usize,
+            out: &mut [i32],
+        ) {
+            gemm_rows_portable(a_words, b_words, lanes, k, bn, m_start, out);
+        }
+        if crate::simd::avx2() {
+            // SAFETY: avx2 + popcnt were detected at runtime.
+            return unsafe { gemm_rows_avx2(a_words, b_words, lanes, k, bn, m_start, out) };
+        }
+    }
+    gemm_rows_portable(a_words, b_words, lanes, k, bn, m_start, out);
+}
+
+/// Portable body of [`gemm_rows_into`] — the single source both ISA
+/// instantiations compile from.
+#[inline(always)]
+fn gemm_rows_portable(
+    a_words: &[u64],
+    b_words: &[u64],
+    lanes: usize,
+    k: usize,
+    bn: usize,
+    m_start: usize,
+    out: &mut [i32],
+) {
+    if bn == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % bn, 0);
+    let m_count = out.len() / bn;
+    // Tail zeros xnor to agreements; subtract them once per output.
+    let corr = (2 * (lanes * LANE_BITS - k) + k) as i32;
+    if lanes == 0 {
+        out.fill(0); // zero-width rows: every dot is empty
+        return;
+    }
+    if lanes <= 2 {
+        // Short-row fast path (K ≤ 128 bits, e.g. the narrow layers of
+        // small models): the MR×NR tile's per-call bookkeeping would cost
+        // more than its two-lane dot, so stream each `a` row against all
+        // `b` rows with the row lanes held in registers and contiguous
+        // writes. The compact trip counts vectorize well.
+        for (m, orow) in out.chunks_mut(bn).enumerate() {
+            let base = (m_start + m) * lanes;
+            let a0 = a_words[base];
+            let a1 = if lanes > 1 { a_words[base + 1] } else { 0 };
+            for (n, o) in orow.iter_mut().enumerate() {
+                let mut p = (!(a0 ^ b_words[n * lanes])).count_ones();
+                if lanes > 1 {
+                    p += (!(a1 ^ b_words[n * lanes + 1])).count_ones();
+                }
+                *o = 2 * p as i32 - corr;
+            }
+        }
+        return;
+    }
+    let mut m = 0;
+    while m + MR <= m_count {
+        let a_tile = &a_words[(m_start + m) * lanes..(m_start + m + MR) * lanes];
+        let mut n = 0;
+        while n + NR <= bn {
+            let b_tile = &b_words[n * lanes..(n + NR) * lanes];
+            let acc = microkernel_4x2(a_tile, b_tile, lanes);
+            for mi in 0..MR {
+                for ni in 0..NR {
+                    out[(m + mi) * bn + n + ni] = 2 * acc[mi * NR + ni] as i32 - corr;
+                }
+            }
+            n += NR;
+        }
+        while n < bn {
+            let rb = &b_words[n * lanes..(n + 1) * lanes];
+            for mi in 0..MR {
+                let ra = &a_tile[mi * lanes..(mi + 1) * lanes];
+                out[(m + mi) * bn + n] = 2 * xnor_popcount_slice(ra, rb) as i32 - corr;
+            }
+            n += 1;
+        }
+        m += MR;
+    }
+    while m < m_count {
+        let ra = &a_words[(m_start + m) * lanes..(m_start + m + 1) * lanes];
+        for n in 0..bn {
+            let rb = &b_words[n * lanes..(n + 1) * lanes];
+            out[m * bn + n] = 2 * xnor_popcount_slice(ra, rb) as i32 - corr;
+        }
+        m += 1;
+    }
 }
 
 /// Binary GEMM: `out[m][n] = dot(a.row(m), b.row(n))` in the ±1 domain.
 ///
 /// `b` is interpreted row-wise (i.e. already "transposed"): each row of `b`
 /// is one output column's weight vector, which matches how binary dense
-/// layers store one packed row per output neuron.
+/// layers store one packed row per output neuron. This is the
+/// register-blocked fast path; see [`gemm_binary_naive`] for the scalar
+/// baseline it is cross-checked against.
 ///
 /// # Errors
 ///
 /// Returns [`BitnnError::DimMismatch`] if the inner dimensions differ.
 pub fn gemm_binary(a: &PackedMatrix, b: &PackedMatrix) -> Result<Vec<i32>> {
+    let mut out = Vec::new();
+    gemm_binary_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`gemm_binary`] writing into a reusable output buffer.
+///
+/// The buffer is cleared and resized to `a.rows() * b.rows()`; its
+/// allocation is reused across calls.
+///
+/// # Errors
+///
+/// Returns [`BitnnError::DimMismatch`] if the inner dimensions differ.
+pub fn gemm_binary_into(a: &PackedMatrix, b: &PackedMatrix, out: &mut Vec<i32>) -> Result<()> {
+    if a.cols != b.cols {
+        return Err(BitnnError::DimMismatch {
+            op: "gemm_binary",
+            lhs: vec![a.rows, a.cols],
+            rhs: vec![b.rows, b.cols],
+        });
+    }
+    debug_assert!(a.tails_clean() && b.tails_clean());
+    // Length-only resize: every element is written by the kernel below.
+    let n = a.rows * b.rows;
+    if out.len() != n {
+        out.clear();
+        out.resize(n, 0);
+    }
+    gemm_rows_into(&a.data, &b.data, a.lanes, a.cols, b.rows, 0, out);
+    Ok(())
+}
+
+/// The seed's scalar binary GEMM: one single-accumulator channel dot per
+/// output element, no tiling, no unrolling.
+///
+/// Kept bit-identical to the original implementation (including the seed's
+/// original lane loop) as the perf-tracking baseline that `perfsuite`
+/// reports the tiled kernel's speedup against, and as an independent
+/// oracle for the property tests.
+///
+/// # Errors
+///
+/// Returns [`BitnnError::DimMismatch`] if the inner dimensions differ.
+pub fn gemm_binary_naive(a: &PackedMatrix, b: &PackedMatrix) -> Result<Vec<i32>> {
     if a.cols != b.cols {
         return Err(BitnnError::DimMismatch {
             op: "gemm_binary",
@@ -134,7 +392,7 @@ pub fn gemm_binary(a: &PackedMatrix, b: &PackedMatrix) -> Result<Vec<i32>> {
     for m in 0..a.rows {
         let ra = a.row(m);
         for n in 0..b.rows {
-            let agree = dot_channels(ra, b.row(n), k);
+            let agree = dot_channels_seed(ra, b.row(n), k);
             out[m * b.rows + n] = 2 * agree as i32 - k as i32;
         }
     }
@@ -166,6 +424,18 @@ mod tests {
         out
     }
 
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s >> 63 == 1
+            })
+            .collect()
+    }
+
     #[test]
     fn identity_like_product() {
         // Row equal to itself -> +k; complement -> -k.
@@ -188,6 +458,10 @@ mod tests {
             gemm_binary(&a, &b),
             Err(BitnnError::DimMismatch { .. })
         ));
+        assert!(matches!(
+            gemm_binary_naive(&a, &b),
+            Err(BitnnError::DimMismatch { .. })
+        ));
     }
 
     #[test]
@@ -200,6 +474,46 @@ mod tests {
         assert!(!m.get(1, 128));
         m.set(0, 64, false);
         assert!(!m.get(0, 64));
+        assert!(m.tails_clean());
+    }
+
+    #[test]
+    fn from_bools_packs_words_and_keeps_tails_clean() {
+        let bits: Vec<bool> = (0..2 * 70).map(|i| i % 7 == 0).collect();
+        let m = PackedMatrix::from_bools(2, 70, &bits).unwrap();
+        assert!(m.tails_clean());
+        for r in 0..2 {
+            for c in 0..70 {
+                assert_eq!(m.get(r, c), bits[r * 70 + c], "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_and_clears() {
+        let bits = vec![true; 2 * 70];
+        let mut m = PackedMatrix::from_bools(2, 70, &bits).unwrap();
+        m.reset(3, 40);
+        assert_eq!((m.rows(), m.cols(), m.lanes()), (3, 40, 1));
+        assert!(m.words().iter().all(|&w| w == 0));
+        assert!(m.tails_clean());
+    }
+
+    #[test]
+    fn tiled_covers_all_tile_edges() {
+        // Row/column counts straddling the MR x NR tile boundaries, with a
+        // ragged K to exercise the tail-correction.
+        for &(m, n) in &[(1, 1), (3, 2), (4, 2), (5, 3), (8, 7), (9, 5)] {
+            for &k in &[1usize, 63, 64, 65, 129, 200] {
+                let a_bits = random_bits(m * k, (m * 31 + n * 7 + k) as u64);
+                let b_bits = random_bits(n * k, (m * 17 + n * 3 + k) as u64 ^ 0xABCD);
+                let a = PackedMatrix::from_bools(m, k, &a_bits).unwrap();
+                let b = PackedMatrix::from_bools(n, k, &b_bits).unwrap();
+                let tiled = gemm_binary(&a, &b).unwrap();
+                let naive = gemm_binary_naive(&a, &b).unwrap();
+                assert_eq!(tiled, naive, "m={m} n={n} k={k}");
+            }
+        }
     }
 
     proptest! {
@@ -207,20 +521,16 @@ mod tests {
 
         #[test]
         fn gemm_matches_reference(
-            m in 1usize..4, n in 1usize..4, k in 1usize..150,
+            m in 1usize..7, n in 1usize..7, k in 1usize..150,
             seed in any::<u64>()
         ) {
-            let mut s = seed | 1;
-            let mut next = || {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                s >> 63 == 1
-            };
-            let a_bits: Vec<bool> = (0..m * k).map(|_| next()).collect();
-            let b_bits: Vec<bool> = (0..n * k).map(|_| next()).collect();
+            let a_bits = random_bits(m * k, seed);
+            let b_bits = random_bits(n * k, !seed);
             let a = PackedMatrix::from_bools(m, k, &a_bits).unwrap();
             let b = PackedMatrix::from_bools(n, k, &b_bits).unwrap();
-            let got = gemm_binary(&a, &b).unwrap();
-            prop_assert_eq!(got, reference_gemm(&a_bits, &b_bits, m, n, k));
+            let expect = reference_gemm(&a_bits, &b_bits, m, n, k);
+            prop_assert_eq!(gemm_binary(&a, &b).unwrap(), expect.clone());
+            prop_assert_eq!(gemm_binary_naive(&a, &b).unwrap(), expect);
         }
     }
 }

@@ -10,10 +10,11 @@
 //! is what freshly-zeroed rows already contain — but the *bit count* must
 //! still include them, so rows are always `KH*KW*C` bits wide.
 
+use crate::bitword::or_bits;
 use crate::error::Result;
 use crate::ops::conv::Conv2dParams;
 use crate::ops::gemm::{gemm_binary, PackedMatrix};
-use crate::pack::PackedActivations;
+use crate::pack::{PackedActivations, PackedKernel};
 use crate::tensor::{BitTensor, Tensor};
 
 /// Lower packed activations to an im2col matrix.
@@ -27,54 +28,99 @@ pub fn im2col_pack(
     kw: usize,
     params: Conv2dParams,
 ) -> PackedMatrix {
+    let mut m = PackedMatrix::default();
+    im2col_pack_into(acts, kh, kw, params, &mut m);
+    m
+}
+
+/// [`im2col_pack`] into a reusable matrix (scratch-buffer reuse).
+///
+/// The matrix is re-shaped and cleared; its allocation is reused across
+/// layers by the execution engine.
+pub fn im2col_pack_into(
+    acts: &PackedActivations,
+    kh: usize,
+    kw: usize,
+    params: Conv2dParams,
+    m: &mut PackedMatrix,
+) {
     let (n, c, h, w) = (acts.batch(), acts.channels(), acts.height(), acts.width());
     let oh = params.out_dim(h, kh);
     let ow = params.out_dim(w, kw);
-    let cols = kh * kw * c;
-    let mut m = PackedMatrix::zeros(n * oh * ow, cols);
-    for img in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (img * oh + oy) * ow + ox;
-                for ky in 0..kh {
-                    for kx in 0..kw {
-                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
-                        let ix = (ox * params.stride + kx) as isize - params.pad as isize;
-                        if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
-                            continue; // padding stays as 0 bits (-1 values)
-                        }
-                        let lanes = acts.pixel_lanes(img, iy as usize, ix as usize);
-                        let p = ky * kw + kx;
-                        for ch in 0..c {
-                            if (lanes[ch / 64] >> (ch % 64)) & 1 == 1 {
-                                m.set(row, p * c + ch, true);
-                            }
-                        }
-                    }
+    let rows = n * oh * ow;
+    m.reset(rows, kh * kw * c);
+    let lanes = m.lanes();
+    im2col_rows(
+        acts,
+        kh,
+        kw,
+        params,
+        0,
+        &mut m.words_mut()[..rows * lanes],
+        lanes,
+    );
+}
+
+/// Build a contiguous band of im2col rows starting at `row_start` into
+/// `out` (`lanes` words per row; the row count is `out.len() / lanes`).
+///
+/// Each in-bounds kernel position is copied with one word-level bit blit
+/// ([`or_bits`]) of all `C` channel bits instead of per-bit sets; padding
+/// positions stay zero (`-1` values). Rows are independent, which is what
+/// lets the execution engine chunk them across worker threads.
+pub(crate) fn im2col_rows(
+    acts: &PackedActivations,
+    kh: usize,
+    kw: usize,
+    params: Conv2dParams,
+    row_start: usize,
+    out: &mut [u64],
+    lanes: usize,
+) {
+    let (c, h, w) = (acts.channels(), acts.height(), acts.width());
+    let oh = params.out_dim(h, kh);
+    let ow = params.out_dim(w, kw);
+    debug_assert_eq!(out.len() % lanes.max(1), 0);
+    for (r, row) in out.chunks_mut(lanes).enumerate() {
+        let global = row_start + r;
+        let ox = global % ow;
+        let oy = (global / ow) % oh;
+        let img = global / (ow * oh);
+        for ky in 0..kh {
+            let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            for kx in 0..kw {
+                let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
                 }
+                let p = ky * kw + kx;
+                let px = acts.pixel_lanes(img, iy as usize, ix as usize);
+                or_bits(row, p * c, px, c);
             }
         }
     }
-    m
 }
 
 /// Flatten a binary kernel `[K, C, KH, KW]` into a packed matrix with one
 /// row per filter and `KH*KW*C` position-major columns.
 pub fn im2col_kernel(weights: &BitTensor) -> PackedMatrix {
-    let shape = weights.shape();
-    assert_eq!(shape.len(), 4, "kernel must be 4-D");
-    let (k, c, kh, kw) = (shape[0], shape[1], shape[2], shape[3]);
-    let mut m = PackedMatrix::zeros(k, kh * kw * c);
+    assert_eq!(weights.shape().len(), 4, "kernel must be 4-D");
+    im2col_kernel_packed(&PackedKernel::pack(weights).expect("kernel must be 4-D"))
+}
+
+/// [`im2col_kernel`] starting from an already channel-packed kernel: each
+/// position's channel lanes are blitted into the row with [`or_bits`].
+pub fn im2col_kernel_packed(kernel: &PackedKernel) -> PackedMatrix {
+    let (k, c) = (kernel.filters(), kernel.channels());
+    let positions = kernel.kh() * kernel.kw();
+    let mut m = PackedMatrix::zeros(k, positions * c);
     for f in 0..k {
-        for ch in 0..c {
-            for r in 0..kh {
-                for col in 0..kw {
-                    if weights.get(weights.idx4(f, ch, r, col)) {
-                        let p = r * kw + col;
-                        m.set(f, p * c + ch, true);
-                    }
-                }
-            }
+        let row = m.row_mut(f);
+        for p in 0..positions {
+            or_bits(row, p * c, kernel.position_lanes(f, p), c);
         }
     }
     m

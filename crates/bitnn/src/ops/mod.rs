@@ -17,5 +17,5 @@ pub mod reference;
 
 pub use conv::{conv2d_binary, Conv2dParams};
 pub use dot::{dot_channels, DotAcc};
-pub use gemm::{gemm_binary, PackedMatrix};
-pub use im2col::{conv2d_im2col, im2col_pack};
+pub use gemm::{gemm_binary, gemm_binary_into, gemm_binary_naive, PackedMatrix};
+pub use im2col::{conv2d_im2col, im2col_kernel, im2col_kernel_packed, im2col_pack};

@@ -52,17 +52,27 @@ impl PackedKernel {
         let (k, c, kh, kw) = (shape[0], shape[1], shape[2], shape[3]);
         let lanes = lanes_for(c);
         let positions = kh * kw;
+        let src = weights.words();
         let mut data = vec![0u64; k * positions * lanes];
+        // Word-at-a-time packing: each destination lane (64 channels of one
+        // filter position) is assembled in a register from the channel-major
+        // source — bit (f, ch, p) sits at flat index (f*C + ch)*positions + p,
+        // i.e. stride `positions` per channel — and stored with one write.
         for f in 0..k {
-            for ch in 0..c {
-                for r in 0..kh {
-                    for col in 0..kw {
-                        if weights.get(weights.idx4(f, ch, r, col)) {
-                            let p = r * kw + col;
-                            let idx = (f * positions + p) * lanes + ch / LANE_BITS;
-                            data[idx] |= 1u64 << (ch % LANE_BITS);
-                        }
+            for p in 0..positions {
+                let base = f * c * positions + p;
+                for (l, word) in data[(f * positions + p) * lanes..][..lanes]
+                    .iter_mut()
+                    .enumerate()
+                {
+                    let c0 = l * LANE_BITS;
+                    let nb = (c - c0).min(LANE_BITS);
+                    let mut w = 0u64;
+                    for j in 0..nb {
+                        let bit = base + (c0 + j) * positions;
+                        w |= ((src[bit / 64] >> (bit % 64)) & 1) << j;
                     }
+                    *word = w;
                 }
             }
         }
@@ -143,7 +153,12 @@ impl PackedKernel {
 ///
 /// Layout: `data[(((n * h) + y) * w + x) * lanes + l]` holds channels
 /// `l*64 .. l*64+64` of pixel `(y, x)` in image `n`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Because pixels are row-major with `lanes` words each, the container
+/// doubles as a packed matrix with one `channels()`-bit row per pixel —
+/// the execution engine exploits this to run 1×1 convolutions as a GEMM
+/// directly over [`Self::words`] with no re-packing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PackedActivations {
     n: usize,
     channels: usize,
@@ -160,6 +175,21 @@ impl PackedActivations {
     ///
     /// Returns [`BitnnError::ShapeMismatch`] if `acts` is not 4-D.
     pub fn pack(acts: &BitTensor) -> Result<Self> {
+        let mut out = PackedActivations::default();
+        out.repack(acts)?;
+        Ok(out)
+    }
+
+    /// Re-pack `acts` into this container, reusing its allocation.
+    ///
+    /// This is the scratch-buffer entry point used by the execution
+    /// engine's forward pass so each layer stops allocating a fresh packed
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] if `acts` is not 4-D.
+    pub fn repack(&mut self, acts: &BitTensor) -> Result<()> {
         let shape = acts.shape();
         if shape.len() != 4 {
             return Err(BitnnError::ShapeMismatch {
@@ -169,27 +199,38 @@ impl PackedActivations {
         }
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let lanes = lanes_for(c);
-        let mut data = vec![0u64; n * h * w * lanes];
+        let hw = h * w;
+        let src = acts.words();
+        self.data.clear();
+        self.data.resize(n * hw * lanes, 0);
+        // Word-at-a-time packing: bit (img, ch, y, x) sits at flat index
+        // img*C*HW + ch*HW + (y*W + x), i.e. stride HW per channel for a
+        // fixed pixel; each destination lane is gathered in a register and
+        // stored once.
         for img in 0..n {
-            for ch in 0..c {
-                for y in 0..h {
-                    for x in 0..w {
-                        if acts.get(acts.idx4(img, ch, y, x)) {
-                            let idx = (((img * h) + y) * w + x) * lanes + ch / LANE_BITS;
-                            data[idx] |= 1u64 << (ch % LANE_BITS);
-                        }
+            for pix in 0..hw {
+                let base = img * c * hw + pix;
+                for (l, word) in self.data[(img * hw + pix) * lanes..][..lanes]
+                    .iter_mut()
+                    .enumerate()
+                {
+                    let c0 = l * LANE_BITS;
+                    let nb = (c - c0).min(LANE_BITS);
+                    let mut wd = 0u64;
+                    for j in 0..nb {
+                        let bit = base + (c0 + j) * hw;
+                        wd |= ((src[bit / 64] >> (bit % 64)) & 1) << j;
                     }
+                    *word = wd;
                 }
             }
         }
-        Ok(PackedActivations {
-            n,
-            channels: c,
-            h,
-            w,
-            lanes,
-            data,
-        })
+        self.n = n;
+        self.channels = c;
+        self.h = h;
+        self.w = w;
+        self.lanes = lanes;
+        Ok(())
     }
 
     /// Batch size.

@@ -1,0 +1,35 @@
+//! Runtime CPU-feature dispatch for the hot kernels.
+//!
+//! The crate builds for the portable x86-64 baseline (SSE2, no `popcnt`),
+//! but the band kernels the execution engine hands to its workers are
+//! *also* compiled in a second instantiation with
+//! `#[target_feature(enable = "avx2,popcnt")]`. LLVM then vectorizes the
+//! `count_ones` inner loops with the AVX2 `vpshufb` nibble-LUT popcount
+//! and uses the hardware `popcnt` for scalar remainders — the portable
+//! source stays the single implementation, and the right instantiation is
+//! picked per call through the cached detection below (the same
+//! compile-once/dispatch-at-runtime scheme daBNN uses for its NEON
+//! kernels, without any hand-written intrinsics).
+//!
+//! Each kernel follows the same three-piece pattern at its definition
+//! site: an `#[inline(always)]` portable body, a `#[target_feature]`
+//! wrapper that inlines that body under the wider ISA, and a thin public
+//! dispatcher gated on [`avx2()`].
+
+/// Whether this CPU supports the AVX2+popcnt fast instantiations.
+/// Detection runs once and is cached.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub(crate) fn avx2() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub(crate) fn avx2() -> bool {
+    false
+}

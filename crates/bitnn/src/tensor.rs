@@ -14,7 +14,10 @@ use crate::error::{BitnnError, Result};
 use crate::lanes_for;
 
 /// A row-major `f32` tensor with runtime shape.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The [`Default`] tensor is empty (zero dimensions, no data) — a seat for
+/// scratch buffers that are shaped on first use.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -93,6 +96,20 @@ impl Tensor {
         self.data
     }
 
+    /// Re-shape to `shape` reusing the allocation, leaving the element
+    /// values unspecified (stale or zero). Only for callers that overwrite
+    /// every element before the tensor is read — skips [`Self::reset`]'s
+    /// redundant zero-fill on the hot path.
+    pub(crate) fn reset_for_overwrite(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        if self.data.len() != n {
+            self.data.clear();
+            self.data.resize(n, 0.0);
+        }
+    }
+
     /// Flat index for a 4-D coordinate `(n, c, h, w)`.
     ///
     /// # Panics
@@ -169,7 +186,10 @@ impl Tensor {
 /// A flat bit tensor: one bit per logical element, same row-major order as
 /// [`Tensor`]. Bit `1` encodes the value `+1`, bit `0` encodes `-1`
 /// (paper Sec. II-A).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The [`Default`] bit tensor is empty — a seat for scratch buffers that
+/// are shaped on first use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitTensor {
     shape: Vec<usize>,
     len: usize,
@@ -201,8 +221,14 @@ impl BitTensor {
             });
         }
         let mut t = BitTensor::zeros(shape);
-        for (i, &b) in bits.iter().enumerate() {
-            t.set(i, b);
+        // Word-at-a-time: assemble each 64-bit lane in a register and store
+        // it once instead of read-modify-writing per bit.
+        for (chunk, word) in bits.chunks(64).zip(t.words.iter_mut()) {
+            let mut w = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << i;
+            }
+            *word = w;
         }
         Ok(t)
     }
@@ -275,6 +301,22 @@ impl BitTensor {
     /// Underlying packed words (tail bits beyond `len` are zero).
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Mutable packed words for crate-internal fast paths. Callers must
+    /// keep bits beyond `len` clear (see [`Self::tail_is_clean`]).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Re-shape to `shape` and clear every bit, reusing the allocation
+    /// when possible (scratch-buffer reuse in the execution engine).
+    pub(crate) fn reset(&mut self, shape: &[usize]) {
+        self.len = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.words.clear();
+        self.words.resize(lanes_for(self.len), 0);
     }
 
     /// Convert back to a ±1 float tensor.
