@@ -9,6 +9,10 @@
 //!    lowerings (direct / im2col / auto) and thread counts.
 //! 3. **End-to-end** — `ReActNet::tiny` forward over a batch:
 //!    `forward_scalar` per image vs `forward_batch` at 1/2/4/8 threads.
+//! 4. **Compressed e2e** — deploy a `.bkcm` model container and run the
+//!    batch forward: offline decompress→pack→forward vs the streaming
+//!    decode path (stream → packed lane words → engine, no intermediate
+//!    `[K, C, 3, 3]` tensor), asserted bit-exact before timing.
 //!
 //! Every engine configuration is asserted bit-exact against its baseline
 //! before being timed. Results are printed as a table and written to
@@ -26,6 +30,8 @@ use bitnn::ops::conv::{conv2d_binary, Conv2dParams};
 use bitnn::ops::gemm::{gemm_binary, gemm_binary_naive, PackedMatrix};
 use bitnn::pack::{PackedActivations, PackedKernel};
 use bitnn::tensor::BitTensor;
+use kc_core::codec::KernelCodec;
+use kc_core::container::{read_model_container, write_model_container, Container};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -238,6 +244,89 @@ fn bench_e2e(smoke: bool, seed: u64) -> Section {
     }
 }
 
+fn bench_compressed(smoke: bool, seed: u64) -> Section {
+    let (batch, iters) = if smoke { (1usize, 1usize) } else { (8, 4) };
+    let model = ReActNet::tiny(seed ^ 0xC0DE);
+    let codec = KernelCodec::paper_clustered();
+    let compressed: Vec<_> = (0..model.num_blocks())
+        .map(|i| codec.compress(model.conv3_weights(i)).expect("compress"))
+        .collect();
+    let bytes = write_model_container(&compressed);
+    let containers = read_model_container(&bytes).expect("parse model container");
+    let inputs = synthetic_batch(batch, 3, 32, seed ^ 0xFEED);
+
+    // Deploy-and-infer closures: the baseline decompresses each kernel to
+    // a flat tensor and re-packs it; the streaming path goes stream →
+    // packed lane words → engine with no intermediate tensor.
+    let deploy_offline = |containers: &[Container]| {
+        let mut m = model.clone();
+        for (i, c) in containers.iter().enumerate() {
+            m.set_conv3_weights(i, c.decode_kernel().expect("offline decode"));
+        }
+        m
+    };
+    let deploy_streamed = |containers: &[Container]| {
+        let mut m = model.clone();
+        for (i, c) in containers.iter().enumerate() {
+            m.set_conv3_packed(i, c.decode_packed().expect("stream decode"));
+        }
+        m
+    };
+
+    let eng1 = engine(1, Lowering::Auto);
+    let expect: Vec<_> = deploy_offline(&containers).forward_batch(&inputs, &eng1);
+    let streamed_out = deploy_streamed(&containers).forward_batch(&inputs, &eng1);
+    for (g, e) in streamed_out.iter().zip(&expect) {
+        assert_eq!(g.data(), e.data(), "streamed deployment logits mismatch");
+    }
+
+    let baseline_ns = time_ns(iters, || {
+        let m = deploy_offline(&containers);
+        black_box(m.forward_batch(black_box(&inputs), &eng1));
+    });
+    // Deploy-only pair: these two entries are each other's like-for-like
+    // comparison (their speedup_vs_baseline fields are against the
+    // deploy+forward baseline, so compare them to each other instead).
+    let mut entries = vec![
+        Entry {
+            name: "offline_deploy",
+            threads: 1,
+            ns: time_ns(iters, || {
+                black_box(deploy_offline(black_box(&containers)));
+            }),
+        },
+        Entry {
+            name: "stream_deploy",
+            threads: 1,
+            ns: time_ns(iters, || {
+                black_box(deploy_streamed(black_box(&containers)));
+            }),
+        },
+    ];
+    for t in THREADS {
+        let eng = engine(t, Lowering::Auto);
+        entries.push(Entry {
+            name: "stream_deploy_forward",
+            threads: t,
+            ns: time_ns(iters, || {
+                let m = deploy_streamed(black_box(&containers));
+                black_box(m.forward_batch(black_box(&inputs), &eng));
+            }),
+        });
+    }
+    Section {
+        name: "compressed_e2e",
+        config: format!(
+            "tiny, batch={batch}, {} kernels, {} B container",
+            containers.len(),
+            bytes.len()
+        ),
+        baseline_name: "offline_decode_forward",
+        baseline_ns,
+        entries,
+    }
+}
+
 fn emit_json(sections: &[Section], mode: &str, out_path: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -283,14 +372,26 @@ fn emit_json(sections: &[Section], mode: &str, out_path: &str) -> String {
     s.push_str("  ],\n");
     let gemm = &sections[0];
     let e2e = &sections[2];
+    let comp = &sections[3];
     s.push_str("  \"criteria\": [\n");
     s.push_str(&format!(
         "    {{\"name\": \"gemm_tiled_1t_speedup\", \"target\": 1.5, \"measured\": {:.3}}},\n",
         gemm.baseline_ns / gemm.entry_ns("tiled", 1)
     ));
     s.push_str(&format!(
-        "    {{\"name\": \"e2e_8t_speedup\", \"target\": 4.0, \"measured\": {:.3}}}\n",
+        "    {{\"name\": \"e2e_8t_speedup\", \"target\": 4.0, \"measured\": {:.3}}},\n",
         e2e.baseline_ns / e2e.entry_ns("engine_batch", 8)
+    ));
+    // Compression must not slow inference down: streaming deploy+forward
+    // at least matches the offline decompress-then-pack deployment.
+    s.push_str(&format!(
+        "    {{\"name\": \"compressed_stream_1t_speedup\", \"target\": 1.0, \"measured\": {:.3}}},\n",
+        comp.baseline_ns / comp.entry_ns("stream_deploy_forward", 1)
+    ));
+    // Like-for-like deployment: stream decode vs offline decompress+pack.
+    s.push_str(&format!(
+        "    {{\"name\": \"stream_deploy_vs_offline_deploy\", \"target\": 1.5, \"measured\": {:.3}}}\n",
+        comp.entry_ns("offline_deploy", 1) / comp.entry_ns("stream_deploy", 1)
     ));
     s.push_str("  ]\n");
     s.push_str("}\n");
@@ -307,8 +408,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("sections")
         .and_then(|v| v.as_arr())
         .ok_or("sections must be an array")?;
-    if sections.len() != 3 {
-        return Err(format!("expected 3 sections, found {}", sections.len()));
+    if sections.len() != 4 {
+        return Err(format!("expected 4 sections, found {}", sections.len()));
     }
     for sec in sections {
         let name = sec
@@ -348,8 +449,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("criteria")
         .and_then(|v| v.as_arr())
         .ok_or("criteria must be an array")?;
-    if criteria.len() != 2 {
-        return Err("expected 2 criteria".into());
+    if criteria.len() != 4 {
+        return Err("expected 4 criteria".into());
     }
     Ok(())
 }
@@ -371,6 +472,7 @@ fn main() {
         bench_gemm(smoke, seed),
         bench_conv(smoke, seed),
         bench_e2e(smoke, seed),
+        bench_compressed(smoke, seed),
     ];
 
     let mut table = TablePrinter::new();
@@ -415,9 +517,14 @@ fn main() {
 
     let gemm = &sections[0];
     let e2e = &sections[2];
+    let comp = &sections[3];
     println!(
-        "criteria: gemm tiled 1t speedup {:.2}x (target 1.5x), e2e 8t speedup {:.2}x (target 4x)",
+        "criteria: gemm tiled 1t speedup {:.2}x (target 1.5x), e2e 8t speedup {:.2}x (target 4x), \
+         compressed stream 1t speedup {:.2}x (target 1x), stream vs offline deploy {:.2}x \
+         (target 1.5x)",
         gemm.baseline_ns / gemm.entry_ns("tiled", 1),
         e2e.baseline_ns / e2e.entry_ns("engine_batch", 8),
+        comp.baseline_ns / comp.entry_ns("stream_deploy_forward", 1),
+        comp.entry_ns("offline_deploy", 1) / comp.entry_ns("stream_deploy", 1),
     );
 }

@@ -12,20 +12,36 @@ use crate::ops::gemm::PackedMatrix;
 use crate::ops::im2col::im2col_kernel_packed;
 use crate::pack::{PackedActivations, PackedKernel};
 use crate::tensor::{BitTensor, Tensor};
+use std::sync::OnceLock;
 
 /// A 1-bit convolution: binarize input (plain sign), run xnor-popcount conv.
 ///
-/// Besides the channel-packed kernel the layer caches its im2col-lowered
-/// weight matrix and per-position ones counts, so the execution engine's
-/// lowerings never rebuild either on the hot path (see [`Self::forms`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The channel-packed kernel is the source of truth; besides it the layer
+/// caches its im2col-lowered weight matrix and per-position ones counts,
+/// so the execution engine's lowerings never rebuild either on the hot
+/// path (see [`Self::forms`]). The flat `[K, C, KH, KW]` tensor is
+/// derived lazily and only on cold paths (compression harvest, tests):
+/// a layer built from a compressed stream via [`Self::from_packed`] never
+/// materializes it unless asked.
+#[derive(Debug, Clone)]
 pub struct BinConv2d {
-    weights: BitTensor,
+    /// Lazily unpacked flat view of `packed` (cold paths only).
+    weights: OnceLock<BitTensor>,
     packed: PackedKernel,
     lowered: PackedMatrix,
     pad_ones: Vec<u32>,
     params: Conv2dParams,
 }
+
+impl PartialEq for BinConv2d {
+    fn eq(&self, other: &Self) -> bool {
+        // The packed form determines the weights bijectively; the lazy
+        // flat view and the derived caches carry no extra information.
+        self.packed == other.packed && self.params == other.params
+    }
+}
+
+impl Eq for BinConv2d {}
 
 impl BinConv2d {
     /// Build from binary weights `[K, C, KH, KW]`.
@@ -35,10 +51,20 @@ impl BinConv2d {
     /// Panics if `weights` is not 4-D.
     pub fn new(weights: BitTensor, params: Conv2dParams) -> Self {
         let packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
+        let mut conv = Self::from_packed(packed, params);
+        conv.weights = OnceLock::from(weights);
+        conv
+    }
+
+    /// Build from an already channel-packed kernel — the
+    /// compressed-container hot path: the stream decoder emits packed lane
+    /// words, and this constructor derives the engine's cached forms from
+    /// them without ever materializing the flat `[K, C, KH, KW]` tensor.
+    pub fn from_packed(packed: PackedKernel, params: Conv2dParams) -> Self {
         let lowered = im2col_kernel_packed(&packed);
         let pad_ones = kernel_position_ones(&packed);
         BinConv2d {
-            weights,
+            weights: OnceLock::new(),
             packed,
             lowered,
             pad_ones,
@@ -46,9 +72,10 @@ impl BinConv2d {
         }
     }
 
-    /// The flat binary weights.
+    /// The flat binary weights (unpacked from the packed form on first
+    /// use when the layer was built via [`Self::from_packed`]).
     pub fn weights(&self) -> &BitTensor {
-        &self.weights
+        self.weights.get_or_init(|| self.packed.unpack())
     }
 
     /// The channel-packed kernel.
@@ -100,13 +127,43 @@ impl BinConv2d {
     pub fn set_weights(&mut self, weights: BitTensor) {
         assert_eq!(
             weights.shape(),
-            self.weights.shape(),
+            [
+                self.packed.filters(),
+                self.packed.channels(),
+                self.packed.kh(),
+                self.packed.kw()
+            ],
             "replacement weights must keep the shape"
         );
         self.packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
         self.lowered = im2col_kernel_packed(&self.packed);
         self.pad_ones = kernel_position_ones(&self.packed);
-        self.weights = weights;
+        self.weights = OnceLock::from(weights);
+    }
+
+    /// Replace the weights with an already channel-packed kernel (the
+    /// compressed-container deployment path) — no flat tensor is built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed kernel's geometry differs from the old.
+    pub fn set_packed(&mut self, packed: PackedKernel) {
+        assert_eq!(
+            (
+                packed.filters(),
+                packed.channels(),
+                packed.kh(),
+                packed.kw()
+            ),
+            (
+                self.packed.filters(),
+                self.packed.channels(),
+                self.packed.kh(),
+                self.packed.kw()
+            ),
+            "replacement packed kernel must keep the geometry"
+        );
+        *self = Self::from_packed(packed, self.params);
     }
 
     /// Forward over an already-binarized, already-packed input (the seed's
@@ -139,7 +196,7 @@ impl Layer for BinConv2d {
 
     fn param_bits(&self) -> usize {
         // One bit per weight (the point of a BNN).
-        self.weights.len()
+        self.packed.filters() * self.packed.channels() * self.packed.kh() * self.packed.kw()
     }
 
     fn describe(&self) -> String {
@@ -203,6 +260,40 @@ mod tests {
         }
         conv.set_weights(w1);
         assert_eq!(conv.forward(&input).data()[0], 36.0);
+    }
+
+    #[test]
+    fn from_packed_matches_tensor_construction() {
+        let w = random_bits(&[5, 70, 3, 3], 9);
+        let via_tensor = BinConv2d::new(w.clone(), Conv2dParams { stride: 2, pad: 1 });
+        let packed = PackedKernel::pack(&w).unwrap();
+        let via_packed = BinConv2d::from_packed(packed, Conv2dParams { stride: 2, pad: 1 });
+        assert_eq!(via_tensor, via_packed);
+        let input = Tensor::full(&[1, 70, 8, 8], 1.0);
+        assert_eq!(
+            via_tensor.forward(&input).data(),
+            via_packed.forward(&input).data()
+        );
+        // The lazy flat view agrees with the original tensor.
+        assert_eq!(via_packed.weights(), &w);
+        assert_eq!(via_packed.param_bits(), 5 * 70 * 9);
+    }
+
+    #[test]
+    fn set_packed_swaps_weights_without_flat_tensor() {
+        let w0 = random_bits(&[2, 8, 3, 3], 4);
+        let w1 = random_bits(&[2, 8, 3, 3], 5);
+        let mut conv = BinConv2d::new(w0, Conv2dParams::default());
+        conv.set_packed(PackedKernel::pack(&w1).unwrap());
+        assert_eq!(conv, BinConv2d::new(w1.clone(), Conv2dParams::default()));
+        assert_eq!(conv.weights(), &w1);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the geometry")]
+    fn set_packed_rejects_shape_change() {
+        let mut conv = BinConv2d::new(BitTensor::zeros(&[1, 4, 3, 3]), Conv2dParams::default());
+        conv.set_packed(PackedKernel::pack(&BitTensor::zeros(&[2, 4, 3, 3])).unwrap());
     }
 
     #[test]

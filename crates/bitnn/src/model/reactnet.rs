@@ -78,6 +78,38 @@ impl ReActNetConfig {
         }
     }
 
+    /// The full 13-block schedule with every channel count scaled by
+    /// `scale` (rounded, clamped to at least 8 channels) — the geometry
+    /// the `bnnkc` CLI compresses and runs. The stem and each block's
+    /// input channels use the same formula, so a container written by
+    /// `bnnkc compress --scale S` always matches `ReActNetConfig::scaled(S)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the inconsistency when the clamping
+    /// breaks the `out_ch ∈ {C, 2C}` block invariant (very small scales).
+    pub fn scaled(scale: f64) -> Result<Self, String> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err("scale must be positive".into());
+        }
+        let full = Self::full();
+        let ch = |c: usize| ((c as f64 * scale).round() as usize).max(8);
+        let mut cfg = full.clone();
+        cfg.stem_channels = ch(full.blocks[0].in_ch);
+        for (i, b) in cfg.blocks.iter_mut().enumerate() {
+            b.in_ch = ch(full.blocks[i].in_ch);
+            b.out_ch = if i + 1 < full.blocks.len() {
+                ch(full.blocks[i + 1].in_ch)
+            } else {
+                // The full schedule's last block keeps its channel count.
+                ch(full.blocks[i].in_ch)
+            };
+        }
+        cfg.validate()
+            .map_err(|e| format!("scale {scale} produces an inconsistent schedule: {e}"))?;
+        Ok(cfg)
+    }
+
     /// A scaled-down configuration for tests and examples: 32×32 input,
     /// three blocks, 10 classes.
     pub fn tiny() -> Self {
@@ -121,6 +153,69 @@ impl ReActNetConfig {
             c = b.out_ch;
         }
         Ok(())
+    }
+
+    /// Per-layer workload descriptors (geometry for the timing simulator),
+    /// walking the same spatial arithmetic as [`ReActNet::forward`].
+    /// Available on the bare configuration so callers driving the
+    /// simulator from a compressed container never build weights.
+    pub fn workloads(&self) -> Vec<LayerWorkload> {
+        let mut out = Vec::new();
+        let mut size = Conv2dParams { stride: 2, pad: 1 }.out_dim(self.image_size, 3);
+        out.push(LayerWorkload {
+            name: "input.conv".into(),
+            category: OpCategory::InputLayer,
+            in_ch: self.input_channels,
+            out_ch: self.stem_channels,
+            kh: 3,
+            kw: 3,
+            oh: size,
+            ow: size,
+            precision_bits: 8,
+        });
+        for (i, spec) in self.blocks.iter().enumerate() {
+            let conv3_out = Conv2dParams {
+                stride: spec.stride,
+                pad: 1,
+            }
+            .out_dim(size, 3);
+            out.push(LayerWorkload {
+                name: format!("block{}.conv3x3", i + 1),
+                category: OpCategory::Conv3x3,
+                in_ch: spec.in_ch,
+                out_ch: spec.in_ch,
+                kh: 3,
+                kw: 3,
+                oh: conv3_out,
+                ow: conv3_out,
+                precision_bits: 1,
+            });
+            out.push(LayerWorkload {
+                name: format!("block{}.conv1x1", i + 1),
+                category: OpCategory::Conv1x1,
+                in_ch: spec.in_ch,
+                out_ch: spec.out_ch,
+                kh: 1,
+                kw: 1,
+                oh: conv3_out,
+                ow: conv3_out,
+                precision_bits: 1,
+            });
+            size = conv3_out;
+        }
+        let final_ch = self.blocks.last().unwrap().out_ch;
+        out.push(LayerWorkload {
+            name: "output.fc".into(),
+            category: OpCategory::OutputLayer,
+            in_ch: final_ch,
+            out_ch: self.num_classes,
+            kh: 1,
+            kw: 1,
+            oh: 1,
+            ow: 1,
+            precision_bits: 8,
+        });
+        out
     }
 }
 
@@ -247,6 +342,18 @@ impl ReActNet {
     /// Panics if `i` is out of range or the shape changes.
     pub fn set_conv3_weights(&mut self, i: usize, weights: BitTensor) {
         self.blocks[i].conv3.set_weights(weights);
+    }
+
+    /// Replace block `i`'s 3×3 kernel with an already channel-packed
+    /// kernel — the compressed-container deployment path: a streaming
+    /// decoder's lane words go straight into the engine's weight forms
+    /// with no intermediate `[K, C, 3, 3]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the packed geometry changes.
+    pub fn set_conv3_packed(&mut self, i: usize, packed: crate::pack::PackedKernel) {
+        self.blocks[i].conv3.set_packed(packed);
     }
 
     /// Full forward pass: `[N, 3, S, S]` image → `[N, num_classes]` logits.
@@ -382,62 +489,7 @@ impl ReActNet {
     /// Per-layer workload descriptors (geometry for the timing simulator),
     /// walking the same spatial arithmetic as [`ReActNet::forward`].
     pub fn workloads(&self) -> Vec<LayerWorkload> {
-        let mut out = Vec::new();
-        let mut size = Conv2dParams { stride: 2, pad: 1 }.out_dim(self.config.image_size, 3);
-        out.push(LayerWorkload {
-            name: "input.conv".into(),
-            category: OpCategory::InputLayer,
-            in_ch: self.config.input_channels,
-            out_ch: self.config.stem_channels,
-            kh: 3,
-            kw: 3,
-            oh: size,
-            ow: size,
-            precision_bits: 8,
-        });
-        for (i, spec) in self.config.blocks.iter().enumerate() {
-            let conv3_out = Conv2dParams {
-                stride: spec.stride,
-                pad: 1,
-            }
-            .out_dim(size, 3);
-            out.push(LayerWorkload {
-                name: format!("block{}.conv3x3", i + 1),
-                category: OpCategory::Conv3x3,
-                in_ch: spec.in_ch,
-                out_ch: spec.in_ch,
-                kh: 3,
-                kw: 3,
-                oh: conv3_out,
-                ow: conv3_out,
-                precision_bits: 1,
-            });
-            out.push(LayerWorkload {
-                name: format!("block{}.conv1x1", i + 1),
-                category: OpCategory::Conv1x1,
-                in_ch: spec.in_ch,
-                out_ch: spec.out_ch,
-                kh: 1,
-                kw: 1,
-                oh: conv3_out,
-                ow: conv3_out,
-                precision_bits: 1,
-            });
-            size = conv3_out;
-        }
-        let final_ch = self.config.blocks.last().unwrap().out_ch;
-        out.push(LayerWorkload {
-            name: "output.fc".into(),
-            category: OpCategory::OutputLayer,
-            in_ch: final_ch,
-            out_ch: self.config.num_classes,
-            kh: 1,
-            kw: 1,
-            oh: 1,
-            ow: 1,
-            precision_bits: 8,
-        });
-        out
+        self.config.workloads()
     }
 }
 
@@ -567,6 +619,39 @@ mod tests {
         assert_eq!(a.conv3_weights(0), b.conv3_weights(0));
         let c = ReActNet::tiny(6);
         assert_ne!(a.conv3_weights(0), c.conv3_weights(0));
+    }
+
+    #[test]
+    fn scaled_config_tracks_the_full_schedule() {
+        let cfg = ReActNetConfig::scaled(0.25).unwrap();
+        assert_eq!(cfg.stem_channels, 8);
+        assert_eq!(cfg.blocks.len(), 13);
+        let full = ReActNetConfig::full();
+        for (s, f) in cfg.blocks.iter().zip(&full.blocks) {
+            assert_eq!(s.stride, f.stride);
+            assert_eq!(s.in_ch, ((f.in_ch as f64 * 0.25).round() as usize).max(8));
+        }
+        // Unit scale reproduces the full schedule's channels.
+        let unit = ReActNetConfig::scaled(1.0).unwrap();
+        assert_eq!(unit.blocks, full.blocks);
+        // Degenerate scales are rejected cleanly.
+        assert!(ReActNetConfig::scaled(0.0).is_err());
+        assert!(ReActNetConfig::scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn set_conv3_packed_matches_set_weights() {
+        let x = Tensor::from_vec(&[1, 3, 32, 32], random_floats(3 * 32 * 32, 1.0, 13)).unwrap();
+        let mut w = ReActNet::tiny(7).conv3_weights(1).clone();
+        for i in 0..w.len() {
+            w.set(i, !w.get(i));
+        }
+        let mut via_tensor = ReActNet::tiny(7);
+        via_tensor.set_conv3_weights(1, w.clone());
+        let mut via_packed = ReActNet::tiny(7);
+        via_packed.set_conv3_packed(1, crate::pack::PackedKernel::pack(&w).unwrap());
+        assert_eq!(via_tensor.forward(&x).data(), via_packed.forward(&x).data());
+        assert_eq!(via_packed.conv3_weights(1), &w);
     }
 
     #[test]

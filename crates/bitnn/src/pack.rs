@@ -86,6 +86,62 @@ impl PackedKernel {
         })
     }
 
+    /// Build directly from channel-packed lane words — the layout a
+    /// streaming decoder's packing unit emits (paper Fig. 6): for each
+    /// filter and spatial position, `lanes_for(channels)` 64-bit words
+    /// whose bit `j` of lane `l` is channel `l*64 + j`. This is the
+    /// constructor the compressed-container inference path uses so a
+    /// kernel goes stream → lane words → engine without ever
+    /// materializing a flat `[K, C, KH, KW]` tensor.
+    ///
+    /// Bits beyond `channels` in the final lane are masked off, so the
+    /// xnor-popcount kernels (which assume zero lane padding) stay exact
+    /// even for a sloppy producer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] if any dimension is zero or
+    /// `data.len() != filters * kh * kw * lanes_for(channels)`.
+    pub fn from_lane_words(
+        filters: usize,
+        channels: usize,
+        kh: usize,
+        kw: usize,
+        mut data: Vec<u64>,
+    ) -> Result<Self> {
+        if filters == 0 || channels == 0 || kh == 0 || kw == 0 {
+            return Err(BitnnError::ShapeMismatch {
+                expected: "non-zero kernel dimensions".into(),
+                got: format!("[{filters}, {channels}, {kh}, {kw}]"),
+            });
+        }
+        let lanes = lanes_for(channels);
+        let want = filters * kh * kw * lanes;
+        if data.len() != want {
+            return Err(BitnnError::ShapeMismatch {
+                expected: format!("{want} lane words"),
+                got: format!("{}", data.len()),
+            });
+        }
+        let tail_bits = channels % LANE_BITS;
+        if tail_bits != 0 {
+            let mask = (1u64 << tail_bits) - 1;
+            for (i, w) in data.iter_mut().enumerate() {
+                if i % lanes == lanes - 1 {
+                    *w &= mask;
+                }
+            }
+        }
+        Ok(PackedKernel {
+            filters,
+            channels,
+            kh,
+            kw,
+            lanes,
+            data,
+        })
+    }
+
     /// Number of output filters `K`.
     pub fn filters(&self) -> usize {
         self.filters
@@ -369,6 +425,42 @@ mod tests {
         let pk = PackedKernel::pack(&w).unwrap();
         let pa = PackedActivations::pack(&a).unwrap();
         assert_eq!(pk.position_lanes(0, 0), pa.pixel_lanes(0, 0, 0));
+    }
+
+    #[test]
+    fn from_lane_words_matches_pack() {
+        // Feeding pack()'s own words back through the streaming-side
+        // constructor must reproduce the kernel exactly.
+        for c in [1usize, 63, 64, 65, 130] {
+            let w = random_bits(&[3, c, 3, 3], c as u64 ^ 0x5EED);
+            let pk = PackedKernel::pack(&w).unwrap();
+            let rebuilt = PackedKernel::from_lane_words(3, c, 3, 3, pk.words().to_vec()).unwrap();
+            assert_eq!(rebuilt, pk, "c = {c}");
+            assert_eq!(rebuilt.unpack(), w, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn from_lane_words_masks_tail_lane_padding() {
+        // 70 channels -> lane 1 holds 6 real bits; garbage above them must
+        // be cleared so popcounts stay exact.
+        let lanes = crate::lanes_for(70);
+        let words = vec![u64::MAX; 9 * lanes];
+        let pk = PackedKernel::from_lane_words(1, 70, 3, 3, words).unwrap();
+        for p in 0..9 {
+            assert_eq!(pk.position_lanes(0, p)[1], (1u64 << 6) - 1);
+        }
+        let t = pk.unpack();
+        assert!((0..t.len()).all(|i| t.get(i)));
+    }
+
+    #[test]
+    fn from_lane_words_rejects_bad_shapes() {
+        assert!(PackedKernel::from_lane_words(0, 4, 3, 3, vec![]).is_err());
+        assert!(PackedKernel::from_lane_words(1, 0, 3, 3, vec![]).is_err());
+        assert!(PackedKernel::from_lane_words(1, 4, 3, 3, vec![0; 8]).is_err());
+        assert!(PackedKernel::from_lane_words(1, 4, 3, 3, vec![0; 10]).is_err());
+        assert!(PackedKernel::from_lane_words(1, 4, 3, 3, vec![0; 9]).is_ok());
     }
 
     #[test]

@@ -99,6 +99,31 @@ impl Container {
         }
         Ok(kernel)
     }
+
+    /// Stream-decode the contained kernel directly into its channel-packed
+    /// form: Huffman stream → groups of up to 64 sequences → nine 64-bit
+    /// lane words per group (the paper's decode + packing unit, Fig. 6) —
+    /// with no intermediate `[K, C, 3, 3]` tensor. Bit-exact with packing
+    /// the output of [`Container::decode_kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::CorruptStream`] if the stream does not decode
+    /// to exactly `filters * channels` sequences.
+    pub fn decode_packed(&self) -> Result<bitnn::pack::PackedKernel> {
+        crate::stream_decode::GroupDecoder::new(self).collect_packed()
+    }
+
+    /// The decoding unit configuration (paper Table III) for this
+    /// container's stream placed at `stream_ptr`.
+    pub fn decoder_config(&self, stream_ptr: u64) -> crate::config::DecoderConfig {
+        crate::config::DecoderConfig::for_tree(
+            &self.tree,
+            (self.filters * self.channels) as u64,
+            stream_ptr,
+            self.stream.len() as u64,
+        )
+    }
 }
 
 /// Parse a container produced by [`write_container`].
@@ -179,13 +204,34 @@ pub fn read_container(bytes: &[u8]) -> Result<Container> {
     need(buf, 12, "stream header")?;
     let stream_bits = buf.get_u64_le() as usize;
     let stream_len = buf.get_u32_le() as usize;
-    if stream_bits > stream_len * 8 {
-        return Err(KcError::CorruptStream(
-            "stream bit count exceeds byte length".into(),
-        ));
+    // The writer emits exactly ceil(stream_bits / 8) bytes: anything
+    // longer smuggles unparsed trailing garbage, anything shorter cannot
+    // hold the payload.
+    if stream_len != stream_bits.div_ceil(8) {
+        return Err(KcError::CorruptStream(format!(
+            "stream length {stream_len} bytes inconsistent with {stream_bits} bits"
+        )));
     }
     need(buf, stream_len, "stream body")?;
     let stream = Bytes::copy_from_slice(&buf[..stream_len]);
+    buf.advance(stream_len);
+    if buf.remaining() != 0 {
+        return Err(KcError::CorruptStream(format!(
+            "{} trailing bytes after the stream",
+            buf.remaining()
+        )));
+    }
+    // The final byte's padding bits (below the last payload bit,
+    // MSB-first layout) must be zero, exactly as the writer left them.
+    if !stream_bits.is_multiple_of(8) {
+        let pad_bits = 8 - stream_bits % 8;
+        let last = stream[stream.len() - 1];
+        if last & ((1u8 << pad_bits) - 1) != 0 {
+            return Err(KcError::CorruptStream(
+                "nonzero padding bits in the final stream byte".into(),
+            ));
+        }
+    }
     Ok(Container {
         filters,
         channels,
@@ -252,8 +298,18 @@ pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
         if buf.remaining() < len {
             return Err(KcError::CorruptStream(format!("truncated record {i} body")));
         }
+        // read_container rejects a record whose declared length exceeds
+        // its actual content (trailing bytes) or whose stream section is
+        // padded with garbage, so a record length can neither hide data
+        // nor swallow the next record's header.
         out.push(read_container(&buf[..len])?);
         buf.advance(len);
+    }
+    if buf.remaining() != 0 {
+        return Err(KcError::CorruptStream(format!(
+            "{} trailing bytes after the last record",
+            buf.remaining()
+        )));
     }
     Ok(out)
 }
@@ -419,5 +475,87 @@ mod tests {
         let mut bad = bytes.clone();
         bad[stream_len_off..stream_len_off + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
         assert!(read_container(&bad).is_err());
+    }
+
+    #[test]
+    fn oversized_stream_len_with_garbage_rejected() {
+        // A stream_len larger than ceil(stream_bits / 8) used to parse
+        // fine with trailing garbage bytes; both must now be rejected.
+        let ck = compressed();
+        let clean = write_container(&ck).to_vec();
+        let len_off = clean.len() - ck.stream().len() - 4;
+        let mut bad = clean.clone();
+        let inflated = (ck.stream().len() + 3) as u32;
+        bad[len_off..len_off + 4].copy_from_slice(&inflated.to_le_bytes());
+        bad.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        assert!(matches!(
+            read_container(&bad),
+            Err(KcError::CorruptStream(_))
+        ));
+        // Trailing bytes after a correctly-sized stream are also rejected.
+        let mut trailing = clean.clone();
+        trailing.push(0x00);
+        assert!(read_container(&trailing).is_err());
+    }
+
+    #[test]
+    fn nonzero_padding_bits_rejected() {
+        let ck = compressed();
+        if ck.stream_bits().is_multiple_of(8) {
+            // This seed always yields a padded final byte; guard anyway.
+            return;
+        }
+        let mut bytes = write_container(&ck).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] |= 1; // lowest bit is padding under the MSB-first layout
+        assert!(matches!(
+            read_container(&bytes),
+            Err(KcError::CorruptStream(_))
+        ));
+    }
+
+    #[test]
+    fn model_container_rejects_trailing_bytes_and_padded_records() {
+        let codec = KernelCodec::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let k = SeqDistribution::for_block(1, 0).sample_kernel(16, 16, &mut rng);
+        let ck = codec.compress(&k).unwrap();
+        let clean = write_model_container(std::slice::from_ref(&ck)).to_vec();
+        assert!(read_model_container(&clean).is_ok());
+        // Trailing garbage after the last record.
+        let mut bad = clean.clone();
+        bad.extend_from_slice(&[0u8; 2]);
+        assert!(read_model_container(&bad).is_err());
+        // A record whose length claims extra padding bytes.
+        let record = write_container(&ck);
+        let mut padded = Vec::new();
+        padded.extend_from_slice(MODEL_MAGIC);
+        padded.extend_from_slice(&VERSION.to_le_bytes());
+        padded.extend_from_slice(&1u32.to_le_bytes());
+        padded.extend_from_slice(&((record.len() + 1) as u32).to_le_bytes());
+        padded.extend_from_slice(&record);
+        padded.push(0);
+        assert!(read_model_container(&padded).is_err());
+    }
+
+    #[test]
+    fn decode_packed_matches_decode_kernel() {
+        let ck = compressed();
+        let bytes = write_container(&ck);
+        let parsed = read_container(&bytes).unwrap();
+        let streamed = parsed.decode_packed().unwrap();
+        let offline = bitnn::pack::PackedKernel::pack(&parsed.decode_kernel().unwrap()).unwrap();
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn container_decoder_config_reflects_stream() {
+        let ck = compressed();
+        let parsed = read_container(&write_container(&ck)).unwrap();
+        let cfg = parsed.decoder_config(0x4000);
+        assert_eq!(cfg.stream_ptr, 0x4000);
+        assert_eq!(cfg.num_sequences, 48 * 48);
+        assert_eq!(cfg.stream_len_bytes as usize, parsed.stream.len());
+        assert_eq!(cfg.node_code_lengths, ck.tree().length_table());
     }
 }

@@ -18,7 +18,11 @@
 //!   the per-block compression ratio from ≈1.20x to ≈1.32x (Table V);
 //! * [`codec`] — end-to-end kernel/model compression with ratio accounting
 //!   (Table V and the 1.2x whole-model figure);
-//! * [`config`] — the decoding unit's configuration structure (Table III).
+//! * [`config`] — the decoding unit's configuration structure (Table III);
+//! * [`stream_decode`] — the software analogue of the paper's streaming
+//!   decode + packing unit (Fig. 6): walks a container's Huffman stream
+//!   and emits channel-packed 64-bit lane words the execution engine
+//!   consumes directly.
 //!
 //! # Quick example
 //!
@@ -49,6 +53,7 @@ pub mod container;
 pub mod error;
 pub mod freq;
 pub mod huffman;
+pub mod stream_decode;
 
 pub use bitseq::BitSeq;
 pub use error::{KcError, Result};

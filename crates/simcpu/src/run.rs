@@ -4,7 +4,7 @@
 use crate::config::CpuConfig;
 use crate::exec::{ExecStats, Machine};
 use crate::mem::MemStats;
-use crate::trace;
+use crate::trace::{self, KernelStream};
 use bitnn::model::{ConvMode, LayerWorkload, OpCategory};
 
 /// Which kernel representation the 3×3 convolutions use. Re-exported
@@ -60,6 +60,20 @@ pub fn run_workload_salted(
     compression_ratio: f64,
     salt: u64,
 ) -> LayerStats {
+    let stream = KernelStream::from_ratio(wl.num_sequences(), compression_ratio);
+    run_workload_stream_salted(machine, wl, mode, stream, salt)
+}
+
+/// [`run_workload_salted`] against an explicit compressed stream (real
+/// byte length and sequence count from a `.bkcm` record) instead of an
+/// analytic compression ratio. Non-3×3 workloads ignore the stream.
+pub fn run_workload_stream_salted(
+    machine: &mut Machine,
+    wl: &LayerWorkload,
+    mode: Mode,
+    stream: KernelStream,
+    salt: u64,
+) -> LayerStats {
     let cfg = *machine.config();
     let start_cycles = machine.cycle();
     let start_mem = machine.mem_stats();
@@ -67,7 +81,7 @@ pub fn run_workload_salted(
         let mut emit = |op| machine.exec(op);
         match wl.category {
             OpCategory::Conv3x3 => {
-                trace::conv3x3_ops(wl, mode, compression_ratio, &cfg, salt, &mut emit)
+                trace::conv3x3_ops_stream(wl, mode, stream, &cfg, salt, &mut emit)
             }
             OpCategory::Conv1x1 => trace::conv1x1_ops(wl, &cfg, salt, &mut emit),
             OpCategory::InputLayer => trace::quant_conv_ops(wl, &cfg, salt, &mut emit),
@@ -152,22 +166,57 @@ pub fn run_model(
     ratios: &[f64],
 ) -> ModelRun {
     assert!(!ratios.is_empty(), "need at least one compression ratio");
+    let streams: Vec<KernelStream> = workloads
+        .iter()
+        .filter(|wl| wl.category == OpCategory::Conv3x3)
+        .enumerate()
+        .map(|(i, wl)| KernelStream::from_ratio(wl.num_sequences(), ratios[i % ratios.len()]))
+        .collect();
+    run_model_streams(cfg, workloads, mode, &streams)
+}
+
+/// Simulate all layers of a model against *real* compressed streams: one
+/// [`KernelStream`] per 3×3 convolution, in layer order, carrying the
+/// actual byte length and sequence count of the corresponding `.bkcm`
+/// record. This is what `bnnkc simulate --in model.bkcm` runs, so the
+/// reported speedup and energy correspond to a concrete compressed model
+/// rather than a synthetic ratio.
+///
+/// # Panics
+///
+/// Panics if `streams.len()` differs from the number of 3×3 workloads.
+pub fn run_model_streams(
+    cfg: &CpuConfig,
+    workloads: &[LayerWorkload],
+    mode: Mode,
+    streams: &[KernelStream],
+) -> ModelRun {
+    let conv3_count = workloads
+        .iter()
+        .filter(|wl| wl.category == OpCategory::Conv3x3)
+        .count();
+    assert_eq!(
+        streams.len(),
+        conv3_count,
+        "need one stream per 3x3 layer ({conv3_count}), got {}",
+        streams.len()
+    );
     let mut machine = Machine::new(*cfg);
     let mut layers = Vec::new();
     let mut conv3_idx = 0usize;
     for (salt, wl) in workloads.iter().enumerate() {
-        let ratio = if wl.category == OpCategory::Conv3x3 {
-            let r = ratios[conv3_idx % ratios.len()];
+        let stream = if wl.category == OpCategory::Conv3x3 {
+            let s = streams[conv3_idx];
             conv3_idx += 1;
-            r
+            s
         } else {
-            1.0
+            KernelStream::from_ratio(wl.num_sequences(), 1.0)
         };
-        layers.push(run_workload_salted(
+        layers.push(run_workload_stream_salted(
             &mut machine,
             wl,
             mode,
-            ratio,
+            stream,
             salt as u64,
         ));
         // Post-conv element-wise work (BN + bias + RPReLU + next sign).
@@ -380,6 +429,55 @@ mod tests {
         let cfg = CpuConfig::default();
         let model = ReActNet::tiny(3);
         run_model(&cfg, &model.workloads(), Mode::Baseline, &[]);
+    }
+
+    #[test]
+    fn stream_run_matches_ratio_run_for_analytic_streams() {
+        // run_model is now a thin wrapper over run_model_streams; feeding
+        // the analytic streams back in must reproduce it exactly.
+        let cfg = CpuConfig::default();
+        let wls = ReActNet::tiny(3).workloads();
+        let streams: Vec<KernelStream> = wls
+            .iter()
+            .filter(|w| w.category == OpCategory::Conv3x3)
+            .map(|w| KernelStream::from_ratio(w.num_sequences(), 1.33))
+            .collect();
+        for mode in [Mode::Baseline, Mode::SoftwareDecode, Mode::HardwareDecode] {
+            let via_ratio = run_model(&cfg, &wls, mode, &[1.33]);
+            let via_stream = run_model_streams(&cfg, &wls, mode, &streams);
+            assert_eq!(via_ratio.total_cycles, via_stream.total_cycles, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn real_stream_sizes_shift_hardware_cycles() {
+        // A measurably smaller real stream must cost fewer hardware-mode
+        // cycles than a bloated one on a weight-bound layer.
+        let cfg = CpuConfig::default();
+        let wl = weight_bound_conv3();
+        let seqs = wl.num_sequences();
+        let small = KernelStream {
+            stream_bytes: seqs * 9 / 8 / 2,
+            num_seqs: seqs,
+        };
+        let large = KernelStream {
+            stream_bytes: seqs * 9 / 8,
+            num_seqs: seqs,
+        };
+        let run_with = |s: KernelStream| {
+            let mut machine = crate::exec::Machine::new(cfg);
+            run_workload_stream_salted(&mut machine, &wl, Mode::HardwareDecode, s, 0).cycles
+        };
+        assert!(run_with(small) < run_with(large));
+        assert!((small.ratio() - 2.0).abs() < 0.1, "ratio {}", small.ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream per 3x3 layer")]
+    fn stream_count_mismatch_panics() {
+        let cfg = CpuConfig::default();
+        let wls = ReActNet::tiny(3).workloads();
+        run_model_streams(&cfg, &wls, Mode::HardwareDecode, &[]);
     }
 
     #[test]

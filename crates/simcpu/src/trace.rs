@@ -99,7 +99,34 @@ pub fn stream_bytes(num_seqs: u64, compression_ratio: f64) -> u64 {
     ((num_seqs * 9) as f64 / compression_ratio / 8.0).ceil() as u64
 }
 
-/// Generate the binary 3×3 convolution trace.
+/// The compressed stream backing one 3×3 layer's kernel: either measured
+/// from a real `.bkcm` container (the `simulate --in` path) or synthesized
+/// analytically from a compression ratio ([`KernelStream::from_ratio`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStream {
+    /// Encoded stream length in bytes.
+    pub stream_bytes: u64,
+    /// Codewords in the stream (one per kernel channel).
+    pub num_seqs: u64,
+}
+
+impl KernelStream {
+    /// Synthesize a stream for `num_seqs` sequences at a payload ratio.
+    pub fn from_ratio(num_seqs: u64, compression_ratio: f64) -> Self {
+        KernelStream {
+            stream_bytes: stream_bytes(num_seqs, compression_ratio),
+            num_seqs,
+        }
+    }
+
+    /// Effective payload compression ratio of this stream.
+    pub fn ratio(&self) -> f64 {
+        (self.num_seqs * 9) as f64 / (self.stream_bytes * 8) as f64
+    }
+}
+
+/// Generate the binary 3×3 convolution trace from an analytic
+/// compression ratio (see [`conv3x3_ops_stream`] for real streams).
 ///
 /// `salt` offsets every region's base address so that consecutive layers
 /// sharing one machine do not alias in the caches.
@@ -115,14 +142,34 @@ pub fn conv3x3_ops(
     salt: u64,
     emit: &mut dyn FnMut(TraceOp),
 ) {
+    let stream = KernelStream::from_ratio(wl.num_sequences(), compression_ratio);
+    conv3x3_ops_stream(wl, mode, stream, cfg, salt, emit);
+}
+
+/// Generate the binary 3×3 convolution trace against an explicit
+/// compressed stream — the entry point for container-driven simulation,
+/// where `stream` carries the *actual* byte length and sequence count of
+/// a `.bkcm` record rather than an analytic estimate.
+///
+/// # Panics
+///
+/// Panics if the workload is not a 3×3 layer.
+pub fn conv3x3_ops_stream(
+    wl: &LayerWorkload,
+    mode: ConvMode,
+    stream: KernelStream,
+    cfg: &CpuConfig,
+    salt: u64,
+    emit: &mut dyn FnMut(TraceOp),
+) {
     assert_eq!((wl.kh, wl.kw), (3, 3), "conv3x3_ops needs a 3x3 layer");
     let lanes = lanes64(wl.in_ch);
     let pixels = (wl.oh * wl.ow) as u64;
     let tile = cfg.pixel_tile as u64;
     let k_filters = wl.out_ch as u64;
-    let num_seqs = wl.num_sequences();
+    let num_seqs = stream.num_seqs;
     let num_groups = k_filters * lanes;
-    let sbytes = stream_bytes(num_seqs, compression_ratio);
+    let sbytes = stream.stream_bytes;
     let in_w = (wl.ow * 2 + 2) as u64; // generous input row pitch
     let (w_base, a_base, o_base, s_base, scratch) = region_bases(salt);
 

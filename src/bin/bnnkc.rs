@@ -4,30 +4,51 @@
 //! bnnkc compress   --out model.bkcm [--seed 1] [--scale 0.25] [--no-cluster]
 //! bnnkc inspect    --in model.bkcm
 //! bnnkc verify     --in model.bkcm [--seed 1] [--scale 0.25] [--no-cluster]
-//! bnnkc simulate   [--image 224] [--ratio 1.33]
+//! bnnkc run        --in model.bkcm [--seed 1] [--scale 0.25] [--image 224]
+//!                  [--batch 1] [--threads N] [--offline]
+//! bnnkc simulate   [--image 224] [--ratio 1.33 | --in model.bkcm]
 //! ```
 //!
 //! `compress` builds the 13 calibrated ReActNet kernels, compresses each,
 //! and writes one model container. `inspect` prints per-kernel statistics
 //! from the container alone. `verify` regenerates the kernels and checks
 //! the container decodes to them (bit-exactly without clustering; within
-//! Hamming distance 1 per channel with it). `simulate` runs the timing
-//! model in the three modes.
+//! Hamming distance 1 per channel with it). `run` executes the full
+//! ReActNet forward pass *from the compressed container*: each kernel is
+//! stream-decoded straight into channel-packed lane words and handed to
+//! the execution engine, with no intermediate `[K, C, 3, 3]` tensor
+//! (`--offline` switches to the decompress-then-pack reference path,
+//! which produces bit-identical logits). `simulate` runs the timing
+//! model in the three modes — with `--in` the per-layer stream sizes,
+//! sequence counts, and decoder configurations come from the actual
+//! container instead of a synthetic ratio.
+//!
+//! Unrecognized flags are rejected: a typo like `--seeed 7` is an error,
+//! not a silently applied default.
 
 use bnnkc::prelude::*;
-use kc_core::container::{read_model_container, write_model_container};
+use simcpu::energy::EnergyModel;
+use simcpu::exec::ExecStats;
+use simcpu::mem::MemStats;
+use simcpu::trace::STREAM_BASE;
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// Salt mixed into `--seed` for `run`'s synthetic input batch, so inputs
+/// are deterministic per seed but uncorrelated with the weight streams.
+const RUN_INPUT_SALT: u64 = 0x1A7E57;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: bnnkc <compress|inspect|verify|simulate> [flags]");
+        eprintln!("usage: bnnkc <compress|inspect|verify|run|simulate> [flags]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
         "compress" => cmd_compress(&args),
         "inspect" => cmd_inspect(&args),
         "verify" => cmd_verify(&args),
+        "run" => cmd_run(&args),
         "simulate" => cmd_simulate(&args),
         other => {
             eprintln!("unknown command `{other}`");
@@ -41,6 +62,35 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Validate that every argument after the command is a known flag:
+/// `value_flags` consume the following argument, `bool_flags` stand
+/// alone. Unknown flags and value flags missing their value are errors —
+/// never silently ignored.
+fn check_flags(cmd: &str, args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> CliResult {
+    let mut i = 1; // args[0] is the command itself
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => return Err(format!("flag {a} requires a value").into()),
+            }
+        } else if bool_flags.contains(&a) {
+            i += 1;
+        } else {
+            let known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
+            return Err(format!(
+                "unknown flag `{a}` for `{cmd}` (known flags: {})",
+                known.join(", ")
+            )
+            .into());
+        }
+    }
+    Ok(())
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -73,29 +123,41 @@ fn codec_from(args: &[String]) -> KernelCodec {
     }
 }
 
-fn build_kernels(args: &[String]) -> Result<Vec<BitTensor>, Box<dyn std::error::Error>> {
-    use rand::SeedableRng;
-    let seed: u64 = parse_flag(args, "--seed", 1)?;
+/// The scaled model geometry shared by `compress`, `verify`, and `run`.
+fn scaled_config(args: &[String]) -> Result<ReActNetConfig, Box<dyn std::error::Error>> {
     let scale: f64 = parse_flag(args, "--scale", 0.25)?;
     if !scale.is_finite() || scale <= 0.0 {
         return Err("--scale must be positive".into());
     }
-    // Channel schedule comes from the canonical full model, so the CLI's
-    // kernels always track the architecture the simulator runs.
-    let blocks = ReActNetConfig::full().blocks;
-    Ok(blocks
+    ReActNetConfig::scaled(scale).map_err(Into::into)
+}
+
+fn build_kernels(args: &[String]) -> Result<Vec<BitTensor>, Box<dyn std::error::Error>> {
+    use rand::SeedableRng;
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    // Channel schedule comes from the canonical full model (scaled), so
+    // the CLI's kernels always track the architecture `run` executes and
+    // the simulator models.
+    let config = scaled_config(args)?;
+    Ok(config
+        .blocks
         .iter()
         .enumerate()
         .map(|(i, spec)| {
             let block = i + 1;
-            let c = ((spec.in_ch as f64 * scale).round() as usize).max(8);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ block as u64);
-            SeqDistribution::for_block(block, 0).sample_kernel(c, c, &mut rng)
+            SeqDistribution::for_block(block, 0).sample_kernel(spec.in_ch, spec.in_ch, &mut rng)
         })
         .collect())
 }
 
-fn cmd_compress(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_compress(args: &[String]) -> CliResult {
+    check_flags(
+        "compress",
+        args,
+        &["--out", "--seed", "--scale"],
+        &["--no-cluster"],
+    )?;
     let out = flag_value(args, "--out").ok_or("--out <file> is required")?;
     let codec = codec_from(args);
     let kernels = build_kernels(args)?;
@@ -124,7 +186,8 @@ fn cmd_compress(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_inspect(args: &[String]) -> CliResult {
+    check_flags("inspect", args, &["--in"], &[])?;
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let bytes = std::fs::read(input)?;
     let containers = read_model_container(&bytes)?;
@@ -151,7 +214,13 @@ fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_verify(args: &[String]) -> CliResult {
+    check_flags(
+        "verify",
+        args,
+        &["--in", "--seed", "--scale"],
+        &["--no-cluster"],
+    )?;
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let clustered = !args.iter().any(|a| a == "--no-cluster");
     let bytes = std::fs::read(input)?;
@@ -167,6 +236,13 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     for (i, (c, original)) in containers.iter().zip(&kernels).enumerate() {
         let decoded = c.decode_kernel()?;
+        // The streaming group decoder must agree with the offline path on
+        // every verified container — the packed words the engine would
+        // consume are cross-checked here for free.
+        let streamed = c.decode_packed()?;
+        if streamed != PackedKernel::pack(&decoded)? {
+            return Err(format!("kernel {}: stream decode diverges", i + 1).into());
+        }
         if clustered {
             let shape = original.shape();
             for f in 0..shape[0] {
@@ -192,24 +268,276 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+/// FNV-1a over the raw bit patterns of the logits: a stable, bit-exact
+/// digest two `run` invocations (streamed vs `--offline`) must share.
+fn logits_digest(logits: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in logits {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    check_flags(
+        "run",
+        args,
+        &[
+            "--in",
+            "--seed",
+            "--scale",
+            "--image",
+            "--batch",
+            "--threads",
+        ],
+        &["--offline"],
+    )?;
+    let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
     let image: usize = parse_flag(args, "--image", 224)?;
-    let ratio: f64 = parse_flag(args, "--ratio", 1.33)?;
+    let batch: usize = parse_flag(args, "--batch", 1)?;
+    let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads: usize = parse_flag(args, "--threads", default_threads)?;
+    let offline = args.iter().any(|a| a == "--offline");
     if image == 0 {
         return Err("--image must be at least 1".into());
     }
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+
+    let bytes = std::fs::read(input)?;
+    let containers = read_model_container(&bytes)?;
+    let mut config = scaled_config(args)?;
+    config.image_size = image;
+    if containers.len() != config.blocks.len() {
+        return Err(format!(
+            "container holds {} kernels, the scaled model has {} blocks",
+            containers.len(),
+            config.blocks.len()
+        )
+        .into());
+    }
+    let mut model = ReActNet::new(config.clone(), seed);
+
+    // Deploy the compressed kernels. Streamed path: Huffman stream →
+    // channel-packed lane words → engine weight forms, no intermediate
+    // [K, C, 3, 3] tensor. Offline path: decompress to a flat tensor,
+    // then re-pack — the bit-exact reference.
+    let t0 = Instant::now();
+    for (i, c) in containers.iter().enumerate() {
+        let want = config.blocks[i].in_ch;
+        if c.filters != want || c.channels != want {
+            return Err(format!(
+                "kernel {}: container is {}x{}, the scaled model expects {want}x{want} \
+                 (wrong --scale?)",
+                i + 1,
+                c.filters,
+                c.channels
+            )
+            .into());
+        }
+        if offline {
+            model.set_conv3_weights(i, c.decode_kernel()?);
+        } else {
+            model.set_conv3_packed(i, c.decode_packed()?);
+        }
+    }
+    let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let inputs = synthetic_batch(batch, config.input_channels, image, seed ^ RUN_INPUT_SALT);
+    let engine = Engine::with_threads(threads);
+    let t1 = Instant::now();
+    let outputs = model.forward_batch(&inputs, &engine);
+    let forward_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "{input}: {} kernels deployed via {} in {decode_ms:.1} ms",
+        containers.len(),
+        if offline {
+            "offline decompress+pack"
+        } else {
+            "streaming decode (stream -> lane words -> engine)"
+        }
+    );
+    println!(
+        "forward: batch {batch}, image {image}x{image}, {threads} threads, {forward_ms:.1} ms"
+    );
+    for (i, out) in outputs.iter().enumerate() {
+        let logits = out.data();
+        let argmax = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        let head: Vec<String> = logits
+            .iter()
+            .take(4)
+            .map(|v| format!("{:08x}", v.to_bits()))
+            .collect();
+        println!(
+            "item {i}: argmax {argmax}, logits[0..{}] = [{}], digest {:016x}",
+            head.len(),
+            head.join(" "),
+            logits_digest(logits)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> CliResult {
+    check_flags("simulate", args, &["--image", "--ratio", "--in"], &[])?;
+    let image: usize = parse_flag(args, "--image", 224)?;
+    if image == 0 {
+        return Err("--image must be at least 1".into());
+    }
+    if let Some(input) = flag_value(args, "--in") {
+        if flag_value(args, "--ratio").is_some() {
+            return Err("--ratio conflicts with --in: ratios come from the container".into());
+        }
+        return simulate_container(input, image);
+    }
+    let ratio: f64 = parse_flag(args, "--ratio", 1.33)?;
     if !ratio.is_finite() || ratio <= 0.0 {
         return Err("--ratio must be positive".into());
     }
     let mut cfg = ReActNetConfig::full();
     cfg.image_size = image;
-    let model = ReActNet::new(cfg, 1);
-    let wls = model.workloads();
+    let wls = cfg.workloads();
     let cpu = CpuConfig::default();
     let base = run_model(&cpu, &wls, Mode::Baseline, &[1.0]);
     let sw = run_model(&cpu, &wls, Mode::SoftwareDecode, &[ratio]);
     let hw = run_model(&cpu, &wls, Mode::HardwareDecode, &[ratio]);
     println!("image {image}x{image}, compression ratio {ratio}:");
+    print_mode_cycles(&base, &sw, &hw);
+    Ok(())
+}
+
+/// `simulate --in`: every 3×3 layer's stream length, sequence count, and
+/// decoder configuration (paper Table III) come from the actual `.bkcm`
+/// records, so the speedup and energy reported here describe a real
+/// compressed model, not a synthetic ratio.
+fn simulate_container(input: &str, image: usize) -> CliResult {
+    let bytes = std::fs::read(input)?;
+    let containers = read_model_container(&bytes)?;
+    let full = ReActNetConfig::full();
+    if containers.len() != full.blocks.len() {
+        return Err(format!(
+            "container holds {} kernels; the ReActNet schedule needs {}",
+            containers.len(),
+            full.blocks.len()
+        )
+        .into());
+    }
+    // Rebuild the (possibly scaled) geometry from the container itself:
+    // each block's channels are its kernel's, strides follow the schedule.
+    let mut cfg = full;
+    cfg.image_size = image;
+    for (i, c) in containers.iter().enumerate() {
+        if c.filters != c.channels {
+            return Err(format!(
+                "kernel {}: {}x{} is not square; 3x3 block kernels are CxC",
+                i + 1,
+                c.filters,
+                c.channels
+            )
+            .into());
+        }
+        cfg.blocks[i].in_ch = c.filters;
+        cfg.blocks[i].out_ch = if i + 1 < containers.len() {
+            containers[i + 1].filters
+        } else {
+            c.filters
+        };
+    }
+    cfg.stem_channels = containers[0].filters;
+    cfg.validate()
+        .map_err(|e| format!("container geometry is not a ReActNet schedule: {e}"))?;
+    let wls = cfg.workloads();
+
+    let streams: Vec<KernelStream> = containers
+        .iter()
+        .map(|c| KernelStream {
+            stream_bytes: c.stream.len() as u64,
+            num_seqs: (c.filters * c.channels) as u64,
+        })
+        .collect();
+
+    println!("{input}: per-kernel decoder configurations (Table III):");
+    let (mut orig_bits, mut comp_bits) = (0u64, 0u64);
+    for (i, c) in containers.iter().enumerate() {
+        let dc = c.decoder_config(STREAM_BASE);
+        orig_bits += dc.num_sequences * 9;
+        comp_bits += c.stream_bits as u64;
+        println!(
+            "kernel {:>2}: {:>4}x{:<4} {:>6} seqs, stream {:>7} B, ratio {:.3}x, \
+             code lengths {:?}",
+            i + 1,
+            c.filters,
+            c.channels,
+            dc.num_sequences,
+            dc.stream_len_bytes,
+            streams[i].ratio(),
+            dc.node_code_lengths,
+        );
+    }
+    println!(
+        "aggregate kernel ratio {:.3}x\n",
+        orig_bits as f64 / comp_bits as f64
+    );
+
+    let cpu = CpuConfig::default();
+    let base = run_model(&cpu, &wls, Mode::Baseline, &[1.0]);
+    let sw = run_model_streams(&cpu, &wls, Mode::SoftwareDecode, &streams);
+    let hw = run_model_streams(&cpu, &wls, Mode::HardwareDecode, &streams);
+    println!("image {image}x{image}, streams from {input}:");
+    print_mode_cycles(&base, &sw, &hw);
+
+    // First-order energy (decoding-unit sequences: each 3×3 layer
+    // re-streams its kernel once per pixel tile).
+    let em = EnergyModel::default();
+    let line = cpu.l1.line_bytes as u64;
+    let decoded_seqs: u64 = wls
+        .iter()
+        .filter(|w| w.category == OpCategory::Conv3x3)
+        .zip(&streams)
+        .map(|(w, s)| ((w.oh * w.ow) as u64).div_ceil(cpu.pixel_tile as u64) * s.num_seqs)
+        .sum();
+    let energy = |run: &simcpu::run::ModelRun, seqs: u64| {
+        let mem = run.layers.iter().fold(MemStats::default(), |mut acc, l| {
+            acc.dram_bytes += l.mem.dram_bytes;
+            acc.l1_hits += l.mem.l1_hits;
+            acc.l2_hits += l.mem.l2_hits;
+            acc.dram_accesses += l.mem.dram_accesses;
+            acc
+        });
+        let exec = ExecStats {
+            cycles: run.total_cycles,
+            ops: run.layers.iter().map(|l| l.exec.ops).sum(),
+            ..ExecStats::default()
+        };
+        em.estimate(&exec, &mem, seqs, line).total_uj()
+    };
+    let (e_base, e_sw, e_hw) = (energy(&base, 0), energy(&sw, 0), energy(&hw, decoded_seqs));
+    println!("energy (first-order):");
+    println!("  baseline: {e_base:>10.1} uJ");
+    println!("  software: {e_sw:>10.1} uJ ({:.3}x)", e_sw / e_base);
+    println!("  hardware: {e_hw:>10.1} uJ ({:.3}x)", e_hw / e_base);
+    Ok(())
+}
+
+fn print_mode_cycles(
+    base: &simcpu::run::ModelRun,
+    sw: &simcpu::run::ModelRun,
+    hw: &simcpu::run::ModelRun,
+) {
     println!("  baseline: {:>12} cycles", base.total_cycles);
     println!(
         "  software: {:>12} cycles ({:.3}x slower)",
@@ -221,5 +549,4 @@ fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         hw.total_cycles,
         base.total_cycles as f64 / hw.total_cycles as f64
     );
-    Ok(())
 }

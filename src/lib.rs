@@ -48,14 +48,21 @@ pub use simcpu;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
+    pub use bitnn::engine::Engine;
     pub use bitnn::infer::{compare_models, synthetic_batch, Agreement};
     pub use bitnn::model::{BlockSpec, OpCategory, ReActNet, ReActNetConfig};
+    pub use bitnn::pack::PackedKernel;
     pub use bitnn::tensor::{BitTensor, Tensor};
     pub use bitnn::weightgen::SeqDistribution;
     pub use kc_core::cluster::{ClusterConfig, ClusterPlan};
     pub use kc_core::codec::{model_compression_ratio, CompressedKernel, KernelCodec};
+    pub use kc_core::container::{
+        read_container, read_model_container, write_container, write_model_container, Container,
+    };
     pub use kc_core::huffman::{FullHuffman, SimplifiedTree, TreeConfig};
+    pub use kc_core::stream_decode::GroupDecoder;
     pub use kc_core::{BitSeq, FreqTable};
     pub use simcpu::config::CpuConfig;
-    pub use simcpu::run::{compare_modes, run_model, run_workload, Mode};
+    pub use simcpu::run::{compare_modes, run_model, run_model_streams, run_workload, Mode};
+    pub use simcpu::trace::KernelStream;
 }

@@ -2,29 +2,9 @@
 //! from a fresh checkout, and `compress → verify` must round-trip both
 //! with clustering (Hamming-1 tolerance) and without (bit-exact).
 
-use std::path::PathBuf;
-use std::process::{Command, Output};
+mod common;
 
-fn bnnkc(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_bnnkc"))
-        .args(args)
-        .output()
-        .expect("failed to spawn bnnkc")
-}
-
-fn tmp_file(name: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("bnnkc-smoke-{}-{name}", std::process::id()));
-    p
-}
-
-struct TempFile(PathBuf);
-
-impl Drop for TempFile {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.0);
-    }
-}
+use common::{bnnkc, tmp_file, TempFile};
 
 #[test]
 fn compress_verify_inspect_roundtrip_clustered() {
@@ -117,6 +97,44 @@ fn simulate_runs_on_defaults_and_small_images() {
 }
 
 #[test]
+fn run_and_container_simulate_work_end_to_end() {
+    let out = TempFile(tmp_file("run.bkcm"));
+    let path = out.0.to_str().unwrap();
+    let c = bnnkc(&["compress", "--out", path, "--scale", "0.125"]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+
+    let r = bnnkc(&[
+        "run", "--in", path, "--scale", "0.125", "--image", "32", "--batch", "2",
+    ]);
+    assert!(r.status.success(), "run failed: {r:?}");
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    assert!(
+        stdout.contains("streaming decode"),
+        "run must use the streaming path by default: {stdout}"
+    );
+    assert!(
+        stdout.contains("item 1: argmax"),
+        "missing logits: {stdout}"
+    );
+
+    let s = bnnkc(&["simulate", "--in", path, "--image", "32"]);
+    assert!(s.status.success(), "simulate --in failed: {s:?}");
+    let stdout = String::from_utf8_lossy(&s.stdout);
+    assert!(
+        stdout.contains("decoder configurations"),
+        "missing per-kernel table: {stdout}"
+    );
+    assert!(
+        stdout.contains("hardware") && stdout.contains("energy"),
+        "missing mode/energy report: {stdout}"
+    );
+    // A container-driven simulate rejects a ratio override.
+    assert!(!bnnkc(&["simulate", "--in", path, "--ratio", "2.0"])
+        .status
+        .success());
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     assert!(!bnnkc(&[]).status.success());
     assert!(!bnnkc(&["frobnicate"]).status.success());
@@ -124,4 +142,49 @@ fn bad_usage_fails_cleanly() {
     assert!(!bnnkc(&["verify", "--in", "/nonexistent/path.bkcm"])
         .status
         .success());
+    assert!(!bnnkc(&["run", "--in", "/nonexistent/path.bkcm"])
+        .status
+        .success());
+}
+
+#[test]
+fn unknown_and_malformed_flags_are_rejected() {
+    // A typo must not run with the default silently applied.
+    let r = bnnkc(&[
+        "compress",
+        "--seeed",
+        "7",
+        "--out",
+        "/tmp/never-written.bkcm",
+    ]);
+    assert!(!r.status.success(), "typoed flag must be rejected");
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(
+        stderr.contains("--seeed"),
+        "error must name the flag: {stderr}"
+    );
+    assert!(
+        !std::path::Path::new("/tmp/never-written.bkcm").exists(),
+        "rejected invocation must not write output"
+    );
+
+    for bad in [
+        vec!["inspect", "--in", "x.bkcm", "--verbose"],
+        vec!["verify", "--in", "x.bkcm", "--cluster"],
+        vec!["simulate", "--imagee", "64"],
+        vec!["run", "--in", "x.bkcm", "--batchsize", "2"],
+        vec!["simulate", "--image"], // value flag missing its value
+    ] {
+        assert!(!bnnkc(&bad).status.success(), "{bad:?} must fail");
+    }
+
+    // Nonsense numeric values are errors, not silent defaults.
+    assert!(!bnnkc(&["simulate", "--ratio", "-1"]).status.success());
+    assert!(!bnnkc(&["simulate", "--ratio", "0"]).status.success());
+    assert!(!bnnkc(&["simulate", "--image", "0"]).status.success());
+    assert!(
+        !bnnkc(&["compress", "--out", "/tmp/x.bkcm", "--scale", "-0.5"])
+            .status
+            .success()
+    );
 }

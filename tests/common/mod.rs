@@ -1,0 +1,28 @@
+//! Process-level helpers shared by the CLI integration suites.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Spawn the built `bnnkc` binary with `args` and collect its output.
+pub fn bnnkc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bnnkc"))
+        .args(args)
+        .output()
+        .expect("failed to spawn bnnkc")
+}
+
+/// A per-process temp path; `name` keeps concurrent suites distinct.
+pub fn tmp_file(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bnnkc-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Deletes its path on drop so failed assertions don't leak files.
+pub struct TempFile(pub PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}

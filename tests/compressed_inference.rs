@@ -1,0 +1,149 @@
+//! Compressed-container inference: the streaming decode path
+//! (stream → channel-packed lane words → engine) must be bit-exact with
+//! ReActNet inference on the offline-decompressed weights, at the library
+//! level and through the `bnnkc run` CLI.
+
+mod common;
+
+use bnnkc::prelude::*;
+use common::{bnnkc, tmp_file, TempFile};
+use std::process::Output;
+
+/// Mirror of the CLI's logits digest (FNV-1a over the f32 bit patterns).
+fn logits_digest(logits: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in logits {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Mirror of the CLI's input-batch seed derivation.
+const RUN_INPUT_SALT: u64 = 0x1A7E57;
+
+/// Library-level round trip: deploy a compressed model once via the
+/// streaming packed path and once via offline decompression; every logits
+/// tensor must be bit-identical across both paths and all thread counts.
+#[test]
+fn streamed_and_offline_deployment_are_bit_exact() {
+    let codec = KernelCodec::paper_clustered();
+    let base = ReActNet::tiny(31);
+    let compressed: Vec<CompressedKernel> = (0..base.num_blocks())
+        .map(|i| codec.compress(base.conv3_weights(i)).expect("compress"))
+        .collect();
+    let containers = read_model_container(&write_model_container(&compressed)).expect("parse");
+
+    let mut streamed = base.clone();
+    let mut offline = base.clone();
+    for (i, c) in containers.iter().enumerate() {
+        streamed.set_conv3_packed(i, c.decode_packed().expect("stream decode"));
+        offline.set_conv3_weights(i, c.decode_kernel().expect("offline decode"));
+    }
+
+    let inputs = synthetic_batch(3, 3, 32, 77);
+    for threads in [1usize, 2, 4] {
+        let engine = Engine::with_threads(threads);
+        let a = streamed.forward_batch(&inputs, &engine);
+        let b = offline.forward_batch(&inputs, &engine);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data(), "threads = {threads}");
+        }
+    }
+    // And against the scalar seed oracle.
+    for x in &inputs {
+        assert_eq!(streamed.forward(x).data(), offline.forward_scalar(x).data());
+    }
+}
+
+/// CLI round trip: `bnnkc run` logits (streamed) must match both the
+/// `--offline` reference path and logits computed in-process with
+/// `ReActNet` inference on the offline-decompressed weights.
+#[test]
+fn cli_run_logits_pin_against_offline_inference() {
+    let out = TempFile(tmp_file("run-roundtrip.bkcm"));
+    let path = out.0.to_str().unwrap();
+    let (seed, scale, image, batch) = (5u64, 0.125f64, 32usize, 2usize);
+
+    let c = bnnkc(&["compress", "--out", path, "--scale", "0.125", "--seed", "5"]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+
+    let run_args = [
+        "run",
+        "--in",
+        path,
+        "--scale",
+        "0.125",
+        "--seed",
+        "5",
+        "--image",
+        "32",
+        "--batch",
+        "2",
+        "--threads",
+        "2",
+    ];
+    let streamed = bnnkc(&run_args);
+    assert!(streamed.status.success(), "run failed: {streamed:?}");
+    let offline = bnnkc(
+        &run_args
+            .iter()
+            .chain(&["--offline"])
+            .copied()
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        offline.status.success(),
+        "run --offline failed: {offline:?}"
+    );
+
+    let item_lines = |o: &Output| -> Vec<String> {
+        String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .filter(|l| l.starts_with("item "))
+            .map(str::to_string)
+            .collect()
+    };
+    let s_lines = item_lines(&streamed);
+    let o_lines = item_lines(&offline);
+    assert_eq!(s_lines.len(), batch);
+    assert_eq!(s_lines, o_lines, "streamed and offline logits must match");
+
+    // In-process reference: same scaled model, offline-decompressed
+    // weights, same synthetic inputs — digests must line up exactly.
+    let containers = read_model_container(&std::fs::read(path).unwrap()).expect("parse");
+    let mut cfg = ReActNetConfig::scaled(scale).expect("scaled config");
+    cfg.image_size = image;
+    let mut model = ReActNet::new(cfg.clone(), seed);
+    for (i, c) in containers.iter().enumerate() {
+        model.set_conv3_weights(i, c.decode_kernel().expect("decode"));
+    }
+    let inputs = synthetic_batch(batch, cfg.input_channels, image, seed ^ RUN_INPUT_SALT);
+    let outputs = model.forward_batch(&inputs, &Engine::with_threads(2));
+    for (i, out) in outputs.iter().enumerate() {
+        let digest = format!("digest {:016x}", logits_digest(out.data()));
+        assert!(
+            s_lines[i].ends_with(&digest),
+            "item {i}: CLI `{}` vs library `{digest}`",
+            s_lines[i]
+        );
+    }
+}
+
+/// The group decoder agrees with the offline path on every block of a
+/// freshly compressed model, including partial tail lanes.
+#[test]
+fn group_decoder_covers_all_model_blocks() {
+    let codec = KernelCodec::paper();
+    let model = ReActNet::tiny(41);
+    for i in 0..model.num_blocks() {
+        let ck = codec.compress(model.conv3_weights(i)).expect("compress");
+        let container = read_container(&write_container(&ck)).expect("parse");
+        let streamed = container.decode_packed().expect("stream decode");
+        let offline = PackedKernel::pack(&container.decode_kernel().expect("decode")).unwrap();
+        assert_eq!(streamed, offline, "block {i}");
+        assert_eq!(streamed.unpack(), *model.conv3_weights(i), "block {i}");
+    }
+}
