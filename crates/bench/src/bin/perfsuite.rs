@@ -13,6 +13,9 @@
 //!    batch forward: offline decompress→pack→forward vs the streaming
 //!    decode path (stream → packed lane words → engine, no intermediate
 //!    `[K, C, 3, 3]` tensor), asserted bit-exact before timing.
+//! 5. **Arch e2e** — every built-in graph-IR architecture
+//!    (`reactnet`/`vggsmall`/`resnetlite`) through the graph executor,
+//!    each asserted bit-exact against its scalar walk before timing.
 //!
 //! Every engine configuration is asserted bit-exact against its baseline
 //! before being timed. Results are printed as a table and written to
@@ -24,6 +27,7 @@
 
 use bench::{arg_flag, arg_u64, perfjson, TablePrinter};
 use bitnn::engine::{Engine, ExecPolicy, Lowering};
+use bitnn::graph::arch::{build_model, Arch};
 use bitnn::infer::synthetic_batch;
 use bitnn::model::ReActNet;
 use bitnn::ops::conv::{conv2d_binary, Conv2dParams};
@@ -252,7 +256,9 @@ fn bench_compressed(smoke: bool, seed: u64) -> Section {
         .map(|i| codec.compress(model.conv3_weights(i)).expect("compress"))
         .collect();
     let bytes = write_model_container(&compressed);
-    let containers = read_model_container(&bytes).expect("parse model container");
+    let containers = read_model_container(&bytes)
+        .expect("parse model container")
+        .kernels;
     let inputs = synthetic_batch(batch, 3, 32, seed ^ 0xFEED);
 
     // Deploy-and-infer closures: the baseline decompresses each kernel to
@@ -327,6 +333,64 @@ fn bench_compressed(smoke: bool, seed: u64) -> Section {
     }
 }
 
+/// Per-architecture graph-executor end-to-end: each built-in family's
+/// batch forward at 1/4 threads, against the summed scalar-walk baseline.
+fn bench_arch_e2e(smoke: bool, seed: u64) -> Section {
+    let (image, batch, iters) = if smoke {
+        (16usize, 2usize, 1usize)
+    } else {
+        (32, 8, 3)
+    };
+    let scale = 0.0625;
+    let mut baseline_ns = 0.0;
+    let mut entries = Vec::new();
+    for arch in Arch::ALL {
+        let model = build_model(arch, scale, image, seed ^ 0xA2C4).expect("build model");
+        let inputs = synthetic_batch(batch, 3, image, seed ^ 0x11E);
+        let expect: Vec<_> = inputs
+            .iter()
+            .map(|x| model.forward_scalar(x).expect("scalar walk"))
+            .collect();
+        baseline_ns += time_ns(iters, || {
+            for x in &inputs {
+                black_box(model.forward_scalar(black_box(x)).unwrap());
+            }
+        });
+        for t in [1usize, 4] {
+            let eng = engine(t, Lowering::Auto);
+            let got = model.forward_batch(&inputs, &eng).expect("batch forward");
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!(
+                    g.data(),
+                    e.data(),
+                    "{arch} executor mismatch at {t} threads"
+                );
+            }
+            let ns = time_ns(iters, || {
+                black_box(model.forward_batch(black_box(&inputs), &eng).unwrap());
+            });
+            entries.push(Entry {
+                name: arch.name(),
+                threads: t,
+                ns,
+            });
+        }
+    }
+    Section {
+        name: "arch_e2e",
+        config: format!("scale={scale} image={image}x{image} batch={batch}"),
+        baseline_name: "forward_scalar_all_archs",
+        baseline_ns,
+        entries,
+    }
+}
+
+/// Combined 4-thread arch_e2e wall time: the sum of the three real
+/// per-architecture measurements (the criteria denominator).
+fn arch_e2e_total_4t(archs: &Section) -> f64 {
+    Arch::ALL.iter().map(|a| archs.entry_ns(a.name(), 4)).sum()
+}
+
 fn emit_json(sections: &[Section], mode: &str, out_path: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -373,6 +437,7 @@ fn emit_json(sections: &[Section], mode: &str, out_path: &str) -> String {
     let gemm = &sections[0];
     let e2e = &sections[2];
     let comp = &sections[3];
+    let archs = &sections[4];
     s.push_str("  \"criteria\": [\n");
     s.push_str(&format!(
         "    {{\"name\": \"gemm_tiled_1t_speedup\", \"target\": 1.5, \"measured\": {:.3}}},\n",
@@ -390,8 +455,14 @@ fn emit_json(sections: &[Section], mode: &str, out_path: &str) -> String {
     ));
     // Like-for-like deployment: stream decode vs offline decompress+pack.
     s.push_str(&format!(
-        "    {{\"name\": \"stream_deploy_vs_offline_deploy\", \"target\": 1.5, \"measured\": {:.3}}}\n",
+        "    {{\"name\": \"stream_deploy_vs_offline_deploy\", \"target\": 1.5, \"measured\": {:.3}}},\n",
         comp.entry_ns("offline_deploy", 1) / comp.entry_ns("stream_deploy", 1)
+    ));
+    // The graph executor must beat the scalar walk across every built-in
+    // architecture combined.
+    s.push_str(&format!(
+        "    {{\"name\": \"arch_e2e_4t_speedup\", \"target\": 1.5, \"measured\": {:.3}}}\n",
+        archs.baseline_ns / arch_e2e_total_4t(archs)
     ));
     s.push_str("  ]\n");
     s.push_str("}\n");
@@ -408,8 +479,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("sections")
         .and_then(|v| v.as_arr())
         .ok_or("sections must be an array")?;
-    if sections.len() != 4 {
-        return Err(format!("expected 4 sections, found {}", sections.len()));
+    if sections.len() != 5 {
+        return Err(format!("expected 5 sections, found {}", sections.len()));
     }
     for sec in sections {
         let name = sec
@@ -449,8 +520,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("criteria")
         .and_then(|v| v.as_arr())
         .ok_or("criteria must be an array")?;
-    if criteria.len() != 4 {
-        return Err("expected 4 criteria".into());
+    if criteria.len() != 5 {
+        return Err("expected 5 criteria".into());
     }
     Ok(())
 }
@@ -473,6 +544,7 @@ fn main() {
         bench_conv(smoke, seed),
         bench_e2e(smoke, seed),
         bench_compressed(smoke, seed),
+        bench_arch_e2e(smoke, seed),
     ];
 
     let mut table = TablePrinter::new();
@@ -518,13 +590,15 @@ fn main() {
     let gemm = &sections[0];
     let e2e = &sections[2];
     let comp = &sections[3];
+    let archs = &sections[4];
     println!(
         "criteria: gemm tiled 1t speedup {:.2}x (target 1.5x), e2e 8t speedup {:.2}x (target 4x), \
          compressed stream 1t speedup {:.2}x (target 1x), stream vs offline deploy {:.2}x \
-         (target 1.5x)",
+         (target 1.5x), arch e2e 4t speedup {:.2}x (target 1.5x)",
         gemm.baseline_ns / gemm.entry_ns("tiled", 1),
         e2e.baseline_ns / e2e.entry_ns("engine_batch", 8),
         comp.baseline_ns / comp.entry_ns("stream_deploy_forward", 1),
         comp.entry_ns("offline_deploy", 1) / comp.entry_ns("stream_deploy", 1),
+        archs.baseline_ns / arch_e2e_total_4t(archs),
     );
 }

@@ -16,7 +16,9 @@ use simcpu::run::{run_model, Mode};
 fn model_workloads(image: usize) -> Vec<bitnn::model::LayerWorkload> {
     let mut cfg = ReActNetConfig::full();
     cfg.image_size = image;
-    ReActNet::new(cfg, 1).workloads()
+    ReActNet::new(cfg, 1)
+        .expect("valid sweep config")
+        .workloads()
 }
 
 fn speedup(cpu: &CpuConfig, wls: &[bitnn::model::LayerWorkload], ratio: f64) -> f64 {

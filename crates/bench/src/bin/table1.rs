@@ -20,7 +20,7 @@ fn main() {
 
     let mut model_cfg = ReActNetConfig::full();
     model_cfg.image_size = image;
-    let model = ReActNet::new(model_cfg, seed);
+    let model = ReActNet::new(model_cfg, seed).expect("valid config");
 
     let storage = model.storage_breakdown();
     let cpu = CpuConfig::default();

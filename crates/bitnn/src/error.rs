@@ -26,6 +26,9 @@ pub enum BitnnError {
     },
     /// A layer was configured with invalid hyper-parameters.
     InvalidConfig(String),
+    /// An operation was asked for a geometry the implementation does not
+    /// support (e.g. a shortcut stride other than 1 or 2).
+    Unsupported(String),
 }
 
 impl fmt::Display for BitnnError {
@@ -38,6 +41,7 @@ impl fmt::Display for BitnnError {
                 write!(f, "dimension mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
             }
             BitnnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BitnnError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
@@ -63,6 +67,8 @@ mod tests {
         assert!(e.to_string().contains("gemm"));
         let e = BitnnError::InvalidConfig("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = BitnnError::Unsupported("stride 3".into());
+        assert!(e.to_string().contains("stride 3"));
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! The graph executor: lowers a validated node list onto the execution
+//! engine, fusing the `conv → bn → (+shortcut) → act` patterns onto the
+//! same fused stages the ReActNet block path uses.
+//!
+//! Planning happens once, at [`crate::graph::ModelGraph`] construction:
+//! the node list is walked, sign nodes are folded into their consuming
+//! convolutions (binarize + channel-pack straight into the engine's
+//! scratch), and every `BinConv → BatchNorm → Add → Act` chain whose
+//! intermediates are single-use is matched to one of the two fused
+//! element-wise kernels ([`fuse_spatial_stage`] for the stride-2
+//! average-pool shortcut, [`fuse_channel_stage`] for the identity and
+//! channel-duplication shortcuts). Everything else runs node-by-node.
+//! Both paths are bit-exact with the scalar walk ([`run_scalar`]): the
+//! convolutions are integer, and the fused float stages apply the same
+//! per-element operations in the same order.
+
+use crate::engine::{Engine, Scratch};
+use crate::error::{BitnnError, Result};
+use crate::layers::{avg_pool_2x2, global_avg_pool, Layer};
+use crate::model::block::{add, fuse_channel_stage, fuse_spatial_stage, shortcut_channels};
+use crate::pack::PackedActivations;
+use crate::tensor::{BitTensor, Tensor};
+
+use super::{GraphNode, NodeOp};
+
+/// One planned execution step. Node indices refer to the graph's node
+/// list; each step produces the value of its `node`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// The graph input.
+    Input { node: usize },
+    /// 8-bit stem convolution.
+    Stem { node: usize, src: usize },
+    /// Sign + binary convolution (the sign node is folded in).
+    Conv {
+        node: usize,
+        sign: usize,
+        src: usize,
+    },
+    /// Stand-alone batch-norm.
+    Bn { node: usize, src: usize },
+    /// Stand-alone RPReLU.
+    Act { node: usize, src: usize },
+    /// 2×2 average pool.
+    AvgPool { node: usize, src: usize },
+    /// Channel duplication.
+    ChannelDup { node: usize, src: usize },
+    /// Element-wise add.
+    Add { node: usize, a: usize, b: usize },
+    /// Global average pool.
+    GlobalPool { node: usize, src: usize },
+    /// 8-bit classifier.
+    Classifier { node: usize, src: usize },
+    /// `sign(src) → conv(stride 2) → bn → (+ avg_pool(src)) → act`,
+    /// with the pool computed on the fly inside the fused kernel.
+    /// Produces the value of `act`.
+    FusedSpatial {
+        act: usize,
+        sign: usize,
+        conv: usize,
+        bn: usize,
+        src: usize,
+    },
+    /// `sign(src) → conv(stride 1) → bn → (+ src or channel_dup(src)) →
+    /// act`. Produces the value of `act`.
+    FusedChannel {
+        act: usize,
+        sign: usize,
+        conv: usize,
+        bn: usize,
+        src: usize,
+    },
+}
+
+impl Step {
+    /// The node whose value this step produces.
+    fn output(&self) -> usize {
+        match *self {
+            Step::Input { node }
+            | Step::Stem { node, .. }
+            | Step::Conv { node, .. }
+            | Step::Bn { node, .. }
+            | Step::Act { node, .. }
+            | Step::AvgPool { node, .. }
+            | Step::ChannelDup { node, .. }
+            | Step::Add { node, .. }
+            | Step::GlobalPool { node, .. }
+            | Step::Classifier { node, .. } => node,
+            Step::FusedSpatial { act, .. } | Step::FusedChannel { act, .. } => act,
+        }
+    }
+
+    /// Node values this step reads.
+    fn reads(&self) -> Vec<usize> {
+        match *self {
+            Step::Input { .. } => vec![],
+            Step::Stem { src, .. }
+            | Step::Conv { src, .. }
+            | Step::Bn { src, .. }
+            | Step::Act { src, .. }
+            | Step::AvgPool { src, .. }
+            | Step::ChannelDup { src, .. }
+            | Step::GlobalPool { src, .. }
+            | Step::Classifier { src, .. }
+            | Step::FusedSpatial { src, .. }
+            | Step::FusedChannel { src, .. } => vec![src],
+            Step::Add { a, b, .. } => vec![a, b],
+        }
+    }
+}
+
+/// A compiled execution plan: fused steps plus per-value lifetimes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Plan {
+    pub(crate) steps: Vec<Step>,
+    /// `last_read[v]` = index of the last step that reads node `v`'s
+    /// value (`usize::MAX` when never read), so the executor can free
+    /// intermediates as soon as they are dead.
+    last_read: Vec<usize>,
+    /// The node whose value is the graph output.
+    output: usize,
+}
+
+/// Compile the node list into a plan. The graph must already be validated
+/// (see [`crate::graph::spec::GraphSpec::validate`]); planning itself only
+/// decides fusion.
+pub(crate) fn plan(nodes: &[GraphNode]) -> Plan {
+    let n = nodes.len();
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        for &src in &node.inputs {
+            consumers[src].push(i);
+        }
+    }
+    // Detect fusion roots: an Act node fed by a single-use Add of a
+    // single-use BatchNorm of a single-use BinConv of a Sign, where the
+    // other Add operand is the conv chain's source (identity), its 2x2
+    // average pool, or its channel duplication (each single-use).
+    let mut fused_at: Vec<Option<Step>> = vec![None; n];
+    let mut covered = vec![false; n];
+    for (i, node) in nodes.iter().enumerate() {
+        let NodeOp::Act(_) = node.op else { continue };
+        let ad = node.inputs[0];
+        if !matches!(nodes[ad].op, NodeOp::Add) || consumers[ad].len() != 1 {
+            continue;
+        }
+        let (p, q) = (nodes[ad].inputs[0], nodes[ad].inputs[1]);
+        // Identify which operand is the bn → conv chain.
+        let (bn, sc) = if matches!(nodes[p].op, NodeOp::BatchNorm(_)) {
+            (p, q)
+        } else if matches!(nodes[q].op, NodeOp::BatchNorm(_)) {
+            (q, p)
+        } else {
+            continue;
+        };
+        if consumers[bn].len() != 1 {
+            continue;
+        }
+        let conv = nodes[bn].inputs[0];
+        let NodeOp::BinConv(ref c) = nodes[conv].op else {
+            continue;
+        };
+        if consumers[conv].len() != 1 {
+            continue;
+        }
+        let sign = nodes[conv].inputs[0];
+        let src = nodes[sign].inputs[0];
+        let stride = c.params().stride;
+        let step = if sc == src && stride == 1 {
+            // Identity shortcut; the fused channel kernel's `ch % C`
+            // indexing degenerates to the identity when C_out == C_in.
+            Some(Step::FusedChannel {
+                act: i,
+                sign,
+                conv,
+                bn,
+                src,
+            })
+        } else if matches!(nodes[sc].op, NodeOp::ChannelDup)
+            && nodes[sc].inputs[0] == src
+            && consumers[sc].len() == 1
+            && stride == 1
+        {
+            covered[sc] = true;
+            Some(Step::FusedChannel {
+                act: i,
+                sign,
+                conv,
+                bn,
+                src,
+            })
+        } else if matches!(nodes[sc].op, NodeOp::AvgPool2x2)
+            && nodes[sc].inputs[0] == src
+            && consumers[sc].len() == 1
+            && stride == 2
+        {
+            covered[sc] = true;
+            Some(Step::FusedSpatial {
+                act: i,
+                sign,
+                conv,
+                bn,
+                src,
+            })
+        } else {
+            None
+        };
+        if let Some(step) = step {
+            covered[conv] = true;
+            covered[bn] = true;
+            covered[ad] = true;
+            fused_at[i] = Some(step);
+        }
+    }
+
+    let mut steps = Vec::with_capacity(n);
+    for (i, node) in nodes.iter().enumerate() {
+        if covered[i] {
+            continue;
+        }
+        if let Some(step) = fused_at[i].take() {
+            steps.push(step);
+            continue;
+        }
+        let step = match node.op {
+            NodeOp::Input { .. } => Step::Input { node: i },
+            NodeOp::StemConv(_) => Step::Stem {
+                node: i,
+                src: node.inputs[0],
+            },
+            // Sign nodes are folded into their consuming convolutions.
+            NodeOp::Sign(_) => continue,
+            NodeOp::BinConv(_) => Step::Conv {
+                node: i,
+                sign: node.inputs[0],
+                src: nodes[node.inputs[0]].inputs[0],
+            },
+            NodeOp::BatchNorm(_) => Step::Bn {
+                node: i,
+                src: node.inputs[0],
+            },
+            NodeOp::Act(_) => Step::Act {
+                node: i,
+                src: node.inputs[0],
+            },
+            NodeOp::AvgPool2x2 => Step::AvgPool {
+                node: i,
+                src: node.inputs[0],
+            },
+            NodeOp::ChannelDup => Step::ChannelDup {
+                node: i,
+                src: node.inputs[0],
+            },
+            NodeOp::Add => Step::Add {
+                node: i,
+                a: node.inputs[0],
+                b: node.inputs[1],
+            },
+            NodeOp::GlobalAvgPool => Step::GlobalPool {
+                node: i,
+                src: node.inputs[0],
+            },
+            NodeOp::Classifier(_) => Step::Classifier {
+                node: i,
+                src: node.inputs[0],
+            },
+        };
+        steps.push(step);
+    }
+
+    let mut last_read = vec![usize::MAX; n];
+    for (si, step) in steps.iter().enumerate() {
+        for v in step.reads() {
+            last_read[v] = si;
+        }
+    }
+    Plan {
+        steps,
+        last_read,
+        output: n - 1,
+    }
+}
+
+/// A node value during execution: the graph input is borrowed, everything
+/// else is owned.
+enum Val<'a> {
+    Borrowed(&'a Tensor),
+    Owned(Tensor),
+}
+
+impl Val<'_> {
+    fn get(&self) -> &Tensor {
+        match self {
+            Val::Borrowed(t) => t,
+            Val::Owned(t) => t,
+        }
+    }
+}
+
+/// Read a produced value; the plan's topological order guarantees it
+/// exists.
+fn value<'v>(values: &'v [Option<Val<'_>>], v: usize) -> &'v Tensor {
+    values[v].as_ref().expect("topological order").get()
+}
+
+/// Fetch the layer behind a node, panicking on a kind mismatch — the plan
+/// is derived from the same node list, so a mismatch is a planner bug.
+macro_rules! layer {
+    ($nodes:expr, $idx:expr, $variant:path) => {
+        match $nodes[$idx].op {
+            $variant(ref l) => l,
+            ref other => unreachable!("planner wired {} into a {:?}", $idx, other.tag()),
+        }
+    };
+}
+
+/// Run the plan through the execution engine (fused stages, scratch
+/// reuse). Bit-exact with [`run_scalar`].
+pub(crate) fn run(
+    nodes: &[GraphNode],
+    plan: &Plan,
+    input: &Tensor,
+    engine: &Engine,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let mut values: Vec<Option<Val>> = (0..nodes.len()).map(|_| None).collect();
+    for (si, step) in plan.steps.iter().enumerate() {
+        let produced: Val = match *step {
+            Step::Input { .. } => Val::Borrowed(input),
+            Step::Stem { src, node } => {
+                let stem = layer!(nodes, node, NodeOp::StemConv);
+                Val::Owned(stem.forward_fast(value(&values, src)))
+            }
+            Step::Conv { node, sign, src } => {
+                let sg = layer!(nodes, sign, NodeOp::Sign);
+                let conv = layer!(nodes, node, NodeOp::BinConv);
+                sg.binarize_into(value(&values, src), &mut scratch.bits);
+                scratch
+                    .packed
+                    .repack(&scratch.bits)
+                    .expect("4-D input validated by binarize");
+                let mut out = Tensor::default();
+                conv.forward_packed_with(&scratch.packed, engine, &mut scratch.conv, &mut out);
+                Val::Owned(out)
+            }
+            Step::Bn { node, src } => {
+                let bn = layer!(nodes, node, NodeOp::BatchNorm);
+                Val::Owned(bn.forward(value(&values, src)))
+            }
+            Step::Act { node, src } => {
+                let act = layer!(nodes, node, NodeOp::Act);
+                Val::Owned(act.forward(value(&values, src)))
+            }
+            Step::AvgPool { src, .. } => Val::Owned(avg_pool_2x2(value(&values, src))),
+            Step::ChannelDup { src, .. } => {
+                let x = value(&values, src);
+                Val::Owned(shortcut_channels(x, 2 * x.shape()[1]))
+            }
+            Step::Add { a, b, .. } => Val::Owned(add(value(&values, a), value(&values, b))),
+            Step::GlobalPool { src, .. } => Val::Owned(global_avg_pool(value(&values, src))),
+            Step::Classifier { node, src } => {
+                let fc = layer!(nodes, node, NodeOp::Classifier);
+                Val::Owned(fc.forward_2d(value(&values, src)))
+            }
+            Step::FusedSpatial {
+                act,
+                sign,
+                conv,
+                bn,
+                src,
+            } => {
+                let sg = layer!(nodes, sign, NodeOp::Sign);
+                let cv = layer!(nodes, conv, NodeOp::BinConv);
+                let bnl = layer!(nodes, bn, NodeOp::BatchNorm);
+                let al = layer!(nodes, act, NodeOp::Act);
+                let x = value(&values, src);
+                sg.binarize_into(x, &mut scratch.bits);
+                scratch
+                    .packed
+                    .repack(&scratch.bits)
+                    .expect("4-D input validated by binarize");
+                cv.forward_packed_with(
+                    &scratch.packed,
+                    engine,
+                    &mut scratch.conv,
+                    &mut scratch.conv_out,
+                );
+                let mut out = Tensor::default();
+                fuse_spatial_stage(&scratch.conv_out, x, 2, bnl, al, &mut out)?;
+                Val::Owned(out)
+            }
+            Step::FusedChannel {
+                act,
+                sign,
+                conv,
+                bn,
+                src,
+            } => {
+                let sg = layer!(nodes, sign, NodeOp::Sign);
+                let cv = layer!(nodes, conv, NodeOp::BinConv);
+                let bnl = layer!(nodes, bn, NodeOp::BatchNorm);
+                let al = layer!(nodes, act, NodeOp::Act);
+                let x = value(&values, src);
+                sg.binarize_into(x, &mut scratch.bits);
+                scratch
+                    .packed
+                    .repack(&scratch.bits)
+                    .expect("4-D input validated by binarize");
+                cv.forward_packed_with(
+                    &scratch.packed,
+                    engine,
+                    &mut scratch.conv,
+                    &mut scratch.conv_out,
+                );
+                Val::Owned(fuse_channel_stage(&scratch.conv_out, x, bnl, al))
+            }
+        };
+        let out_node = step.output();
+        values[out_node] = Some(produced);
+        // Free every value whose last reader has now run (keep the graph
+        // output alive).
+        for v in step.reads() {
+            if plan.last_read[v] == si && v != plan.output {
+                values[v] = None;
+            }
+        }
+    }
+    match values[plan.output].take() {
+        Some(Val::Owned(t)) => Ok(t),
+        Some(Val::Borrowed(t)) => Ok(t.clone()),
+        None => Err(BitnnError::InvalidConfig(
+            "graph produced no output value".into(),
+        )),
+    }
+}
+
+/// The scalar reference walk: per-node naive forwards, fresh allocations,
+/// no fusion, no engine — the graph-level twin of the frozen
+/// `ReActNet::forward_scalar` oracle. When `traces` is `Some`, the
+/// binarized input of every 3×3 binary convolution is appended in
+/// topological order (the bit sequences of the paper's Sec. I
+/// observation).
+pub(crate) fn run_scalar(
+    nodes: &[GraphNode],
+    input: &Tensor,
+    mut traces: Option<&mut Vec<BitTensor>>,
+) -> Result<Tensor> {
+    fn get(values: &[Option<Tensor>], v: usize) -> &Tensor {
+        values[v].as_ref().expect("topological order")
+    }
+    let mut values: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
+    for (i, node) in nodes.iter().enumerate() {
+        let out = match node.op {
+            NodeOp::Input { .. } => input.clone(),
+            NodeOp::StemConv(ref stem) => stem.forward(get(&values, node.inputs[0])),
+            NodeOp::Sign(_) => continue, // folded into the consuming conv
+            NodeOp::BinConv(ref conv) => {
+                let sign = node.inputs[0];
+                let sg = layer!(nodes, sign, NodeOp::Sign);
+                let bits = sg.binarize(get(&values, nodes[sign].inputs[0]));
+                let packed = PackedActivations::pack(&bits).expect("4-D input");
+                let y = conv.forward_packed(&packed);
+                if let Some(ref mut t) = traces {
+                    if conv.kernel_size() == (3, 3) {
+                        t.push(bits);
+                    }
+                }
+                y
+            }
+            NodeOp::BatchNorm(ref bn) => bn.forward(get(&values, node.inputs[0])),
+            NodeOp::Act(ref act) => act.forward(get(&values, node.inputs[0])),
+            NodeOp::AvgPool2x2 => avg_pool_2x2(get(&values, node.inputs[0])),
+            NodeOp::ChannelDup => {
+                let x = get(&values, node.inputs[0]);
+                shortcut_channels(x, 2 * x.shape()[1])
+            }
+            NodeOp::Add => add(get(&values, node.inputs[0]), get(&values, node.inputs[1])),
+            NodeOp::GlobalAvgPool => global_avg_pool(get(&values, node.inputs[0])),
+            NodeOp::Classifier(ref fc) => fc.forward_2d(get(&values, node.inputs[0])),
+        };
+        values[i] = Some(out);
+    }
+    values
+        .pop()
+        .flatten()
+        .ok_or_else(|| BitnnError::InvalidConfig("graph produced no output value".into()))
+}

@@ -1,0 +1,750 @@
+//! Layer-graph model IR: typed operator nodes, explicit edges, shape
+//! inference, and a fused graph executor.
+//!
+//! The paper's decode+packing unit and compression scheme are
+//! architecture-agnostic — they operate on binary 3×3 kernels regardless
+//! of which network produced them. This module makes the *execution* side
+//! equally agnostic: a [`ModelGraph`] is a DAG of typed nodes (stem conv,
+//! sign, binary conv, batch-norm, RPReLU, pools, shortcut add, channel
+//! duplication, classifier) that the executor lowers onto the
+//! [`crate::engine`] machinery, fusing every
+//! `conv → bn → (+shortcut) → act` chain onto the same fused element-wise
+//! kernels the ReActNet block path uses. New BNN topologies become data,
+//! not code: see [`arch`] for the built-in families
+//! (`reactnet`/`vggsmall`/`resnetlite`) and [`GraphBuilder`] for
+//! assembling custom ones.
+//!
+//! The weight-free twin of a `ModelGraph` is its [`GraphSpec`]: pure
+//! topology plus geometry, which the v2 model container serializes next
+//! to the compressed kernel streams and the timing simulator turns into
+//! [`crate::model::LayerWorkload`]s.
+//!
+//! ```
+//! use bitnn::graph::arch::{build_model, Arch};
+//! use bitnn::tensor::Tensor;
+//!
+//! let model = build_model(Arch::VggSmall, 0.0625, 16, 7).unwrap();
+//! let input = Tensor::zeros(&[1, 3, 16, 16]);
+//! let logits = model.forward(&input).unwrap();
+//! assert_eq!(logits.shape(), &[1, 10]);
+//! // The engine path is bit-exact with the scalar oracle.
+//! assert_eq!(logits.data(), model.forward_scalar(&input).unwrap().data());
+//! ```
+
+pub mod arch;
+mod exec;
+pub mod spec;
+
+pub use spec::{ConvGeometry, GraphSpec, NodeSpec, OpSpec, ShapeInfo};
+
+use crate::engine::{Engine, Scratch};
+use crate::error::{BitnnError, Result};
+use crate::layers::{BatchNorm, BinConv2d, QuantConv2d, QuantLinear, RPReLU, RSign};
+use crate::model::workload::LayerWorkload;
+use crate::pack::PackedKernel;
+use crate::tensor::{BitTensor, Tensor};
+
+/// A weighted graph operator: the layer object behind one [`OpSpec`].
+#[derive(Debug, Clone)]
+pub enum NodeOp {
+    /// The network input placeholder.
+    Input {
+        /// Input channels.
+        channels: usize,
+        /// Nominal square input side length (advisory; see
+        /// [`OpSpec::Input`]).
+        image: usize,
+    },
+    /// 8-bit quantized stem convolution (3×3, pad 1).
+    StemConv(QuantConv2d),
+    /// Shifted sign binarization; may only feed [`NodeOp::BinConv`].
+    Sign(RSign),
+    /// 1-bit convolution.
+    BinConv(BinConv2d),
+    /// Batch normalization.
+    BatchNorm(BatchNorm),
+    /// RPReLU activation.
+    Act(RPReLU),
+    /// 2×2 average pool, stride 2.
+    AvgPool2x2,
+    /// Channel duplication `C → 2C`.
+    ChannelDup,
+    /// Element-wise sum.
+    Add,
+    /// Global average pool.
+    GlobalAvgPool,
+    /// 8-bit quantized classifier.
+    Classifier(QuantLinear),
+}
+
+impl NodeOp {
+    /// The weight-free spec of this op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] for a stem conv that is not
+    /// 3×3 pad 1 (the only stem geometry the IR defines).
+    pub fn spec(&self) -> Result<OpSpec> {
+        Ok(match *self {
+            NodeOp::Input { channels, image } => OpSpec::Input { channels, image },
+            NodeOp::StemConv(ref q) => {
+                if q.kernel_size() != (3, 3) || q.params().pad != 1 {
+                    return Err(BitnnError::InvalidConfig(format!(
+                        "stem conv must be 3x3 pad 1, got {:?} pad {}",
+                        q.kernel_size(),
+                        q.params().pad
+                    )));
+                }
+                OpSpec::StemConv {
+                    out_ch: q.filters(),
+                    stride: q.params().stride,
+                }
+            }
+            NodeOp::Sign(_) => OpSpec::Sign,
+            NodeOp::BinConv(ref c) => {
+                let (kh, kw) = c.kernel_size();
+                OpSpec::BinConv {
+                    out_ch: c.filters(),
+                    kh,
+                    kw,
+                    stride: c.params().stride,
+                    pad: c.params().pad,
+                }
+            }
+            NodeOp::BatchNorm(_) => OpSpec::BatchNorm,
+            NodeOp::Act(_) => OpSpec::Act,
+            NodeOp::AvgPool2x2 => OpSpec::AvgPool2x2,
+            NodeOp::ChannelDup => OpSpec::ChannelDup,
+            NodeOp::Add => OpSpec::Add,
+            NodeOp::GlobalAvgPool => OpSpec::GlobalAvgPool,
+            NodeOp::Classifier(ref l) => OpSpec::Classifier {
+                classes: l.out_features(),
+            },
+        })
+    }
+
+    /// Short lowercase tag (mirrors [`OpSpec::tag`]).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            NodeOp::Input { .. } => "input",
+            NodeOp::StemConv(_) => "stem_conv",
+            NodeOp::Sign(_) => "sign",
+            NodeOp::BinConv(_) => "bin_conv",
+            NodeOp::BatchNorm(_) => "batch_norm",
+            NodeOp::Act(_) => "act",
+            NodeOp::AvgPool2x2 => "avg_pool_2x2",
+            NodeOp::ChannelDup => "channel_dup",
+            NodeOp::Add => "add",
+            NodeOp::GlobalAvgPool => "global_avg_pool",
+            NodeOp::Classifier(_) => "classifier",
+        }
+    }
+
+    /// Per-channel parameter count of the owned layer, if any — used by
+    /// the weight cross-check in [`ModelGraph::new`].
+    fn channel_count(&self) -> Option<usize> {
+        match self {
+            NodeOp::Sign(s) => Some(s.channels()),
+            NodeOp::BatchNorm(b) => Some(b.channels()),
+            NodeOp::Act(a) => Some(a.channels()),
+            _ => None,
+        }
+    }
+}
+
+/// One node of a weighted model graph.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Display name (e.g. `"block3.conv3x3"`).
+    pub name: String,
+    /// The weighted operator.
+    pub op: NodeOp,
+    /// Producer nodes (topologically earlier).
+    pub inputs: Vec<usize>,
+}
+
+/// Incrementally assemble a [`ModelGraph`]. `push` returns the new node's
+/// id for wiring later nodes; `finish` validates and compiles the
+/// execution plan.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    arch: String,
+    nodes: Vec<GraphNode>,
+}
+
+impl GraphBuilder {
+    /// Start a graph for `arch` with its input node (`[N, channels,
+    /// image, image]`); the input's id is 0.
+    pub fn new(arch: impl Into<String>, channels: usize, image: usize) -> Self {
+        GraphBuilder {
+            arch: arch.into(),
+            nodes: vec![GraphNode {
+                name: "input".into(),
+                op: NodeOp::Input { channels, image },
+                inputs: Vec::new(),
+            }],
+        }
+    }
+
+    /// Append a node reading from `inputs`; returns its id.
+    pub fn push(&mut self, name: impl Into<String>, op: NodeOp, inputs: &[usize]) -> usize {
+        self.nodes.push(GraphNode {
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Validate and compile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] for any topology, shape, or
+    /// layer-geometry inconsistency (see [`GraphSpec::validate`]).
+    pub fn finish(self) -> Result<ModelGraph> {
+        ModelGraph::new(self.arch, self.nodes)
+    }
+}
+
+/// A weighted, validated, executable model graph.
+///
+/// Construction validates the topology (via the derived [`GraphSpec`]),
+/// cross-checks every layer's geometry against the inferred shapes, and
+/// compiles the fused execution plan once; forwards then run against the
+/// plan. All forward paths are bit-exact with each other.
+#[derive(Debug, Clone)]
+pub struct ModelGraph {
+    nodes: Vec<GraphNode>,
+    spec: GraphSpec,
+    plan: exec::Plan,
+    /// Compressible (3×3 binary conv) node ids, topological order.
+    conv3: Vec<usize>,
+}
+
+impl ModelGraph {
+    /// Build from a node list (see [`GraphBuilder`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] for any topology or shape
+    /// violation, or when a layer's channel/feature counts disagree with
+    /// the shapes inferred from the graph.
+    pub fn new(arch: impl Into<String>, nodes: Vec<GraphNode>) -> Result<Self> {
+        let spec = GraphSpec {
+            arch: arch.into(),
+            nodes: nodes
+                .iter()
+                .map(|n| {
+                    Ok(NodeSpec {
+                        op: n.op.spec()?,
+                        inputs: n.inputs.clone(),
+                    })
+                })
+                .collect::<Result<_>>()?,
+        };
+        let shapes = spec.shapes()?;
+        // Cross-check owned layer geometry against the inferred shapes.
+        for (i, node) in nodes.iter().enumerate() {
+            let in_ch = node.inputs.first().map(|&src| match shapes[src] {
+                ShapeInfo::Map { ch, .. } => ch,
+                ShapeInfo::Flat { features } => features,
+            });
+            let mismatch = |what: &str, got: usize| {
+                Err(BitnnError::InvalidConfig(format!(
+                    "node {i} ({}): {what} is {got}, the graph feeds it {}",
+                    node.name,
+                    in_ch.unwrap_or(0)
+                )))
+            };
+            match &node.op {
+                NodeOp::StemConv(q) if Some(q.channels()) != in_ch => {
+                    return mismatch("stem input channels", q.channels())
+                }
+                NodeOp::BinConv(c) if Some(c.in_channels()) != in_ch => {
+                    return mismatch("conv input channels", c.in_channels())
+                }
+                NodeOp::Classifier(l) if Some(l.in_features()) != in_ch => {
+                    return mismatch("classifier input features", l.in_features())
+                }
+                op => {
+                    if let Some(ch) = op.channel_count() {
+                        if Some(ch) != in_ch {
+                            return mismatch("layer channel count", ch);
+                        }
+                    }
+                }
+            }
+        }
+        let plan = exec::plan(&nodes);
+        let conv3 = spec.conv3_geometries().iter().map(|g| g.node).collect();
+        Ok(ModelGraph {
+            nodes,
+            spec,
+            plan,
+            conv3,
+        })
+    }
+
+    /// Architecture tag.
+    pub fn arch(&self) -> &str {
+        &self.spec.arch
+    }
+
+    /// The weight-free IR of this graph.
+    pub fn spec(&self) -> &GraphSpec {
+        &self.spec
+    }
+
+    /// The nodes, in topological order.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// Number of compressible binary 3×3 convolutions.
+    pub fn num_conv3(&self) -> usize {
+        self.conv3.len()
+    }
+
+    /// Node id of compressible conv `i` (topological order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn conv3_node(&self, i: usize) -> usize {
+        self.conv3[i]
+    }
+
+    /// The binary 3×3 kernel of compressible conv `i` (the object of
+    /// compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn conv3_weights(&self, i: usize) -> &BitTensor {
+        match &self.nodes[self.conv3[i]].op {
+            NodeOp::BinConv(c) => c.weights(),
+            _ => unreachable!("conv3 ids index BinConv nodes"),
+        }
+    }
+
+    fn conv3_mut(&mut self, i: usize) -> Result<&mut BinConv2d> {
+        let node = *self.conv3.get(i).ok_or_else(|| {
+            BitnnError::InvalidConfig(format!(
+                "conv index {i} out of range ({} compressible convs)",
+                self.conv3.len()
+            ))
+        })?;
+        match &mut self.nodes[node].op {
+            NodeOp::BinConv(c) => Ok(c),
+            _ => unreachable!("conv3 ids index BinConv nodes"),
+        }
+    }
+
+    /// Replace compressible conv `i`'s kernel from a flat tensor (the
+    /// offline decompress path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] if `i` is out of range or
+    /// the shape changes.
+    pub fn set_conv3_weights(&mut self, i: usize, weights: BitTensor) -> Result<()> {
+        let conv = self.conv3_mut(i)?;
+        let want = [
+            conv.filters(),
+            conv.in_channels(),
+            conv.kernel_size().0,
+            conv.kernel_size().1,
+        ];
+        if weights.shape() != want {
+            return Err(BitnnError::InvalidConfig(format!(
+                "conv {i}: replacement kernel is {:?}, the graph needs {want:?}",
+                weights.shape()
+            )));
+        }
+        conv.set_weights(weights);
+        Ok(())
+    }
+
+    /// Replace compressible conv `i`'s kernel with already channel-packed
+    /// lane words (the streaming decode path — no intermediate flat
+    /// tensor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] if `i` is out of range or
+    /// the packed geometry changes.
+    pub fn set_conv3_packed(&mut self, i: usize, packed: PackedKernel) -> Result<()> {
+        let conv = self.conv3_mut(i)?;
+        let want = (
+            conv.filters(),
+            conv.in_channels(),
+            conv.kernel_size().0,
+            conv.kernel_size().1,
+        );
+        let got = (
+            packed.filters(),
+            packed.channels(),
+            packed.kh(),
+            packed.kw(),
+        );
+        if got != want {
+            return Err(BitnnError::InvalidConfig(format!(
+                "conv {i}: replacement packed kernel is {got:?}, the graph needs {want:?}"
+            )));
+        }
+        conv.set_packed(packed);
+        Ok(())
+    }
+
+    /// Per-layer workload descriptors for the timing simulator.
+    pub fn workloads(&self) -> Vec<LayerWorkload> {
+        self.spec.workloads()
+    }
+
+    /// Forward pass on the calling thread through the engine's fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError`] for unsupported runtime geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, C, H, W]` with the graph's input
+    /// channel count.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.forward_with(input, &Engine::single_threaded(), &mut Scratch::default())
+    }
+
+    /// Forward pass under an explicit engine policy with caller-owned
+    /// scratch buffers. Bit-exact with [`Self::forward_scalar`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError`] for unsupported runtime geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, C, H, W]` with the graph's input
+    /// channel count.
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        engine: &Engine,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        self.check_input(input);
+        exec::run(&self.nodes, &self.plan, input, engine, scratch)
+    }
+
+    /// Forward a batch of independent inputs, chunking items across the
+    /// engine's workers (each worker runs the single-threaded fast path
+    /// with its own scratch). Results are in input order and bit-exact
+    /// with per-item [`Self::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first item error, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input shape does not match the graph.
+    pub fn forward_batch(&self, inputs: &[Tensor], engine: &Engine) -> Result<Vec<Tensor>> {
+        let mut slots: Vec<Option<Result<Tensor>>> = inputs.iter().map(|_| None).collect();
+        let inner = engine.inner();
+        engine.parallel_chunks(&mut slots, 1, 1, |first, band| {
+            let mut scratch = Scratch::default();
+            for (i, slot) in band.iter_mut().enumerate() {
+                *slot = Some(self.forward_with(&inputs[first + i], &inner, &mut scratch));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|t| t.expect("every batch item computed"))
+            .collect()
+    }
+
+    /// The scalar reference walk: naive per-node forwards, fresh
+    /// allocations, no fusion — the graph-level bit-exactness oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError`] for unsupported runtime geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the graph.
+    pub fn forward_scalar(&self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input);
+        exec::run_scalar(&self.nodes, input, None)
+    }
+
+    /// Scalar forward that also returns the binarized input of every
+    /// 3×3 binary convolution, in topological order — the activation bit
+    /// tensors of the paper's Sec. I observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError`] for unsupported runtime geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the graph.
+    pub fn forward_traced(&self, input: &Tensor) -> Result<(Tensor, Vec<BitTensor>)> {
+        self.check_input(input);
+        let mut traces = Vec::with_capacity(self.conv3.len());
+        let out = exec::run_scalar(&self.nodes, input, Some(&mut traces))?;
+        Ok((out, traces))
+    }
+
+    fn check_input(&self, input: &Tensor) {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, H, W]");
+        if let NodeOp::Input { channels, .. } = self.nodes[0].op {
+            assert_eq!(shape[1], channels, "input channel mismatch");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::Conv2dParams;
+    use crate::weightgen::{random_floats, random_kernel};
+
+    /// A tiny hand-built plain graph:
+    /// input → stem → sign → conv3x3 → bn → act → gap → fc.
+    fn plain_graph(seed: u64) -> ModelGraph {
+        let c = 8;
+        let stem_w = Tensor::from_vec(&[c, 3, 3, 3], random_floats(c * 3 * 9, 1.0, seed)).unwrap();
+        let mut b = GraphBuilder::new("test-plain", 3, 16);
+        let stem = b.push(
+            "stem",
+            NodeOp::StemConv(QuantConv2d::from_float(
+                &stem_w,
+                Conv2dParams { stride: 2, pad: 1 },
+            )),
+            &[0],
+        );
+        let sign = b.push("sign", NodeOp::Sign(RSign::zero(c)), &[stem]);
+        let conv = b.push(
+            "conv",
+            NodeOp::BinConv(BinConv2d::new(
+                random_kernel(&[c, c, 3, 3], seed ^ 1),
+                Conv2dParams { stride: 1, pad: 1 },
+            )),
+            &[sign],
+        );
+        let bn = b.push("bn", NodeOp::BatchNorm(BatchNorm::identity(c)), &[conv]);
+        let act = b.push("act", NodeOp::Act(RPReLU::plain(c, 0.25)), &[bn]);
+        let gap = b.push("gap", NodeOp::GlobalAvgPool, &[act]);
+        b.push(
+            "fc",
+            NodeOp::Classifier(QuantLinear::from_float(
+                &random_floats(10 * c, 0.5, seed ^ 2),
+                10,
+                c,
+            )),
+            &[gap],
+        );
+        b.finish().unwrap()
+    }
+
+    /// A residual graph exercising all three fused shortcut forms.
+    fn residual_graph(seed: u64) -> ModelGraph {
+        let c = 8;
+        let stem_w = Tensor::from_vec(&[c, 3, 3, 3], random_floats(c * 3 * 9, 1.0, seed)).unwrap();
+        let mut b = GraphBuilder::new("test-residual", 3, 16);
+        let mut x = b.push(
+            "stem",
+            NodeOp::StemConv(QuantConv2d::from_float(
+                &stem_w,
+                Conv2dParams { stride: 2, pad: 1 },
+            )),
+            &[0],
+        );
+        // Identity-shortcut block (stride 1).
+        let sign = b.push("b1.sign", NodeOp::Sign(RSign::zero(c)), &[x]);
+        let conv = b.push(
+            "b1.conv",
+            NodeOp::BinConv(BinConv2d::new(
+                random_kernel(&[c, c, 3, 3], seed ^ 3),
+                Conv2dParams { stride: 1, pad: 1 },
+            )),
+            &[sign],
+        );
+        let bn = b.push("b1.bn", NodeOp::BatchNorm(BatchNorm::identity(c)), &[conv]);
+        let addn = b.push("b1.add", NodeOp::Add, &[bn, x]);
+        x = b.push("b1.act", NodeOp::Act(RPReLU::plain(c, 0.25)), &[addn]);
+        // Pool-shortcut block (stride 2).
+        let sign = b.push("b2.sign", NodeOp::Sign(RSign::zero(c)), &[x]);
+        let conv = b.push(
+            "b2.conv",
+            NodeOp::BinConv(BinConv2d::new(
+                random_kernel(&[c, c, 3, 3], seed ^ 4),
+                Conv2dParams { stride: 2, pad: 1 },
+            )),
+            &[sign],
+        );
+        let bn = b.push("b2.bn", NodeOp::BatchNorm(BatchNorm::identity(c)), &[conv]);
+        let pool = b.push("b2.pool", NodeOp::AvgPool2x2, &[x]);
+        let addn = b.push("b2.add", NodeOp::Add, &[bn, pool]);
+        x = b.push("b2.act", NodeOp::Act(RPReLU::plain(c, 0.25)), &[addn]);
+        // Channel-duplication block (C → 2C).
+        let sign = b.push("b3.sign", NodeOp::Sign(RSign::zero(c)), &[x]);
+        let conv = b.push(
+            "b3.conv",
+            NodeOp::BinConv(BinConv2d::new(
+                random_kernel(&[2 * c, c, 3, 3], seed ^ 5),
+                Conv2dParams { stride: 1, pad: 1 },
+            )),
+            &[sign],
+        );
+        let bn = b.push(
+            "b3.bn",
+            NodeOp::BatchNorm(BatchNorm::identity(2 * c)),
+            &[conv],
+        );
+        let dup = b.push("b3.dup", NodeOp::ChannelDup, &[x]);
+        let addn = b.push("b3.add", NodeOp::Add, &[bn, dup]);
+        x = b.push("b3.act", NodeOp::Act(RPReLU::plain(2 * c, 0.25)), &[addn]);
+        let gap = b.push("gap", NodeOp::GlobalAvgPool, &[x]);
+        b.push(
+            "fc",
+            NodeOp::Classifier(QuantLinear::from_float(
+                &random_floats(10 * 2 * c, 0.5, seed ^ 6),
+                10,
+                2 * c,
+            )),
+            &[gap],
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn engine_paths_match_scalar_on_plain_and_residual_graphs() {
+        for g in [plain_graph(11), residual_graph(12)] {
+            let inputs: Vec<Tensor> = (0..3)
+                .map(|i| {
+                    Tensor::from_vec(&[1, 3, 16, 16], random_floats(3 * 256, 1.0, 40 + i)).unwrap()
+                })
+                .collect();
+            let expect: Vec<Tensor> = inputs
+                .iter()
+                .map(|x| g.forward_scalar(x).unwrap())
+                .collect();
+            for threads in [1usize, 4] {
+                let engine = Engine::with_threads(threads);
+                let mut scratch = Scratch::default();
+                for (x, e) in inputs.iter().zip(&expect) {
+                    let y = g.forward_with(x, &engine, &mut scratch).unwrap();
+                    assert_eq!(y.data(), e.data(), "{} threads {threads}", g.arch());
+                }
+                let batched = g.forward_batch(&inputs, &engine).unwrap();
+                for (y, e) in batched.iter().zip(&expect) {
+                    assert_eq!(y.data(), e.data(), "batch, {} threads", threads);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_fusion_covers_all_blocks() {
+        // All three shortcut forms must compile to fused steps, not
+        // node-by-node evaluation.
+        let g = residual_graph(13);
+        let fused = g
+            .plan
+            .steps
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    super::exec::Step::FusedSpatial { .. } | super::exec::Step::FusedChannel { .. }
+                )
+            })
+            .count();
+        assert_eq!(fused, 3, "expected every block fused: {:?}", g.plan.steps);
+    }
+
+    #[test]
+    fn traced_returns_conv3_inputs() {
+        let g = residual_graph(14);
+        let x = Tensor::from_vec(&[1, 3, 16, 16], random_floats(3 * 256, 1.0, 50)).unwrap();
+        let (logits, traces) = g.forward_traced(&x).unwrap();
+        assert_eq!(logits.shape(), &[1, 10]);
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].shape(), &[1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn kernel_replacement_roundtrip() {
+        let mut g = plain_graph(15);
+        let x = Tensor::from_vec(&[1, 3, 16, 16], random_floats(3 * 256, 1.0, 51)).unwrap();
+        let y0 = g.forward(&x).unwrap();
+        let mut w = g.conv3_weights(0).clone();
+        for i in 0..w.len() {
+            w.set(i, !w.get(i));
+        }
+        // Tensor and packed deployment agree.
+        let mut via_packed = g.clone();
+        via_packed
+            .set_conv3_packed(0, PackedKernel::pack(&w).unwrap())
+            .unwrap();
+        g.set_conv3_weights(0, w).unwrap();
+        let y1 = g.forward(&x).unwrap();
+        assert_ne!(y0.data(), y1.data());
+        assert_eq!(y1.data(), via_packed.forward(&x).unwrap().data());
+        // Shape changes are typed errors, not panics.
+        assert!(g
+            .set_conv3_weights(0, BitTensor::zeros(&[1, 8, 3, 3]))
+            .is_err());
+        assert!(g
+            .set_conv3_packed(
+                9,
+                PackedKernel::pack(&BitTensor::zeros(&[8, 8, 3, 3])).unwrap()
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn layer_geometry_cross_check() {
+        // A bn whose channel count disagrees with the graph must be
+        // rejected at construction.
+        let c = 8;
+        let stem_w = Tensor::from_vec(&[c, 3, 3, 3], random_floats(c * 27, 1.0, 1)).unwrap();
+        let mut b = GraphBuilder::new("bad", 3, 16);
+        let stem = b.push(
+            "stem",
+            NodeOp::StemConv(QuantConv2d::from_float(
+                &stem_w,
+                Conv2dParams { stride: 2, pad: 1 },
+            )),
+            &[0],
+        );
+        let bn = b.push("bn", NodeOp::BatchNorm(BatchNorm::identity(c + 1)), &[stem]);
+        let gap = b.push("gap", NodeOp::GlobalAvgPool, &[bn]);
+        b.push(
+            "fc",
+            NodeOp::Classifier(QuantLinear::from_float(
+                &random_floats(10 * c, 0.5, 2),
+                10,
+                c,
+            )),
+            &[gap],
+        );
+        assert!(matches!(b.finish(), Err(BitnnError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn workloads_follow_the_graph() {
+        let g = residual_graph(16);
+        let wls = g.workloads();
+        // stem + 3 convs + fc.
+        assert_eq!(wls.len(), 5);
+        assert_eq!(wls[0].name, "input.conv");
+        assert_eq!(wls[4].name, "output.fc");
+        // Stride-2 block halves the spatial dims: 16 → stem 8 → b2 4.
+        assert_eq!(wls[2].oh, 4);
+    }
+}

@@ -24,7 +24,7 @@ pub mod sign;
 pub use batchnorm::BatchNorm;
 pub use binconv::BinConv2d;
 pub use binlinear::BinLinear;
-pub use pool::global_avg_pool;
+pub use pool::{avg_pool_2x2, global_avg_pool};
 pub use prelu::RPReLU;
 pub use quant::{QuantConv2d, QuantLinear};
 pub use sign::RSign;

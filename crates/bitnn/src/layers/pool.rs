@@ -28,6 +28,47 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
     out
 }
 
+/// 2×2 average pooling with stride 2 (odd trailing row/column averaged
+/// over the in-bounds window, matching the convolution's floor semantics
+/// for stride-2 output size with pad 1 on odd inputs handled by the
+/// caller's geometry). This is the spatial-shortcut pool of the ReActNet
+/// basic block and the downsampling stage of the plain-stack
+/// architectures.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn avg_pool_2x2(x: &Tensor) -> Tensor {
+    let shape = x.shape();
+    assert_eq!(shape.len(), 4, "avg_pool_2x2 expects a 4-D tensor");
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let oh = h.div_ceil(2);
+    let ow = w.div_ceil(2);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for img in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    let mut cnt = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let y = oy * 2 + dy;
+                            let xx = ox * 2 + dx;
+                            if y < h && xx < w {
+                                acc += x.at4(img, ch, y, xx);
+                                cnt += 1;
+                            }
+                        }
+                    }
+                    out.set4(img, ch, oy, ox, acc / cnt as f32);
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +93,21 @@ mod tests {
     #[should_panic(expected = "4-D")]
     fn rejects_non_4d() {
         global_avg_pool(&Tensor::zeros(&[2, 2]));
+    }
+
+    #[test]
+    fn avg_pool_2x2_averages_windows() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = avg_pool_2x2(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 2.5);
+    }
+
+    #[test]
+    fn avg_pool_2x2_odd_tail_uses_in_bounds_window() {
+        let x = Tensor::from_vec(&[1, 1, 1, 3], vec![1.0, 3.0, 5.0]).unwrap();
+        let y = avg_pool_2x2(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[2.0, 5.0]);
     }
 }

@@ -93,6 +93,16 @@ impl QuantConv2d {
         self.channels
     }
 
+    /// Kernel spatial size `(kh, kw)`.
+    pub fn kernel_size(&self) -> (usize, usize) {
+        (self.kh, self.kw)
+    }
+
+    /// Convolution hyper-parameters.
+    pub fn params(&self) -> Conv2dParams {
+        self.params
+    }
+
     #[inline]
     fn w_at(&self, k: usize, c: usize, y: usize, x: usize) -> i32 {
         self.weights_q[((k * self.channels + c) * self.kh + y) * self.kw + x] as i32

@@ -37,6 +37,7 @@
 pub mod bitword;
 pub mod engine;
 pub mod error;
+pub mod graph;
 pub mod infer;
 pub mod io;
 pub mod layers;
@@ -49,6 +50,8 @@ pub mod weightgen;
 
 pub use engine::{Engine, ExecPolicy, KernelForms, Lowering, Scratch};
 pub use error::{BitnnError, Result};
+pub use graph::arch::Arch;
+pub use graph::{GraphBuilder, GraphSpec, ModelGraph};
 pub use pack::{PackedActivations, PackedKernel};
 pub use tensor::{BitTensor, Tensor};
 

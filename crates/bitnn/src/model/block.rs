@@ -10,8 +10,9 @@
 //! channel-duplicated when the block doubles the channel count.
 
 use crate::engine::{Engine, Scratch};
+use crate::error::{BitnnError, Result};
 use crate::layers::prelu::apply_params;
-use crate::layers::{BatchNorm, BinConv2d, Layer, RPReLU, RSign};
+use crate::layers::{avg_pool_2x2, BatchNorm, BinConv2d, Layer, RPReLU, RSign};
 use crate::pack::PackedActivations;
 use crate::tensor::Tensor;
 
@@ -54,27 +55,39 @@ impl BasicBlock {
 
     /// Forward pass.
     ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::Unsupported`] for a shortcut stride other
+    /// than 1 or 2 ([`crate::model::ReActNetConfig::validate`] rejects
+    /// such configurations up front, so models built through
+    /// [`crate::model::ReActNet`] never hit this).
+    ///
     /// # Panics
     ///
     /// Panics if the input channel count does not match.
-    pub fn forward(&self, x: &Tensor) -> Tensor {
-        self.forward_traced(x).0
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(self.forward_traced(x)?.0)
     }
 
     /// Forward pass that also returns the binarized input of the 3×3
     /// stage — the activation bits the paper's Sec. I observation about
     /// "weights or inputs" refers to.
     ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::Unsupported`] for a shortcut stride other
+    /// than 1 or 2.
+    ///
     /// # Panics
     ///
     /// Panics if the input channel count does not match.
-    pub fn forward_traced(&self, x: &Tensor) -> (Tensor, crate::tensor::BitTensor) {
+    pub fn forward_traced(&self, x: &Tensor) -> Result<(Tensor, crate::tensor::BitTensor)> {
         // --- 3x3 stage ---
         let bits_3x3 = self.sign1.binarize(x);
         let packed = PackedActivations::pack(&bits_3x3).expect("4-D input");
         let conv_out = self.conv3.forward_packed(&packed);
         let bn_out = self.bn1.forward(&conv_out);
-        let shortcut = shortcut_spatial(x, self.stride());
+        let shortcut = shortcut_spatial(x, self.stride())?;
         let mid = self.act1.forward(&add(&bn_out, &shortcut));
 
         // --- 1x1 stage ---
@@ -83,7 +96,7 @@ impl BasicBlock {
         let conv_out = self.conv1.forward_packed(&packed);
         let bn_out = self.bn2.forward(&conv_out);
         let shortcut = shortcut_channels(&mid, self.out_channels());
-        (self.act2.forward(&add(&bn_out, &shortcut)), bits_3x3)
+        Ok((self.act2.forward(&add(&bn_out, &shortcut)), bits_3x3))
     }
 
     /// Forward pass through the execution engine with scratch-buffer
@@ -95,10 +108,20 @@ impl BasicBlock {
     /// per-element operation order as the scalar path, so the float
     /// results are identical).
     ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::Unsupported`] for a shortcut stride other
+    /// than 1 or 2.
+    ///
     /// # Panics
     ///
     /// Panics if the input channel count does not match.
-    pub fn forward_with(&self, x: &Tensor, engine: &Engine, scratch: &mut Scratch) -> Tensor {
+    pub fn forward_with(
+        &self,
+        x: &Tensor,
+        engine: &Engine,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
         // --- 3x3 stage ---
         self.sign1.binarize_into(x, &mut scratch.bits);
         scratch
@@ -118,7 +141,7 @@ impl BasicBlock {
             &self.bn1,
             &self.act1,
             &mut scratch.mid,
-        );
+        )?;
 
         // --- 1x1 stage ---
         self.sign2.binarize_into(&scratch.mid, &mut scratch.bits);
@@ -132,7 +155,12 @@ impl BasicBlock {
             &mut scratch.conv,
             &mut scratch.conv_out,
         );
-        fuse_channel_stage(&scratch.conv_out, &scratch.mid, &self.bn2, &self.act2)
+        Ok(fuse_channel_stage(
+            &scratch.conv_out,
+            &scratch.mid,
+            &self.bn2,
+            &self.act2,
+        ))
     }
 
     /// Parameter storage in bits across all stages.
@@ -153,16 +181,18 @@ impl BasicBlock {
 /// two intermediate allocations. Applies, per element, exactly
 /// `act(bn(conv) + shortcut)` in the scalar path's operation order, with
 /// the stride-2 average-pool shortcut computed on the fly. Dispatches to
-/// an AVX2 instantiation when available (see [`crate::simd`]).
+/// an AVX2 instantiation when available (see [`crate::simd`]). Shared
+/// with the graph executor ([`crate::graph`]), which fuses the same
+/// pattern wherever it appears in a model graph.
 #[inline]
-fn fuse_spatial_stage(
+pub(crate) fn fuse_spatial_stage(
     conv: &Tensor,
     x: &Tensor,
     stride: usize,
     bn: &BatchNorm,
     act: &RPReLU,
     out: &mut Tensor,
-) {
+) -> Result<()> {
     #[cfg(target_arch = "x86_64")]
     {
         /// AVX2 instantiation of [`fuse_spatial_portable`].
@@ -174,15 +204,15 @@ fn fuse_spatial_stage(
             bn: &BatchNorm,
             act: &RPReLU,
             out: &mut Tensor,
-        ) {
-            fuse_spatial_portable(conv, x, stride, bn, act, out);
+        ) -> Result<()> {
+            fuse_spatial_portable(conv, x, stride, bn, act, out)
         }
         if crate::simd::avx2() {
             // SAFETY: avx2 was detected at runtime.
             return unsafe { fuse_spatial_avx2(conv, x, stride, bn, act, out) };
         }
     }
-    fuse_spatial_portable(conv, x, stride, bn, act, out);
+    fuse_spatial_portable(conv, x, stride, bn, act, out)
 }
 
 /// Portable body of [`fuse_spatial_stage`].
@@ -194,7 +224,12 @@ fn fuse_spatial_portable(
     bn: &BatchNorm,
     act: &RPReLU,
     out: &mut Tensor,
-) {
+) -> Result<()> {
+    if stride != 1 && stride != 2 {
+        return Err(BitnnError::Unsupported(format!(
+            "shortcut stride {stride} (only 1 and 2 are defined)"
+        )));
+    }
     let shape = conv.shape();
     let (n, c, oh, ow) = (shape[0], shape[1], shape[2], shape[3]);
     let (h, w) = (x.shape()[2], x.shape()[3]);
@@ -220,7 +255,7 @@ fn fuse_spatial_portable(
                         *ov = apply_params(si, sl, so, (s * cv + o) + xv);
                     }
                 }
-                2 => {
+                _ => {
                     for oy in 0..oh {
                         for ox in 0..ow {
                             // 2×2 average pool with the trailing odd
@@ -244,18 +279,24 @@ fn fuse_spatial_portable(
                         }
                     }
                 }
-                s => panic!("unsupported shortcut stride {s}"),
             }
         }
     }
+    Ok(())
 }
 
 /// Fused `BatchNorm → (+ channel shortcut) → RPReLU` for the 1×1 stage.
 /// The channel-duplication shortcut (`C → 2C` blocks) reads channel
 /// `ch % C` of `mid` on the fly instead of materializing the widened
-/// tensor. Dispatches to an AVX2 instantiation when available.
+/// tensor. Dispatches to an AVX2 instantiation when available. Shared
+/// with the graph executor ([`crate::graph`]).
 #[inline]
-fn fuse_channel_stage(conv: &Tensor, mid: &Tensor, bn: &BatchNorm, act: &RPReLU) -> Tensor {
+pub(crate) fn fuse_channel_stage(
+    conv: &Tensor,
+    mid: &Tensor,
+    bn: &BatchNorm,
+    act: &RPReLU,
+) -> Tensor {
     #[cfg(target_arch = "x86_64")]
     {
         /// AVX2 instantiation of [`fuse_channel_portable`].
@@ -324,24 +365,27 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Spatial shortcut: identity for stride 1, 2×2 average pool for stride 2.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics for strides other than 1 or 2.
-fn shortcut_spatial(x: &Tensor, stride: usize) -> Tensor {
+/// Returns [`BitnnError::Unsupported`] for strides other than 1 or 2.
+fn shortcut_spatial(x: &Tensor, stride: usize) -> Result<Tensor> {
     match stride {
-        1 => x.clone(),
-        2 => avg_pool_2x2(x),
-        s => panic!("unsupported shortcut stride {s}"),
+        1 => Ok(x.clone()),
+        2 => Ok(avg_pool_2x2(x)),
+        s => Err(BitnnError::Unsupported(format!(
+            "shortcut stride {s} (only 1 and 2 are defined)"
+        ))),
     }
 }
 
 /// Channel shortcut: identity when counts match, duplication (concat with
-/// itself) when the block doubles the channels.
+/// itself) when the block doubles the channels. Shared with the graph
+/// executor's `ChannelDup` node.
 ///
 /// # Panics
 ///
 /// Panics if `out_ch` is neither `C` nor `2C`.
-fn shortcut_channels(x: &Tensor, out_ch: usize) -> Tensor {
+pub(crate) fn shortcut_channels(x: &Tensor, out_ch: usize) -> Tensor {
     let shape = x.shape();
     let c = shape[1];
     if out_ch == c {
@@ -357,39 +401,6 @@ fn shortcut_channels(x: &Tensor, out_ch: usize) -> Tensor {
                     let v = x.at4(img, ch, y, xx);
                     out.set4(img, ch, y, xx, v);
                     out.set4(img, ch + c, y, xx, v);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// 2×2 average pooling with stride 2 (odd trailing row/column dropped,
-/// matching the convolution's floor semantics for stride-2 output size with
-/// pad 1 on odd inputs handled by the caller's geometry).
-fn avg_pool_2x2(x: &Tensor) -> Tensor {
-    let shape = x.shape();
-    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
-    let oh = h.div_ceil(2);
-    let ow = w.div_ceil(2);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    for img in 0..n {
-        for ch in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0;
-                    let mut cnt = 0;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let y = oy * 2 + dy;
-                            let xx = ox * 2 + dx;
-                            if y < h && xx < w {
-                                acc += x.at4(img, ch, y, xx);
-                                cnt += 1;
-                            }
-                        }
-                    }
-                    out.set4(img, ch, oy, ox, acc / cnt as f32);
                 }
             }
         }
@@ -427,7 +438,7 @@ mod tests {
     fn stride1_same_channels_preserves_shape() {
         let b = block(8, 8, 1, 42);
         let x = Tensor::full(&[1, 8, 6, 6], 0.5);
-        let y = b.forward(&x);
+        let y = b.forward(&x).unwrap();
         assert_eq!(y.shape(), &[1, 8, 6, 6]);
     }
 
@@ -435,7 +446,7 @@ mod tests {
     fn stride2_halves_spatial() {
         let b = block(8, 8, 2, 43);
         let x = Tensor::full(&[1, 8, 8, 8], 0.5);
-        let y = b.forward(&x);
+        let y = b.forward(&x).unwrap();
         assert_eq!(y.shape(), &[1, 8, 4, 4]);
     }
 
@@ -443,7 +454,7 @@ mod tests {
     fn channel_doubling_block() {
         let b = block(8, 16, 1, 44);
         let x = Tensor::full(&[1, 8, 4, 4], -0.5);
-        let y = b.forward(&x);
+        let y = b.forward(&x).unwrap();
         assert_eq!(y.shape(), &[1, 16, 4, 4]);
     }
 
@@ -451,7 +462,7 @@ mod tests {
     fn stride2_and_doubling_together() {
         let b = block(8, 16, 2, 45);
         let x = Tensor::full(&[1, 8, 7, 7], 1.0); // odd input
-        let y = b.forward(&x);
+        let y = b.forward(&x).unwrap();
         // pad 1, k 3, stride 2: out = (7 + 2 - 3)/2 + 1 = 4.
         assert_eq!(y.shape(), &[1, 16, 4, 4]);
     }
@@ -471,11 +482,21 @@ mod tests {
     }
 
     #[test]
-    fn avg_pool_averages() {
-        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let y = avg_pool_2x2(&x);
-        assert_eq!(y.shape(), &[1, 1, 1, 1]);
-        assert_eq!(y.data()[0], 2.5);
+    fn unsupported_stride_is_a_typed_error() {
+        let b = block(8, 8, 3, 48);
+        let x = Tensor::full(&[1, 8, 6, 6], 0.5);
+        let scalar = b.forward(&x);
+        assert!(matches!(
+            scalar,
+            Err(crate::error::BitnnError::Unsupported(_))
+        ));
+        let engine = crate::engine::Engine::single_threaded();
+        let mut scratch = crate::engine::Scratch::default();
+        let fused = b.forward_with(&x, &engine, &mut scratch);
+        assert!(matches!(
+            fused,
+            Err(crate::error::BitnnError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -494,11 +515,11 @@ mod tests {
                 random_floats(2 * c_in * hw * hw, 1.0, 99),
             )
             .unwrap();
-            let scalar = b.forward(&x);
+            let scalar = b.forward(&x).unwrap();
             for threads in [1, 4] {
                 let engine = Engine::with_threads(threads);
                 let mut scratch = Scratch::default();
-                let fused = b.forward_with(&x, &engine, &mut scratch);
+                let fused = b.forward_with(&x, &engine, &mut scratch).unwrap();
                 assert_eq!(scalar.shape(), fused.shape());
                 assert_eq!(
                     scalar.data(),

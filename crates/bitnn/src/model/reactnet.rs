@@ -8,6 +8,8 @@
 //! (3×3 convolutions ≈ 68% of all bits).
 
 use crate::engine::{Engine, Scratch};
+use crate::error::{BitnnError, Result};
+use crate::graph::{GraphNode, ModelGraph, NodeOp};
 use crate::layers::{
     global_avg_pool, BatchNorm, BinConv2d, Layer, QuantConv2d, QuantLinear, RPReLU, RSign,
 };
@@ -88,7 +90,7 @@ impl ReActNetConfig {
     ///
     /// Returns a description of the inconsistency when the clamping
     /// breaks the `out_ch ∈ {C, 2C}` block invariant (very small scales).
-    pub fn scaled(scale: f64) -> Result<Self, String> {
+    pub fn scaled(scale: f64) -> std::result::Result<Self, String> {
         if !scale.is_finite() || scale <= 0.0 {
             return Err("scale must be positive".into());
         }
@@ -132,7 +134,7 @@ impl ReActNetConfig {
     /// # Errors
     ///
     /// Returns a description of the first inconsistency found.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> std::result::Result<(), String> {
         if self.blocks.is_empty() {
             return Err("at least one block is required".into());
         }
@@ -220,12 +222,19 @@ impl ReActNetConfig {
 }
 
 /// The assembled network.
+///
+/// The blocks are the primary storage and the frozen scalar oracle
+/// ([`Self::forward_scalar`]); construction also assembles the layer-graph
+/// IR twin ([`crate::graph::ModelGraph`], holding clones of the layers),
+/// and every engine-path forward runs through the graph executor. Kernel
+/// mutations keep both views in sync.
 #[derive(Debug, Clone)]
 pub struct ReActNet {
     config: ReActNetConfig,
     input_conv: QuantConv2d,
     blocks: Vec<BasicBlock>,
     classifier: QuantLinear,
+    graph: ModelGraph,
 }
 
 impl ReActNet {
@@ -236,13 +245,14 @@ impl ReActNet {
     /// reproduce paper Table II; 1×1 kernels are uniform random (the paper
     /// does not compress them); the 8-bit layers get uniform float weights.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`ReActNetConfig::validate`].
-    pub fn new(config: ReActNetConfig, seed: u64) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid ReActNet config: {e}");
-        }
+    /// Returns [`BitnnError::InvalidConfig`] if the configuration fails
+    /// [`ReActNetConfig::validate`].
+    pub fn new(config: ReActNetConfig, seed: u64) -> Result<Self> {
+        config
+            .validate()
+            .map_err(|e| BitnnError::InvalidConfig(format!("invalid ReActNet config: {e}")))?;
         let mut rng = StdRng::seed_from_u64(seed);
         let stem = config.stem_channels;
 
@@ -293,22 +303,35 @@ impl ReActNet {
             final_ch,
         );
 
-        ReActNet {
+        let graph = build_graph(&config, &input_conv, &blocks, &classifier);
+        Ok(ReActNet {
             config,
             input_conv,
             blocks,
             classifier,
-        }
+            graph,
+        })
     }
 
     /// The paper's full model.
     pub fn full(seed: u64) -> Self {
-        ReActNet::new(ReActNetConfig::full(), seed)
+        ReActNet::new(ReActNetConfig::full(), seed).expect("built-in config is valid")
     }
 
     /// A small model for tests and quick examples.
     pub fn tiny(seed: u64) -> Self {
-        ReActNet::new(ReActNetConfig::tiny(), seed)
+        ReActNet::new(ReActNetConfig::tiny(), seed).expect("built-in config is valid")
+    }
+
+    /// The layer-graph IR view of this network (same weights; the graph
+    /// holds its own clones, kept in sync by the kernel setters).
+    pub fn graph(&self) -> &ModelGraph {
+        &self.graph
+    }
+
+    /// Convert into the graph representation, dropping the block view.
+    pub fn into_graph(self) -> ModelGraph {
+        self.graph
     }
 
     /// The configuration.
@@ -341,7 +364,10 @@ impl ReActNet {
     ///
     /// Panics if `i` is out of range or the shape changes.
     pub fn set_conv3_weights(&mut self, i: usize, weights: BitTensor) {
-        self.blocks[i].conv3.set_weights(weights);
+        self.blocks[i].conv3.set_weights(weights.clone());
+        self.graph
+            .set_conv3_weights(i, weights)
+            .expect("graph mirrors the block schedule");
     }
 
     /// Replace block `i`'s 3×3 kernel with an already channel-packed
@@ -353,12 +379,15 @@ impl ReActNet {
     ///
     /// Panics if `i` is out of range or the packed geometry changes.
     pub fn set_conv3_packed(&mut self, i: usize, packed: crate::pack::PackedKernel) {
-        self.blocks[i].conv3.set_packed(packed);
+        self.blocks[i].conv3.set_packed(packed.clone());
+        self.graph
+            .set_conv3_packed(i, packed)
+            .expect("graph mirrors the block schedule");
     }
 
     /// Full forward pass: `[N, 3, S, S]` image → `[N, num_classes]` logits.
     ///
-    /// Runs through the execution engine's fast path (tiled kernels,
+    /// Runs through the graph executor's fast path (tiled kernels,
     /// fused block stages, scratch-buffer reuse) on the calling thread;
     /// bit-exact with the scalar seed path ([`Self::forward_scalar`]).
     /// Use [`Self::forward_with`] to supply a policy and a long-lived
@@ -379,18 +408,9 @@ impl ReActNet {
     ///
     /// Panics if the input shape does not match the configuration.
     pub fn forward_with(&self, input: &Tensor, engine: &Engine, scratch: &mut Scratch) -> Tensor {
-        let shape = input.shape();
-        assert_eq!(shape.len(), 4, "input must be [N, C, H, W]");
-        assert_eq!(
-            shape[1], self.config.input_channels,
-            "input channel mismatch"
-        );
-        let mut x = self.input_conv.forward_fast(input);
-        for b in &self.blocks {
-            x = b.forward_with(&x, engine, scratch);
-        }
-        let pooled = global_avg_pool(&x);
-        self.classifier.forward_2d(&pooled)
+        self.graph
+            .forward_with(input, engine, scratch)
+            .expect("strides validated at construction")
     }
 
     /// Forward a batch of independent inputs, chunking the items across
@@ -403,18 +423,9 @@ impl ReActNet {
     ///
     /// Panics if any input shape does not match the configuration.
     pub fn forward_batch(&self, inputs: &[Tensor], engine: &Engine) -> Vec<Tensor> {
-        let mut slots: Vec<Option<Tensor>> = inputs.iter().map(|_| None).collect();
-        let inner = engine.inner();
-        engine.parallel_chunks(&mut slots, 1, 1, |first, band| {
-            let mut scratch = Scratch::default();
-            for (i, slot) in band.iter_mut().enumerate() {
-                *slot = Some(self.forward_with(&inputs[first + i], &inner, &mut scratch));
-            }
-        });
-        slots
-            .into_iter()
-            .map(|t| t.expect("every batch item computed"))
-            .collect()
+        self.graph
+            .forward_batch(inputs, engine)
+            .expect("strides validated at construction")
     }
 
     /// The seed's scalar forward pass: per-position dot products, no
@@ -434,7 +445,7 @@ impl ReActNet {
         );
         let mut x = self.input_conv.forward(input);
         for b in &self.blocks {
-            x = b.forward(&x);
+            x = b.forward(&x).expect("strides validated at construction");
         }
         let pooled = global_avg_pool(&x);
         self.classifier.forward_2d(&pooled)
@@ -448,21 +459,9 @@ impl ReActNet {
     ///
     /// Panics if the input shape does not match the configuration.
     pub fn forward_traced(&self, input: &Tensor) -> (Tensor, Vec<BitTensor>) {
-        let shape = input.shape();
-        assert_eq!(shape.len(), 4, "input must be [N, C, H, W]");
-        assert_eq!(
-            shape[1], self.config.input_channels,
-            "input channel mismatch"
-        );
-        let mut x = self.input_conv.forward(input);
-        let mut traces = Vec::with_capacity(self.blocks.len());
-        for b in &self.blocks {
-            let (y, bits) = b.forward_traced(&x);
-            traces.push(bits);
-            x = y;
-        }
-        let pooled = global_avg_pool(&x);
-        (self.classifier.forward_2d(&pooled), traces)
+        self.graph
+            .forward_traced(input)
+            .expect("strides validated at construction")
     }
 
     /// Storage breakdown by Table I category.
@@ -493,14 +492,120 @@ impl ReActNet {
     }
 }
 
+/// Assemble the layer-graph IR for a validated configuration, cloning the
+/// layers into typed nodes. Node order mirrors
+/// [`crate::graph::arch::reactnet_spec`] exactly (a unit test pins them
+/// together), so a weight-free spec built from the same configuration is
+/// structurally identical to `graph().spec()`.
+fn build_graph(
+    config: &ReActNetConfig,
+    input_conv: &QuantConv2d,
+    blocks: &[BasicBlock],
+    classifier: &QuantLinear,
+) -> ModelGraph {
+    let mut nodes = vec![GraphNode {
+        name: "input".into(),
+        op: NodeOp::Input {
+            channels: config.input_channels,
+            image: config.image_size,
+        },
+        inputs: vec![],
+    }];
+    let push = |nodes: &mut Vec<GraphNode>, name: String, op: NodeOp, inputs: &[usize]| {
+        nodes.push(GraphNode {
+            name,
+            op,
+            inputs: inputs.to_vec(),
+        });
+        nodes.len() - 1
+    };
+    let mut x = push(
+        &mut nodes,
+        "input.conv".into(),
+        NodeOp::StemConv(input_conv.clone()),
+        &[0],
+    );
+    for (i, (spec, b)) in config.blocks.iter().zip(blocks).enumerate() {
+        let p = format!("block{}", i + 1);
+        let sign = push(
+            &mut nodes,
+            format!("{p}.sign1"),
+            NodeOp::Sign(b.sign1.clone()),
+            &[x],
+        );
+        let conv = push(
+            &mut nodes,
+            format!("{p}.conv3x3"),
+            NodeOp::BinConv(b.conv3.clone()),
+            &[sign],
+        );
+        let bn = push(
+            &mut nodes,
+            format!("{p}.bn1"),
+            NodeOp::BatchNorm(b.bn1.clone()),
+            &[conv],
+        );
+        let sc = if spec.stride == 2 {
+            push(&mut nodes, format!("{p}.pool"), NodeOp::AvgPool2x2, &[x])
+        } else {
+            x
+        };
+        let addn = push(&mut nodes, format!("{p}.add1"), NodeOp::Add, &[bn, sc]);
+        let mid = push(
+            &mut nodes,
+            format!("{p}.act1"),
+            NodeOp::Act(b.act1.clone()),
+            &[addn],
+        );
+        let sign = push(
+            &mut nodes,
+            format!("{p}.sign2"),
+            NodeOp::Sign(b.sign2.clone()),
+            &[mid],
+        );
+        let conv = push(
+            &mut nodes,
+            format!("{p}.conv1x1"),
+            NodeOp::BinConv(b.conv1.clone()),
+            &[sign],
+        );
+        let bn = push(
+            &mut nodes,
+            format!("{p}.bn2"),
+            NodeOp::BatchNorm(b.bn2.clone()),
+            &[conv],
+        );
+        let sc = if spec.out_ch == 2 * spec.in_ch {
+            push(&mut nodes, format!("{p}.dup"), NodeOp::ChannelDup, &[mid])
+        } else {
+            mid
+        };
+        let addn = push(&mut nodes, format!("{p}.add2"), NodeOp::Add, &[bn, sc]);
+        x = push(
+            &mut nodes,
+            format!("{p}.act2"),
+            NodeOp::Act(b.act2.clone()),
+            &[addn],
+        );
+    }
+    let gap = push(&mut nodes, "gap".into(), NodeOp::GlobalAvgPool, &[x]);
+    push(
+        &mut nodes,
+        "output.fc".into(),
+        NodeOp::Classifier(classifier.clone()),
+        &[gap],
+    );
+    ModelGraph::new("reactnet", nodes).expect("a validated config builds a valid graph")
+}
+
 /// Small deterministic per-channel parameters in `[-bound, bound]`.
-fn small_params(channels: usize, seed: u64, bound: f32) -> Vec<f32> {
+pub(crate) fn small_params(channels: usize, seed: u64, bound: f32) -> Vec<f32> {
     random_floats(channels, bound, seed)
 }
 
 /// A batch-norm with mild per-channel variation around identity, so the
 /// synthetic network's activations neither explode nor collapse.
-fn varied_bn(channels: usize, seed: u64) -> BatchNorm {
+pub(crate) fn varied_bn(channels: usize, seed: u64) -> BatchNorm {
     let g = random_floats(channels, 0.2, seed ^ 1);
     let b = random_floats(channels, 0.2, seed ^ 2);
     let gamma: Vec<f32> = g.iter().map(|v| 0.1 + v.abs()).collect();
@@ -556,6 +661,16 @@ mod tests {
     fn full_config_validates() {
         assert!(ReActNetConfig::full().validate().is_ok());
         assert!(ReActNetConfig::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let mut c = ReActNetConfig::tiny();
+        c.blocks[0].stride = 3;
+        assert!(matches!(
+            ReActNet::new(c, 1),
+            Err(BitnnError::InvalidConfig(_))
+        ));
     }
 
     #[test]

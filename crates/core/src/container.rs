@@ -22,6 +22,7 @@ use crate::bitseq::BitSeq;
 use crate::codec::CompressedKernel;
 use crate::error::{KcError, Result};
 use crate::huffman::{SimplifiedTree, TreeConfig};
+use bitnn::graph::{GraphSpec, NodeSpec, OpSpec};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Container magic bytes.
@@ -244,9 +245,58 @@ pub fn read_container(bytes: &[u8]) -> Result<Container> {
 /// Multi-kernel model container magic.
 pub const MODEL_MAGIC: &[u8; 4] = b"BKCM";
 
-/// Serialize a whole model's compressed 3×3 kernels into one container:
-/// `MODEL_MAGIC`, version, kernel count, then length-prefixed
-/// [`write_container`] records.
+/// Model container version that carries a serialized graph topology
+/// alongside the kernel streams.
+pub const MODEL_VERSION_V2: u16 = 2;
+
+/// A parsed model container: the compressed kernel records plus, for v2
+/// containers, the model-graph topology they belong to.
+///
+/// v1 containers (13 anonymous ReActNet kernels) still parse — `spec` is
+/// `None` and [`ModelContainer::spec_or_reactnet`] reconstructs the
+/// scaled ReActNet schedule from the kernel dimensions, so every v1 file
+/// auto-upgrades to the graph world on load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelContainer {
+    /// The serialized graph topology (v2), or `None` for v1 containers.
+    pub spec: Option<GraphSpec>,
+    /// Per-kernel records, in the spec's compressible-conv order.
+    pub kernels: Vec<Container>,
+}
+
+impl ModelContainer {
+    /// Per-kernel `(filters, channels)` dimensions.
+    pub fn kernel_dims(&self) -> Vec<(usize, usize)> {
+        self.kernels
+            .iter()
+            .map(|c| (c.filters, c.channels))
+            .collect()
+    }
+
+    /// The graph topology of this container: the stored spec for v2, or
+    /// the ReActNet schedule reconstructed from the kernel dimensions for
+    /// v1 (`image` sizes the reconstructed input node).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a v1 kernel list cannot be a ReActNet
+    /// schedule.
+    pub fn spec_or_reactnet(&self, image: usize) -> std::result::Result<GraphSpec, String> {
+        match &self.spec {
+            Some(spec) => Ok(spec.clone()),
+            None => {
+                let cfg =
+                    bitnn::graph::arch::reactnet_config_from_kernels(&self.kernel_dims(), image)?;
+                bitnn::graph::arch::reactnet_spec(&cfg).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// Serialize a whole model's compressed 3×3 kernels into a **v1**
+/// container: `MODEL_MAGIC`, version 1, kernel count, then
+/// length-prefixed [`write_container`] records. Kept for compatibility;
+/// new files should use [`write_model_container_v2`].
 pub fn write_model_container(kernels: &[CompressedKernel]) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MODEL_MAGIC);
@@ -260,12 +310,252 @@ pub fn write_model_container(kernels: &[CompressedKernel]) -> Bytes {
     buf.freeze()
 }
 
-/// Parse a model container back into per-kernel [`Container`]s.
+/// Serialize a model's graph topology plus its compressed kernels into a
+/// **v2** container:
+///
+/// ```text
+/// +--------+-----------+---------------+---------+-------------------+
+/// | magic  | version 2 | graph section | count   | kernel records    |
+/// | "BKCM" |  u16      | arch + nodes  | u32     | len-prefixed v1   |
+/// +--------+-----------+---------------+---------+-------------------+
+/// ```
+///
+/// The kernel records must line up one-to-one with the spec's
+/// compressible 3×3 convolutions ([`GraphSpec::conv3_geometries`]), in
+/// topological order.
+///
+/// # Errors
+///
+/// Returns [`KcError::CorruptStream`] if the spec does not validate or
+/// the kernels disagree with its conv geometry.
+pub fn write_model_container_v2(spec: &GraphSpec, kernels: &[CompressedKernel]) -> Result<Bytes> {
+    spec.validate()
+        .map_err(|e| KcError::CorruptStream(format!("invalid graph spec: {e}")))?;
+    check_spec_kernels(
+        spec,
+        kernels.iter().map(|k| (k.filters(), k.channels())),
+        kernels.len(),
+    )?;
+    let mut buf = BytesMut::new();
+    buf.put_slice(MODEL_MAGIC);
+    buf.put_u16_le(MODEL_VERSION_V2);
+    write_graph_spec(&mut buf, spec)?;
+    buf.put_u32_le(kernels.len() as u32);
+    for k in kernels {
+        let record = write_container(k);
+        buf.put_u32_le(record.len() as u32);
+        buf.put_slice(&record);
+    }
+    Ok(buf.freeze())
+}
+
+/// Cross-check a spec's compressible-conv geometry against a kernel
+/// list's `(filters, channels)` dimensions — shared by the v2 writer and
+/// reader so the two sides can never drift apart.
+fn check_spec_kernels<'a, I>(spec: &GraphSpec, dims: I, count: usize) -> Result<()>
+where
+    I: Iterator<Item = (usize, usize)> + 'a,
+{
+    let convs = spec.conv3_geometries();
+    if convs.len() != count {
+        return Err(KcError::CorruptStream(format!(
+            "graph spec has {} compressible convs, got {} kernels",
+            convs.len(),
+            count
+        )));
+    }
+    for (i, (g, (filters, channels))) in convs.iter().zip(dims).enumerate() {
+        if (g.filters, g.channels) != (filters, channels) {
+            return Err(KcError::CorruptStream(format!(
+                "kernel {i} is {filters}x{channels}, the graph's conv {i} needs {}x{}",
+                g.filters, g.channels
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Graph-section op tags (one byte each).
+mod op_tag {
+    pub const INPUT: u8 = 0;
+    pub const STEM_CONV: u8 = 1;
+    pub const SIGN: u8 = 2;
+    pub const BIN_CONV: u8 = 3;
+    pub const BATCH_NORM: u8 = 4;
+    pub const ACT: u8 = 5;
+    pub const AVG_POOL: u8 = 6;
+    pub const CHANNEL_DUP: u8 = 7;
+    pub const ADD: u8 = 8;
+    pub const GLOBAL_AVG_POOL: u8 = 9;
+    pub const CLASSIFIER: u8 = 10;
+}
+
+/// Serialize the graph section: arch string, node count, then per node a
+/// one-byte op tag, op parameters, and the input edge list.
+fn write_graph_spec(buf: &mut BytesMut, spec: &GraphSpec) -> Result<()> {
+    // Every field is range-checked before casting: a value that does not
+    // fit its wire field is a write-time error, never a silent
+    // truncation that would round-trip to a different topology.
+    fn fit_u8(v: usize, what: &str) -> Result<u8> {
+        u8::try_from(v)
+            .map_err(|_| KcError::CorruptStream(format!("{what} {v} exceeds its 8-bit field")))
+    }
+    fn fit_u32(v: usize, what: &str) -> Result<u32> {
+        u32::try_from(v)
+            .map_err(|_| KcError::CorruptStream(format!("{what} {v} exceeds its 32-bit field")))
+    }
+    if spec.arch.len() > u16::MAX as usize {
+        return Err(KcError::CorruptStream("arch name too long".into()));
+    }
+    buf.put_u16_le(spec.arch.len() as u16);
+    buf.put_slice(spec.arch.as_bytes());
+    if spec.nodes.len() > 65_536 {
+        // Mirror of the read-side cap: anything larger could never load.
+        return Err(KcError::CorruptStream(format!(
+            "implausible node count {}",
+            spec.nodes.len()
+        )));
+    }
+    buf.put_u32_le(spec.nodes.len() as u32);
+    for node in &spec.nodes {
+        match node.op {
+            OpSpec::Input { channels, image } => {
+                buf.put_u8(op_tag::INPUT);
+                buf.put_u32_le(fit_u32(channels, "input channels")?);
+                buf.put_u32_le(fit_u32(image, "image size")?);
+            }
+            OpSpec::StemConv { out_ch, stride } => {
+                buf.put_u8(op_tag::STEM_CONV);
+                buf.put_u32_le(fit_u32(out_ch, "stem out_ch")?);
+                buf.put_u8(fit_u8(stride, "stem stride")?);
+            }
+            OpSpec::Sign => buf.put_u8(op_tag::SIGN),
+            OpSpec::BinConv {
+                out_ch,
+                kh,
+                kw,
+                stride,
+                pad,
+            } => {
+                buf.put_u8(op_tag::BIN_CONV);
+                buf.put_u32_le(fit_u32(out_ch, "conv out_ch")?);
+                buf.put_u8(fit_u8(kh, "conv kh")?);
+                buf.put_u8(fit_u8(kw, "conv kw")?);
+                buf.put_u8(fit_u8(stride, "conv stride")?);
+                buf.put_u8(fit_u8(pad, "conv pad")?);
+            }
+            OpSpec::BatchNorm => buf.put_u8(op_tag::BATCH_NORM),
+            OpSpec::Act => buf.put_u8(op_tag::ACT),
+            OpSpec::AvgPool2x2 => buf.put_u8(op_tag::AVG_POOL),
+            OpSpec::ChannelDup => buf.put_u8(op_tag::CHANNEL_DUP),
+            OpSpec::Add => buf.put_u8(op_tag::ADD),
+            OpSpec::GlobalAvgPool => buf.put_u8(op_tag::GLOBAL_AVG_POOL),
+            OpSpec::Classifier { classes } => {
+                buf.put_u8(op_tag::CLASSIFIER);
+                buf.put_u32_le(fit_u32(classes, "classifier classes")?);
+            }
+        }
+        buf.put_u8(fit_u8(node.inputs.len(), "input arity")?);
+        for &src in &node.inputs {
+            buf.put_u32_le(fit_u32(src, "input edge")?);
+        }
+    }
+    Ok(())
+}
+
+/// Parse the graph section written by [`write_graph_spec`]. Structural
+/// bounds are checked here; full topology/shape validation runs through
+/// [`GraphSpec::validate`] afterwards.
+fn read_graph_spec(buf: &mut &[u8]) -> Result<GraphSpec> {
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<()> {
+        if buf.remaining() < n {
+            Err(KcError::CorruptStream(format!("truncated {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 2, "arch length")?;
+    let arch_len = buf.get_u16_le() as usize;
+    need(buf, arch_len, "arch name")?;
+    let arch = std::str::from_utf8(&buf[..arch_len])
+        .map_err(|_| KcError::CorruptStream("arch name is not UTF-8".into()))?
+        .to_string();
+    buf.advance(arch_len);
+    need(buf, 4, "node count")?;
+    let count = buf.get_u32_le() as usize;
+    if count == 0 || count > 65_536 {
+        return Err(KcError::CorruptStream(format!(
+            "implausible node count {count}"
+        )));
+    }
+    let mut nodes = Vec::with_capacity(count);
+    for i in 0..count {
+        need(buf, 1, "op tag")?;
+        let tag = buf.get_u8();
+        let op = match tag {
+            op_tag::INPUT => {
+                need(buf, 8, "input params")?;
+                OpSpec::Input {
+                    channels: buf.get_u32_le() as usize,
+                    image: buf.get_u32_le() as usize,
+                }
+            }
+            op_tag::STEM_CONV => {
+                need(buf, 5, "stem params")?;
+                OpSpec::StemConv {
+                    out_ch: buf.get_u32_le() as usize,
+                    stride: buf.get_u8() as usize,
+                }
+            }
+            op_tag::SIGN => OpSpec::Sign,
+            op_tag::BIN_CONV => {
+                need(buf, 8, "conv params")?;
+                OpSpec::BinConv {
+                    out_ch: buf.get_u32_le() as usize,
+                    kh: buf.get_u8() as usize,
+                    kw: buf.get_u8() as usize,
+                    stride: buf.get_u8() as usize,
+                    pad: buf.get_u8() as usize,
+                }
+            }
+            op_tag::BATCH_NORM => OpSpec::BatchNorm,
+            op_tag::ACT => OpSpec::Act,
+            op_tag::AVG_POOL => OpSpec::AvgPool2x2,
+            op_tag::CHANNEL_DUP => OpSpec::ChannelDup,
+            op_tag::ADD => OpSpec::Add,
+            op_tag::GLOBAL_AVG_POOL => OpSpec::GlobalAvgPool,
+            op_tag::CLASSIFIER => {
+                need(buf, 4, "classifier params")?;
+                OpSpec::Classifier {
+                    classes: buf.get_u32_le() as usize,
+                }
+            }
+            other => {
+                return Err(KcError::CorruptStream(format!(
+                    "node {i}: unknown op tag {other}"
+                )))
+            }
+        };
+        need(buf, 1, "input count")?;
+        let arity = buf.get_u8() as usize;
+        need(buf, 4 * arity, "input edges")?;
+        let inputs = (0..arity).map(|_| buf.get_u32_le() as usize).collect();
+        nodes.push(NodeSpec { op, inputs });
+    }
+    Ok(GraphSpec { arch, nodes })
+}
+
+/// Parse a model container (v1 or v2) back into a [`ModelContainer`].
+///
+/// For v2 the embedded graph spec is fully validated
+/// ([`GraphSpec::validate`]) and the kernel records are cross-checked
+/// against its compressible-conv geometry, so a successfully parsed v2
+/// container is always deployable.
 ///
 /// # Errors
 ///
 /// Returns [`KcError::CorruptStream`] on structural damage.
-pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
+pub fn read_model_container(bytes: &[u8]) -> Result<ModelContainer> {
     let mut buf = bytes;
     if buf.remaining() < 10 {
         return Err(KcError::CorruptStream("truncated model header".into()));
@@ -276,10 +566,22 @@ pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
         return Err(KcError::CorruptStream("bad model magic".into()));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(KcError::CorruptStream(format!(
-            "unsupported model version {version}"
-        )));
+    let spec = match version {
+        VERSION => None,
+        MODEL_VERSION_V2 => {
+            let spec = read_graph_spec(&mut buf)?;
+            spec.validate()
+                .map_err(|e| KcError::CorruptStream(format!("invalid graph section: {e}")))?;
+            Some(spec)
+        }
+        other => {
+            return Err(KcError::CorruptStream(format!(
+                "unsupported model version {other}"
+            )))
+        }
+    };
+    if buf.remaining() < 4 {
+        return Err(KcError::CorruptStream("truncated kernel count".into()));
     }
     let count = buf.get_u32_le() as usize;
     if count > 4096 {
@@ -287,7 +589,7 @@ pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
             "implausible kernel count {count}"
         )));
     }
-    let mut out = Vec::with_capacity(count);
+    let mut kernels = Vec::with_capacity(count);
     for i in 0..count {
         if buf.remaining() < 4 {
             return Err(KcError::CorruptStream(format!(
@@ -302,7 +604,7 @@ pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
         // its actual content (trailing bytes) or whose stream section is
         // padded with garbage, so a record length can neither hide data
         // nor swallow the next record's header.
-        out.push(read_container(&buf[..len])?);
+        kernels.push(read_container(&buf[..len])?);
         buf.advance(len);
     }
     if buf.remaining() != 0 {
@@ -311,7 +613,14 @@ pub fn read_model_container(bytes: &[u8]) -> Result<Vec<Container>> {
             buf.remaining()
         )));
     }
-    Ok(out)
+    if let Some(spec) = &spec {
+        check_spec_kernels(
+            spec,
+            kernels.iter().map(|k| (k.filters, k.channels)),
+            kernels.len(),
+        )?;
+    }
+    Ok(ModelContainer { spec, kernels })
 }
 
 #[cfg(test)]
@@ -440,10 +749,113 @@ mod tests {
         }
         let bytes = write_model_container(&kernels);
         let parsed = read_model_container(&bytes).unwrap();
-        assert_eq!(parsed.len(), 3);
-        for (c, orig) in parsed.iter().zip(&originals) {
+        assert!(parsed.spec.is_none(), "v1 containers carry no topology");
+        assert_eq!(parsed.kernels.len(), 3);
+        for (c, orig) in parsed.kernels.iter().zip(&originals) {
             assert_eq!(&c.decode_kernel().unwrap(), orig);
         }
+    }
+
+    /// v2: topology + kernels round-trip, and the embedded spec is
+    /// cross-checked against the kernel records.
+    #[test]
+    fn model_container_v2_roundtrip_and_validation() {
+        use bitnn::graph::arch::{build_spec, sample_conv3_kernels, Arch};
+        let codec = KernelCodec::paper();
+        for arch in [Arch::VggSmall, Arch::ResNetLite] {
+            let spec = build_spec(arch, 0.0625, 32).unwrap();
+            let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 5)
+                .unwrap()
+                .iter()
+                .map(|k| codec.compress(k).unwrap())
+                .collect();
+            let bytes = write_model_container_v2(&spec, &kernels).unwrap();
+            let parsed = read_model_container(&bytes).unwrap();
+            assert_eq!(parsed.spec.as_ref(), Some(&spec));
+            assert_eq!(parsed.kernels.len(), kernels.len());
+            assert_eq!(parsed.spec_or_reactnet(32).unwrap(), spec);
+            for (c, k) in parsed.kernels.iter().zip(&kernels) {
+                assert_eq!(c.decode_kernel().unwrap(), k.decompress().unwrap());
+            }
+            // Dropping a kernel breaks the spec cross-check on write.
+            assert!(write_model_container_v2(&spec, &kernels[1..]).is_err());
+        }
+    }
+
+    #[test]
+    fn model_container_v2_detects_damage() {
+        use bitnn::graph::arch::{build_spec, sample_conv3_kernels, Arch};
+        let codec = KernelCodec::paper();
+        let spec = build_spec(Arch::VggSmall, 0.0625, 32).unwrap();
+        let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 9)
+            .unwrap()
+            .iter()
+            .map(|k| codec.compress(k).unwrap())
+            .collect();
+        let clean = write_model_container_v2(&spec, &kernels).unwrap().to_vec();
+        assert!(read_model_container(&clean).is_ok());
+        // Truncations across the graph section and records.
+        for cut in [5usize, 7, 9, 15, 40, clean.len() / 2, clean.len() - 1] {
+            assert!(read_model_container(&clean[..cut]).is_err(), "cut {cut}");
+        }
+        // An unknown op tag in the graph section.
+        let mut bad = clean.clone();
+        // arch len (2) + arch + node count (4) puts the first op tag at:
+        let first_tag = 4 + 2 + 2 + spec.arch.len() + 4;
+        bad[first_tag] = 0xEE;
+        assert!(read_model_container(&bad).is_err());
+        // Trailing garbage.
+        let mut bad = clean.clone();
+        bad.push(0);
+        assert!(read_model_container(&bad).is_err());
+    }
+
+    /// Wire fields that cannot hold a spec value are write-time errors,
+    /// never silent truncations that round-trip to a different topology.
+    #[test]
+    fn v2_rejects_fields_that_overflow_the_wire_format() {
+        use bitnn::graph::arch::{build_spec, sample_conv3_kernels, Arch};
+        use bitnn::graph::OpSpec;
+        let codec = KernelCodec::paper();
+        let spec = build_spec(Arch::VggSmall, 0.0625, 32).unwrap();
+        let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 2)
+            .unwrap()
+            .iter()
+            .map(|k| codec.compress(k).unwrap())
+            .collect();
+        // A conv pad of 300 validates (it only grows the feature map) but
+        // cannot be represented in the u8 wire field.
+        let mut bad = spec.clone();
+        for node in &mut bad.nodes {
+            if let OpSpec::BinConv { pad, .. } = &mut node.op {
+                *pad = 300;
+            }
+        }
+        if bad.validate().is_ok() {
+            let err = write_model_container_v2(&bad, &kernels).unwrap_err();
+            assert!(err.to_string().contains("exceeds its 8-bit field"), "{err}");
+        }
+    }
+
+    /// A v1 container of ReActNet-shaped kernels auto-upgrades to a
+    /// validated ReActNet graph spec.
+    #[test]
+    fn v1_container_auto_upgrades_to_reactnet_spec() {
+        use bitnn::graph::arch::{build_spec, sample_conv3_kernels, Arch};
+        let codec = KernelCodec::paper();
+        let spec = build_spec(Arch::ReActNet, 0.125, 32).unwrap();
+        let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 1)
+            .unwrap()
+            .iter()
+            .map(|k| codec.compress(k).unwrap())
+            .collect();
+        let parsed = read_model_container(&write_model_container(&kernels)).unwrap();
+        assert!(parsed.spec.is_none());
+        let upgraded = parsed.spec_or_reactnet(32).unwrap();
+        assert_eq!(upgraded, spec);
+        // Non-ReActNet kernel lists refuse to masquerade as ReActNet.
+        let parsed = read_model_container(&write_model_container(&kernels[..3])).unwrap();
+        assert!(parsed.spec_or_reactnet(32).is_err());
     }
 
     #[test]

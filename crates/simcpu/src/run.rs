@@ -248,6 +248,31 @@ pub fn run_model_streams(
     }
 }
 
+/// Simulate every layer of a model-graph IR spec against real compressed
+/// streams: the workloads are derived from the graph's shape inference
+/// ([`bitnn::graph::GraphSpec::workloads`]), one [`KernelStream`] per
+/// binary 3×3 convolution in topological order. This is what
+/// `bnnkc simulate --in model.bkcm` runs for v2 containers, so any
+/// architecture the IR expresses — not just ReActNet — simulates without
+/// code changes.
+///
+/// # Errors
+///
+/// Returns a description if the spec does not validate.
+///
+/// # Panics
+///
+/// Panics if `streams.len()` differs from the spec's 3×3 conv count.
+pub fn run_spec_streams(
+    cfg: &CpuConfig,
+    spec: &bitnn::graph::GraphSpec,
+    mode: Mode,
+    streams: &[KernelStream],
+) -> std::result::Result<ModelRun, String> {
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(run_model_streams(cfg, &spec.workloads(), mode, streams))
+}
+
 /// A baseline-vs-scheme comparison (the paper's headline numbers).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Speedup {
@@ -470,6 +495,26 @@ mod tests {
         };
         assert!(run_with(small) < run_with(large));
         assert!((small.ratio() - 2.0).abs() < 0.1, "ratio {}", small.ratio());
+    }
+
+    #[test]
+    fn spec_streams_match_workload_streams_across_archs() {
+        use bitnn::graph::arch::{build_spec, Arch};
+        let cfg = CpuConfig::default();
+        for arch in Arch::ALL {
+            let spec = build_spec(arch, 0.0625, 32).unwrap();
+            let streams: Vec<KernelStream> = spec
+                .workloads()
+                .iter()
+                .filter(|w| w.category == OpCategory::Conv3x3)
+                .map(|w| KernelStream::from_ratio(w.num_sequences(), 1.33))
+                .collect();
+            let via_spec = run_spec_streams(&cfg, &spec, Mode::HardwareDecode, &streams).unwrap();
+            let via_wls =
+                run_model_streams(&cfg, &spec.workloads(), Mode::HardwareDecode, &streams);
+            assert_eq!(via_spec.total_cycles, via_wls.total_cycles, "{arch}");
+            assert!(via_spec.total_cycles > 0);
+        }
     }
 
     #[test]

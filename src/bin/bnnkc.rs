@@ -1,27 +1,40 @@
 //! `bnnkc` — command-line front end for the kernel-compression pipeline.
 //!
 //! ```text
-//! bnnkc compress   --out model.bkcm [--seed 1] [--scale 0.25] [--no-cluster]
+//! bnnkc compress   --out model.bkcm [--arch reactnet] [--seed 1]
+//!                  [--scale 0.25] [--image 224] [--no-cluster]
 //! bnnkc inspect    --in model.bkcm
-//! bnnkc verify     --in model.bkcm [--seed 1] [--scale 0.25] [--no-cluster]
-//! bnnkc run        --in model.bkcm [--seed 1] [--scale 0.25] [--image 224]
-//!                  [--batch 1] [--threads N] [--offline]
-//! bnnkc simulate   [--image 224] [--ratio 1.33 | --in model.bkcm]
+//! bnnkc verify     --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
+//!                  [--no-cluster]
+//! bnnkc run        --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
+//!                  [--image 224] [--batch 1] [--threads N] [--offline]
+//! bnnkc simulate   [--arch A] [--scale 1.0] [--image 224]
+//!                  [--ratio 1.33 | --in model.bkcm]
 //! ```
 //!
-//! `compress` builds the 13 calibrated ReActNet kernels, compresses each,
-//! and writes one model container. `inspect` prints per-kernel statistics
-//! from the container alone. `verify` regenerates the kernels and checks
-//! the container decodes to them (bit-exactly without clustering; within
+//! Every command speaks the model-graph IR (`bitnn::graph`), so the whole
+//! pipeline is architecture-generic: `--arch` selects a built-in family
+//! (`reactnet`, `vggsmall`, `resnetlite`).
+//!
+//! `compress` builds the family's graph spec, samples its calibrated
+//! binary 3×3 kernels, compresses each, and writes one **v2** model
+//! container carrying the graph topology next to the kernel streams.
+//! `inspect` prints the topology and per-kernel statistics from the
+//! container alone. `verify` checks the container's topology against the
+//! requested family/scale, regenerates the kernels, and confirms the
+//! streams decode to them (bit-exactly without clustering; within
 //! Hamming distance 1 per channel with it). `run` executes the full
-//! ReActNet forward pass *from the compressed container*: each kernel is
-//! stream-decoded straight into channel-packed lane words and handed to
-//! the execution engine, with no intermediate `[K, C, 3, 3]` tensor
-//! (`--offline` switches to the decompress-then-pack reference path,
-//! which produces bit-identical logits). `simulate` runs the timing
-//! model in the three modes — with `--in` the per-layer stream sizes,
-//! sequence counts, and decoder configurations come from the actual
-//! container instead of a synthetic ratio.
+//! forward pass *from the compressed container* through the graph
+//! executor: the container geometry is validated against the model
+//! up front, then each kernel is stream-decoded straight into
+//! channel-packed lane words (`--offline` switches to the
+//! decompress-then-pack reference path, which produces bit-identical
+//! logits). `simulate` runs the timing model — with `--in` the per-layer
+//! stream sizes, sequence counts, and decoder configurations come from
+//! the actual container (any architecture), not a synthetic ratio.
+//!
+//! v1 containers (13 anonymous ReActNet kernels) still load everywhere:
+//! their ReActNet schedule is reconstructed from the kernel dimensions.
 //!
 //! Unrecognized flags are rejected: a typo like `--seeed 7` is an error,
 //! not a silently applied default.
@@ -123,44 +136,94 @@ fn codec_from(args: &[String]) -> KernelCodec {
     }
 }
 
-/// The scaled model geometry shared by `compress`, `verify`, and `run`.
-fn scaled_config(args: &[String]) -> Result<ReActNetConfig, Box<dyn std::error::Error>> {
-    let scale: f64 = parse_flag(args, "--scale", 0.25)?;
+/// The `--arch` flag, when present.
+fn arch_flag(args: &[String]) -> Result<Option<Arch>, Box<dyn std::error::Error>> {
+    match flag_value(args, "--arch") {
+        None => Ok(None),
+        Some(v) => Ok(Some(v.parse::<Arch>()?)),
+    }
+}
+
+fn parse_scale(args: &[String], default: f64) -> Result<f64, Box<dyn std::error::Error>> {
+    let scale: f64 = parse_flag(args, "--scale", default)?;
     if !scale.is_finite() || scale <= 0.0 {
         return Err("--scale must be positive".into());
     }
-    ReActNetConfig::scaled(scale).map_err(Into::into)
+    Ok(scale)
 }
 
-fn build_kernels(args: &[String]) -> Result<Vec<BitTensor>, Box<dyn std::error::Error>> {
-    use rand::SeedableRng;
-    let seed: u64 = parse_flag(args, "--seed", 1)?;
-    // Channel schedule comes from the canonical full model (scaled), so
-    // the CLI's kernels always track the architecture `run` executes and
-    // the simulator models.
-    let config = scaled_config(args)?;
-    Ok(config
-        .blocks
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let block = i + 1;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ block as u64);
-            SeqDistribution::for_block(block, 0).sample_kernel(spec.in_ch, spec.in_ch, &mut rng)
-        })
-        .collect())
+/// The architecture a container belongs to: its stored arch tag (v2), or
+/// ReActNet for v1 containers.
+fn container_arch(container: &ModelContainer) -> Result<Arch, Box<dyn std::error::Error>> {
+    match &container.spec {
+        Some(spec) => spec
+            .arch
+            .parse::<Arch>()
+            .map_err(|_| format!("container was written for unknown arch `{}`", spec.arch).into()),
+        None => Ok(Arch::ReActNet),
+    }
+}
+
+/// Resolve the effective architecture for a read-path command and reject
+/// an `--arch` flag that contradicts the container.
+fn resolve_arch(
+    args: &[String],
+    container: &ModelContainer,
+) -> Result<Arch, Box<dyn std::error::Error>> {
+    let stored = container_arch(container)?;
+    match arch_flag(args)? {
+        Some(requested) if requested != stored => Err(format!(
+            "container was written for --arch {stored}, but --arch {requested} was requested"
+        )
+        .into()),
+        _ => Ok(stored),
+    }
+}
+
+/// Replace a spec's advisory input image size (the executor and simulator
+/// follow `--image`, not the size the container was compressed at).
+fn spec_with_image(mut spec: GraphSpec, image: usize) -> GraphSpec {
+    if let Some(node) = spec.nodes.first_mut() {
+        if let OpSpec::Input { channels, .. } = node.op {
+            node.op = OpSpec::Input { channels, image };
+        }
+    }
+    spec
+}
+
+/// Up-front geometry check for `run`/`verify`: the container's topology
+/// must match the spec of the model the flags describe.
+fn check_container_geometry(
+    container_spec: &GraphSpec,
+    model_spec: &GraphSpec,
+    arch: Arch,
+    scale: f64,
+) -> CliResult {
+    if let Err(e) = model_spec.same_topology_ignoring_image(container_spec) {
+        return Err(format!(
+            "container geometry does not match --arch {arch} --scale {scale}: {e} \
+             (wrong --scale or --arch?)"
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn cmd_compress(args: &[String]) -> CliResult {
     check_flags(
         "compress",
         args,
-        &["--out", "--seed", "--scale"],
+        &["--out", "--seed", "--scale", "--arch", "--image"],
         &["--no-cluster"],
     )?;
     let out = flag_value(args, "--out").ok_or("--out <file> is required")?;
+    let arch = arch_flag(args)?.unwrap_or(Arch::ReActNet);
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    let scale = parse_scale(args, 0.25)?;
+    let image: usize = parse_flag(args, "--image", 224)?;
     let codec = codec_from(args);
-    let kernels = build_kernels(args)?;
+    let spec = build_spec(arch, scale, image)?;
+    let kernels = sample_conv3_kernels(&spec, seed)?;
     let mut compressed = Vec::new();
     let (mut orig_bits, mut stream_bits) = (0usize, 0usize);
     for (i, k) in kernels.iter().enumerate() {
@@ -168,7 +231,7 @@ fn cmd_compress(args: &[String]) -> CliResult {
         orig_bits += ck.original_bits();
         stream_bits += ck.stream_bits();
         println!(
-            "block {:>2}: {:>7} -> {:>7} bits ({:.3}x)",
+            "conv {:>2}: {:>7} -> {:>7} bits ({:.3}x)",
             i + 1,
             ck.original_bits(),
             ck.stream_bits(),
@@ -176,10 +239,10 @@ fn cmd_compress(args: &[String]) -> CliResult {
         );
         compressed.push(ck);
     }
-    let bytes = write_model_container(&compressed);
+    let bytes = write_model_container_v2(&spec, &compressed)?;
     std::fs::write(out, &bytes)?;
     println!(
-        "\nwrote {out}: {} bytes, aggregate kernel ratio {:.3}x",
+        "\nwrote {out}: arch {arch}, {} bytes, aggregate kernel ratio {:.3}x",
         bytes.len(),
         orig_bits as f64 / stream_bits as f64
     );
@@ -190,13 +253,17 @@ fn cmd_inspect(args: &[String]) -> CliResult {
     check_flags("inspect", args, &["--in"], &[])?;
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let bytes = std::fs::read(input)?;
-    let containers = read_model_container(&bytes)?;
+    let container = read_model_container(&bytes)?;
+    let arch = match &container.spec {
+        Some(spec) => format!("arch {} ({} graph nodes)", spec.arch, spec.nodes.len()),
+        None => "v1 (no topology; ReActNet assumed)".to_string(),
+    };
     println!(
-        "{input}: {} compressed kernels, {} bytes total\n",
-        containers.len(),
+        "{input}: {} compressed kernels, {} bytes total, {arch}\n",
+        container.kernels.len(),
         bytes.len()
     );
-    for (i, c) in containers.iter().enumerate() {
+    for (i, c) in container.kernels.iter().enumerate() {
         let seqs = c.filters * c.channels;
         println!(
             "kernel {:>2}: {}x{}x3x3, stream {:>7} bits ({:.3}x), code lengths {:?}, tables {:?}",
@@ -218,23 +285,23 @@ fn cmd_verify(args: &[String]) -> CliResult {
     check_flags(
         "verify",
         args,
-        &["--in", "--seed", "--scale"],
+        &["--in", "--seed", "--scale", "--arch"],
         &["--no-cluster"],
     )?;
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let clustered = !args.iter().any(|a| a == "--no-cluster");
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    let scale = parse_scale(args, 0.25)?;
     let bytes = std::fs::read(input)?;
-    let containers = read_model_container(&bytes)?;
-    let kernels = build_kernels(args)?;
-    if containers.len() != kernels.len() {
-        return Err(format!(
-            "container holds {} kernels, expected {}",
-            containers.len(),
-            kernels.len()
-        )
-        .into());
-    }
-    for (i, (c, original)) in containers.iter().zip(&kernels).enumerate() {
+    let container = read_model_container(&bytes)?;
+    let arch = resolve_arch(args, &container)?;
+    // Geometry first: the container must describe the family/scale the
+    // flags claim, reported clearly before any decoding happens.
+    let container_spec = container.spec_or_reactnet(224).map_err(|e| e.to_string())?;
+    let expected_spec = build_spec(arch, scale, 224)?;
+    check_container_geometry(&container_spec, &expected_spec, arch, scale)?;
+    let kernels = sample_conv3_kernels(&container_spec, seed)?;
+    for (i, (c, original)) in container.kernels.iter().zip(&kernels).enumerate() {
         let decoded = c.decode_kernel()?;
         // The streaming group decoder must agree with the offline path on
         // every verified container — the packed words the engine would
@@ -264,7 +331,7 @@ fn cmd_verify(args: &[String]) -> CliResult {
         }
         println!("kernel {:>2}: OK", i + 1);
     }
-    println!("\nall kernels verified");
+    println!("\nall kernels verified ({arch})");
     Ok(())
 }
 
@@ -292,11 +359,13 @@ fn cmd_run(args: &[String]) -> CliResult {
             "--image",
             "--batch",
             "--threads",
+            "--arch",
         ],
         &["--offline"],
     )?;
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let seed: u64 = parse_flag(args, "--seed", 1)?;
+    let scale = parse_scale(args, 0.25)?;
     let image: usize = parse_flag(args, "--image", 224)?;
     let batch: usize = parse_flag(args, "--batch", 1)?;
     let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
@@ -313,53 +382,45 @@ fn cmd_run(args: &[String]) -> CliResult {
     }
 
     let bytes = std::fs::read(input)?;
-    let containers = read_model_container(&bytes)?;
-    let mut config = scaled_config(args)?;
-    config.image_size = image;
-    if containers.len() != config.blocks.len() {
-        return Err(format!(
-            "container holds {} kernels, the scaled model has {} blocks",
-            containers.len(),
-            config.blocks.len()
-        )
-        .into());
-    }
-    let mut model = ReActNet::new(config.clone(), seed);
+    let container = read_model_container(&bytes)?;
+    let arch = resolve_arch(args, &container)?;
+    let container_spec = container
+        .spec_or_reactnet(image)
+        .map_err(|e| e.to_string())?;
+
+    // Build the weighted model graph and validate the container against
+    // it *before* decoding anything: a wrong --scale/--arch is reported
+    // as a geometry mismatch here, not as a shape panic mid-forward.
+    let mut model = build_model(arch, scale, image, seed)?;
+    check_container_geometry(&container_spec, model.spec(), arch, scale)?;
 
     // Deploy the compressed kernels. Streamed path: Huffman stream →
     // channel-packed lane words → engine weight forms, no intermediate
     // [K, C, 3, 3] tensor. Offline path: decompress to a flat tensor,
     // then re-pack — the bit-exact reference.
     let t0 = Instant::now();
-    for (i, c) in containers.iter().enumerate() {
-        let want = config.blocks[i].in_ch;
-        if c.filters != want || c.channels != want {
-            return Err(format!(
-                "kernel {}: container is {}x{}, the scaled model expects {want}x{want} \
-                 (wrong --scale?)",
-                i + 1,
-                c.filters,
-                c.channels
-            )
-            .into());
-        }
+    for (i, c) in container.kernels.iter().enumerate() {
         if offline {
-            model.set_conv3_weights(i, c.decode_kernel()?);
+            model.set_conv3_weights(i, c.decode_kernel()?)?;
         } else {
-            model.set_conv3_packed(i, c.decode_packed()?);
+            model.set_conv3_packed(i, c.decode_packed()?)?;
         }
     }
     let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let inputs = synthetic_batch(batch, config.input_channels, image, seed ^ RUN_INPUT_SALT);
+    let input_channels = match container_spec.nodes.first().map(|n| n.op) {
+        Some(OpSpec::Input { channels, .. }) => channels,
+        _ => 3,
+    };
+    let inputs = synthetic_batch(batch, input_channels, image, seed ^ RUN_INPUT_SALT);
     let engine = Engine::with_threads(threads);
     let t1 = Instant::now();
-    let outputs = model.forward_batch(&inputs, &engine);
+    let outputs = model.forward_batch(&inputs, &engine)?;
     let forward_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     println!(
-        "{input}: {} kernels deployed via {} in {decode_ms:.1} ms",
-        containers.len(),
+        "{input}: arch {arch}, {} kernels deployed via {} in {decode_ms:.1} ms",
+        container.kernels.len(),
         if offline {
             "offline decompress+pack"
         } else {
@@ -393,7 +454,12 @@ fn cmd_run(args: &[String]) -> CliResult {
 }
 
 fn cmd_simulate(args: &[String]) -> CliResult {
-    check_flags("simulate", args, &["--image", "--ratio", "--in"], &[])?;
+    check_flags(
+        "simulate",
+        args,
+        &["--image", "--ratio", "--in", "--arch", "--scale"],
+        &[],
+    )?;
     let image: usize = parse_flag(args, "--image", 224)?;
     if image == 0 {
         return Err("--image must be at least 1".into());
@@ -402,67 +468,61 @@ fn cmd_simulate(args: &[String]) -> CliResult {
         if flag_value(args, "--ratio").is_some() {
             return Err("--ratio conflicts with --in: ratios come from the container".into());
         }
-        return simulate_container(input, image);
+        if flag_value(args, "--scale").is_some() {
+            return Err("--scale conflicts with --in: geometry comes from the container".into());
+        }
+        return simulate_container(args, input, image);
     }
     let ratio: f64 = parse_flag(args, "--ratio", 1.33)?;
     if !ratio.is_finite() || ratio <= 0.0 {
         return Err("--ratio must be positive".into());
     }
-    let mut cfg = ReActNetConfig::full();
-    cfg.image_size = image;
-    let wls = cfg.workloads();
+    let arch = arch_flag(args)?.unwrap_or(Arch::ReActNet);
+    let scale = parse_scale(args, 1.0)?;
+    let spec = build_spec(arch, scale, image)?;
+    let wls = spec.workloads();
     let cpu = CpuConfig::default();
     let base = run_model(&cpu, &wls, Mode::Baseline, &[1.0]);
     let sw = run_model(&cpu, &wls, Mode::SoftwareDecode, &[ratio]);
     let hw = run_model(&cpu, &wls, Mode::HardwareDecode, &[ratio]);
-    println!("image {image}x{image}, compression ratio {ratio}:");
+    println!("arch {arch}, image {image}x{image}, compression ratio {ratio}:");
     print_mode_cycles(&base, &sw, &hw);
     Ok(())
 }
 
 /// `simulate --in`: every 3×3 layer's stream length, sequence count, and
 /// decoder configuration (paper Table III) come from the actual `.bkcm`
-/// records, so the speedup and energy reported here describe a real
-/// compressed model, not a synthetic ratio.
-fn simulate_container(input: &str, image: usize) -> CliResult {
+/// records, and the layer geometry comes from the container's graph
+/// topology — so the speedup and energy reported here describe a real
+/// compressed model of any architecture, not a synthetic ratio.
+fn simulate_container(args: &[String], input: &str, image: usize) -> CliResult {
     let bytes = std::fs::read(input)?;
-    let containers = read_model_container(&bytes)?;
-    let full = ReActNetConfig::full();
-    if containers.len() != full.blocks.len() {
-        return Err(format!(
-            "container holds {} kernels; the ReActNet schedule needs {}",
-            containers.len(),
-            full.blocks.len()
-        )
-        .into());
-    }
-    // Rebuild the (possibly scaled) geometry from the container itself:
-    // each block's channels are its kernel's, strides follow the schedule.
-    let mut cfg = full;
-    cfg.image_size = image;
-    for (i, c) in containers.iter().enumerate() {
-        if c.filters != c.channels {
+    let container = read_model_container(&bytes)?;
+    // The simulator needs only the embedded spec, so custom (non-built-in)
+    // architectures simulate too; --arch is accepted purely as a
+    // cross-check against the stored tag.
+    let arch = match &container.spec {
+        Some(spec) => spec.arch.clone(),
+        None => Arch::ReActNet.name().to_string(),
+    };
+    if let Some(requested) = arch_flag(args)? {
+        if requested.name() != arch {
             return Err(format!(
-                "kernel {}: {}x{} is not square; 3x3 block kernels are CxC",
-                i + 1,
-                c.filters,
-                c.channels
+                "container was written for --arch {arch}, but --arch {requested} was requested"
             )
             .into());
         }
-        cfg.blocks[i].in_ch = c.filters;
-        cfg.blocks[i].out_ch = if i + 1 < containers.len() {
-            containers[i + 1].filters
-        } else {
-            c.filters
-        };
     }
-    cfg.stem_channels = containers[0].filters;
-    cfg.validate()
-        .map_err(|e| format!("container geometry is not a ReActNet schedule: {e}"))?;
-    let wls = cfg.workloads();
+    let spec = spec_with_image(
+        container
+            .spec_or_reactnet(image)
+            .map_err(|e| e.to_string())?,
+        image,
+    );
+    let wls = spec.workloads();
 
-    let streams: Vec<KernelStream> = containers
+    let streams: Vec<KernelStream> = container
+        .kernels
         .iter()
         .map(|c| KernelStream {
             stream_bytes: c.stream.len() as u64,
@@ -470,9 +530,9 @@ fn simulate_container(input: &str, image: usize) -> CliResult {
         })
         .collect();
 
-    println!("{input}: per-kernel decoder configurations (Table III):");
+    println!("{input}: arch {arch}, per-kernel decoder configurations (Table III):");
     let (mut orig_bits, mut comp_bits) = (0u64, 0u64);
-    for (i, c) in containers.iter().enumerate() {
+    for (i, c) in container.kernels.iter().enumerate() {
         let dc = c.decoder_config(STREAM_BASE);
         orig_bits += dc.num_sequences * 9;
         comp_bits += c.stream_bits as u64;
@@ -495,8 +555,8 @@ fn simulate_container(input: &str, image: usize) -> CliResult {
 
     let cpu = CpuConfig::default();
     let base = run_model(&cpu, &wls, Mode::Baseline, &[1.0]);
-    let sw = run_model_streams(&cpu, &wls, Mode::SoftwareDecode, &streams);
-    let hw = run_model_streams(&cpu, &wls, Mode::HardwareDecode, &streams);
+    let sw = run_spec_streams(&cpu, &spec, Mode::SoftwareDecode, &streams)?;
+    let hw = run_spec_streams(&cpu, &spec, Mode::HardwareDecode, &streams)?;
     println!("image {image}x{image}, streams from {input}:");
     print_mode_cycles(&base, &sw, &hw);
 

@@ -49,6 +49,12 @@ pub use simcpu;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use bitnn::engine::Engine;
+    pub use bitnn::graph::arch::{
+        attach_weights, build_model, build_spec, reactnet_spec, sample_conv3_kernels, Arch,
+    };
+    pub use bitnn::graph::{
+        ConvGeometry, GraphBuilder, GraphNode, GraphSpec, ModelGraph, NodeOp, NodeSpec, OpSpec,
+    };
     pub use bitnn::infer::{compare_models, synthetic_batch, Agreement};
     pub use bitnn::model::{BlockSpec, OpCategory, ReActNet, ReActNetConfig};
     pub use bitnn::pack::PackedKernel;
@@ -57,12 +63,15 @@ pub mod prelude {
     pub use kc_core::cluster::{ClusterConfig, ClusterPlan};
     pub use kc_core::codec::{model_compression_ratio, CompressedKernel, KernelCodec};
     pub use kc_core::container::{
-        read_container, read_model_container, write_container, write_model_container, Container,
+        read_container, read_model_container, write_container, write_model_container,
+        write_model_container_v2, Container, ModelContainer,
     };
     pub use kc_core::huffman::{FullHuffman, SimplifiedTree, TreeConfig};
     pub use kc_core::stream_decode::GroupDecoder;
     pub use kc_core::{BitSeq, FreqTable};
     pub use simcpu::config::CpuConfig;
-    pub use simcpu::run::{compare_modes, run_model, run_model_streams, run_workload, Mode};
+    pub use simcpu::run::{
+        compare_modes, run_model, run_model_streams, run_spec_streams, run_workload, Mode,
+    };
     pub use simcpu::trace::KernelStream;
 }

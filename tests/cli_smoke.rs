@@ -15,8 +15,12 @@ fn compress_verify_inspect_roundtrip_clustered() {
     assert!(c.status.success(), "compress failed: {c:?}");
     let stdout = String::from_utf8_lossy(&c.stdout);
     assert!(
-        stdout.contains("block 13"),
-        "missing per-block report: {stdout}"
+        stdout.contains("conv 13"),
+        "missing per-conv report: {stdout}"
+    );
+    assert!(
+        stdout.contains("arch reactnet"),
+        "missing arch tag: {stdout}"
     );
     assert!(
         stdout.contains("aggregate kernel ratio"),
@@ -33,6 +37,10 @@ fn compress_verify_inspect_roundtrip_clustered() {
     assert!(
         stdout.contains("13 compressed kernels"),
         "bad inspect header: {stdout}"
+    );
+    assert!(
+        stdout.contains("arch reactnet"),
+        "inspect must print the container's arch: {stdout}"
     );
     assert!(
         stdout.contains("code lengths"),
@@ -132,6 +140,36 @@ fn run_and_container_simulate_work_end_to_end() {
     assert!(!bnnkc(&["simulate", "--in", path, "--ratio", "2.0"])
         .status
         .success());
+}
+
+#[test]
+fn every_arch_compresses_and_inspects() {
+    for arch in ["vggsmall", "resnetlite"] {
+        let out = TempFile(tmp_file(&format!("smoke-{arch}.bkcm")));
+        let path = out.0.to_str().unwrap();
+        let c = bnnkc(&[
+            "compress", "--out", path, "--arch", arch, "--scale", "0.0625",
+        ]);
+        assert!(c.status.success(), "{arch} compress failed: {c:?}");
+        let i = bnnkc(&["inspect", "--in", path]);
+        assert!(i.status.success(), "{arch} inspect failed: {i:?}");
+        let stdout = String::from_utf8_lossy(&i.stdout);
+        assert!(
+            stdout.contains(&format!("arch {arch}")),
+            "inspect must print {arch}: {stdout}"
+        );
+        // simulate in ratio mode also accepts --arch directly.
+        let s = bnnkc(&[
+            "simulate", "--arch", arch, "--scale", "0.0625", "--image", "16",
+        ]);
+        assert!(s.status.success(), "{arch} simulate failed: {s:?}");
+    }
+    // Unknown arch values are rejected.
+    assert!(
+        !bnnkc(&["compress", "--out", "/tmp/never.bkcm", "--arch", "lenet"])
+            .status
+            .success()
+    );
 }
 
 #[test]

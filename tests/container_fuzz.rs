@@ -48,6 +48,21 @@ fn model_fixture() -> &'static Vec<u8> {
     })
 }
 
+/// A v2 container (graph topology + kernels) for a non-ReActNet family.
+fn model_v2_fixture() -> &'static Vec<u8> {
+    static FIX: OnceLock<Vec<u8>> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let codec = KernelCodec::paper_clustered();
+        let spec = build_spec(Arch::ResNetLite, 0.0625, 16).unwrap();
+        let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 0xF2)
+            .unwrap()
+            .iter()
+            .map(|k| codec.compress(k).unwrap())
+            .collect();
+        write_model_container_v2(&spec, &kernels).unwrap().to_vec()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -114,7 +129,7 @@ proptest! {
         let idx = idx % bytes.len();
         bytes[idx] ^= xor;
         if let Ok(containers) = read_model_container(&bytes) {
-            for c in &containers {
+            for c in &containers.kernels {
                 let offline = c.decode_kernel();
                 let streamed = c.decode_packed();
                 prop_assert_eq!(offline.is_ok(), streamed.is_ok());
@@ -126,5 +141,42 @@ proptest! {
         let cut = cut % clean.len();
         prop_assert!(read_model_container(&clean[..cut]).is_err(),
             "truncation at {} must fail", cut);
+    }
+
+    /// v2 model containers (graph section + records): mutation never
+    /// panics and never breaks offline/streamed consistency; any parse
+    /// that survives still carries a validated spec matching its kernels;
+    /// truncation always errors.
+    #[test]
+    fn model_container_v2_damage_is_contained(
+        idx in 0usize..8192,
+        xor in 1u8..=255,
+        cut in 0usize..8192,
+    ) {
+        let clean = model_v2_fixture();
+        let mut bytes = clean.clone();
+        let idx = idx % bytes.len();
+        bytes[idx] ^= xor;
+        if let Ok(container) = read_model_container(&bytes) {
+            if let Some(spec) = &container.spec {
+                prop_assert!(spec.validate().is_ok());
+                let convs = spec.conv3_geometries();
+                prop_assert_eq!(convs.len(), container.kernels.len());
+                for (g, k) in convs.iter().zip(&container.kernels) {
+                    prop_assert_eq!((g.filters, g.channels), (k.filters, k.channels));
+                }
+            }
+            for c in &container.kernels {
+                let offline = c.decode_kernel();
+                let streamed = c.decode_packed();
+                prop_assert_eq!(offline.is_ok(), streamed.is_ok());
+                if let (Ok(k), Ok(p)) = (offline, streamed) {
+                    prop_assert_eq!(&PackedKernel::pack(&k).unwrap(), &p);
+                }
+            }
+        }
+        let cut = cut % clean.len();
+        prop_assert!(read_model_container(&clean[..cut]).is_err(),
+            "v2 truncation at {} must fail", cut);
     }
 }

@@ -99,6 +99,83 @@ proptest! {
         prop_assert!(mr.mean_kernel_ratio >= 1.0);
     }
 
+    /// The graph executor is bit-exact against the scalar oracle for
+    /// every built-in architecture across image sizes, batch sizes, and
+    /// thread counts — strides and shortcut forms vary per architecture
+    /// (identity, stride-2 pool, channel duplication), so this sweeps all
+    /// fused paths.
+    #[test]
+    fn graph_executor_matches_scalar_across_architectures(
+        arch_idx in 0usize..3,
+        image in 12usize..24,
+        batch in 1usize..4,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let arch = Arch::ALL[arch_idx];
+        let model = build_model(arch, 0.0625, image, seed).unwrap();
+        let inputs = synthetic_batch(batch, 3, image, seed ^ 0x6A17);
+        let engine = Engine::with_threads(threads);
+        let batched = model.forward_batch(&inputs, &engine).unwrap();
+        let mut scratch = bitnn::engine::Scratch::default();
+        for (x, via_batch) in inputs.iter().zip(&batched) {
+            let scalar = model.forward_scalar(x).unwrap();
+            let with = model.forward_with(x, &engine, &mut scratch).unwrap();
+            prop_assert_eq!(scalar.data(), via_batch.data(),
+                "{} batch path diverged", arch);
+            prop_assert_eq!(scalar.data(), with.data(),
+                "{} engine path diverged", arch);
+        }
+    }
+
+    /// For the ReActNet family the graph executor must also agree with
+    /// the frozen block-walking scalar oracle (`ReActNet::forward_scalar`)
+    /// across strides and scales — the pre-IR ground truth.
+    #[test]
+    fn reactnet_graph_matches_frozen_block_oracle(
+        scale_q in 0usize..3,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        // Scales where the clamp-to-8 keeps the C/2C block invariant.
+        let scale = [0.0625, 0.125, 0.25][scale_q];
+        let mut cfg = ReActNetConfig::scaled(scale).unwrap();
+        cfg.image_size = 16;
+        // Keep it fast: only the first 5 blocks (covers stride-2 and
+        // channel-doubling transitions).
+        cfg.blocks.truncate(5);
+        cfg.num_classes = 10;
+        let model = ReActNet::new(cfg, seed).unwrap();
+        let inputs = synthetic_batch(2, 3, 16, seed ^ 0x0DD);
+        let engine = Engine::with_threads(threads);
+        let batched = model.forward_batch(&inputs, &engine);
+        for (x, via_batch) in inputs.iter().zip(&batched) {
+            let frozen = model.forward_scalar(x);
+            let via_graph = model.graph().forward_scalar(x).unwrap();
+            prop_assert_eq!(frozen.data(), via_batch.data());
+            prop_assert_eq!(frozen.data(), via_graph.data());
+        }
+    }
+
+    /// Compress → stream-decode → deploy into the graph is lossless for
+    /// any architecture (the paper's pipeline, end to end, as a property).
+    #[test]
+    fn compressed_graph_deployment_is_lossless(
+        arch_idx in 0usize..3,
+        seed in any::<u64>()
+    ) {
+        let arch = Arch::ALL[arch_idx];
+        let mut model = build_model(arch, 0.0625, 12, seed).unwrap();
+        let codec = KernelCodec::paper();
+        for i in 0..model.num_conv3() {
+            let original = model.conv3_weights(i).clone();
+            let ck = codec.compress(&original).unwrap();
+            let container = read_container(&write_container(&ck)).unwrap();
+            model.set_conv3_packed(i, container.decode_packed().unwrap()).unwrap();
+            prop_assert_eq!(model.conv3_weights(i), &original, "{} conv {}", arch, i);
+        }
+    }
+
     /// The binary convolution substrate agrees with its float oracle for
     /// arbitrary packed inputs (cross-checking bitnn against itself via
     /// the public API).
