@@ -7,11 +7,17 @@
 //! * **Register-blocked GEMM** — every matrix product goes through the
 //!   `MR×NR` micro-kernel in [`crate::ops::gemm`], which reuses loaded
 //!   lanes across output rows and keeps several popcounts in flight.
-//! * **Scoped thread pool** — a dependency-free fork-join pool built on
-//!   [`std::thread::scope`]. Each parallel operation splits a contiguous
-//!   output range (GEMM rows, conv output rows, batch items) into disjoint
-//!   bands, one per worker, so no synchronization is needed beyond the
-//!   final join.
+//! * **Persistent worker pool** — parallel sections run on the process-wide
+//!   pool of condvar-parked workers ([`crate::pool`]). Each operation
+//!   splits a contiguous output range (GEMM rows, conv output rows, batch
+//!   items) into more chunks than workers; workers claim chunks with one
+//!   atomic `fetch_add` each, so tail chunks are stolen by whichever
+//!   worker finishes first. Every dispatch carries a work estimate, and
+//!   ops below [`ExecPolicy::min_work`] run inline on the calling thread —
+//!   small dispatches never pay parallel overhead. The requested thread
+//!   count is additionally clamped to the hardware parallelism, so asking
+//!   for 8 threads on a 1-core host degrades to the inline path instead of
+//!   oversubscribing.
 //! * **Shape-dependent lowering** — per layer, [`ExecPolicy::lowering`]
 //!   picks between the direct channel-packed convolution and the
 //!   im2col-lowered GEMM (daBNN makes the same choice per shape). 1×1
@@ -33,6 +39,7 @@ use crate::ops::conv::{conv2d_direct_rows, kernel_position_ones, Conv2dParams};
 use crate::ops::gemm::{gemm_rows_into, PackedMatrix};
 use crate::ops::im2col::{im2col_kernel_packed, im2col_rows};
 use crate::pack::{PackedActivations, PackedKernel};
+use crate::pool::WorkerPool;
 use crate::tensor::{BitTensor, Tensor};
 use std::thread;
 
@@ -61,33 +68,48 @@ pub enum Lowering {
     Im2col,
 }
 
-/// Stack size for pool workers. The band kernels are flat loops with a
-/// few KB of locals, so 512 KiB leaves two orders of magnitude of headroom
-/// while keeping spawns cheap.
-const WORKER_STACK_BYTES: usize = 512 * 1024;
-
 /// Channel-count threshold for [`Lowering::Auto`]: at or below this the
 /// im2col lowering wins (short channel vectors, per-position call overhead
 /// dominates the direct path); above it the direct path's long dots win
 /// and the 9× activation duplication stops paying for itself.
 pub const IM2COL_MAX_CHANNELS: usize = 256;
 
-/// Execution policy: worker count and lowering choice.
+/// Default [`ExecPolicy::min_work`]: roughly 15 µs of lane-word operations
+/// on a current core. Below this, waking even one parked worker costs a
+/// measurable fraction of the op itself, so the dispatch runs inline.
+pub const DEFAULT_MIN_WORK: u64 = 32 * 1024;
+
+/// Target number of claimable chunks per effective thread: enough that a
+/// stalled worker's tail is stolen, few enough that the per-chunk
+/// `fetch_add` stays invisible.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Execution policy: worker count, per-dispatch inline threshold, and
+/// lowering choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecPolicy {
-    /// Number of worker threads parallel sections may use (≥ 1). Workers
-    /// are scoped per operation; `1` means everything runs inline on the
-    /// calling thread.
+    /// Number of threads parallel sections may use (≥ 1), counting the
+    /// calling thread. `1` means everything runs inline. The effective
+    /// count is clamped to the hardware parallelism at dispatch time —
+    /// requesting more threads than cores never oversubscribes.
     pub threads: usize,
+    /// Minimum estimated work (in lane-word operations) an op must carry
+    /// before it is split across workers; smaller dispatches run inline on
+    /// the calling thread regardless of `threads`. This is what keeps
+    /// tiny ops (short GEMMs, 1×1 convs on small maps) from losing to
+    /// their own parallel overhead.
+    pub min_work: u64,
     /// Convolution lowering selection.
     pub lowering: Lowering,
 }
 
 impl Default for ExecPolicy {
-    /// All available hardware parallelism, automatic lowering.
+    /// All available hardware parallelism, default inline threshold,
+    /// automatic lowering.
     fn default() -> Self {
         ExecPolicy {
             threads: thread::available_parallelism().map_or(1, usize::from),
+            min_work: DEFAULT_MIN_WORK,
             lowering: Lowering::Auto,
         }
     }
@@ -113,6 +135,41 @@ impl ExecPolicy {
             threads,
             ..Default::default()
         }
+    }
+
+    /// The thread count a dispatch of `work` estimated lane-word
+    /// operations actually uses: `threads`, clamped by the hardware
+    /// parallelism, or 1 when the op is too small to amortize a wakeup.
+    pub fn effective_threads(&self, work: u64) -> usize {
+        if self.threads <= 1 || work < self.min_work {
+            return 1;
+        }
+        self.threads.min(WorkerPool::global().hw_threads())
+    }
+}
+
+/// Parse a `--threads`-style CLI value into a thread count: a positive
+/// integer, or `auto` (also the meaning of an absent flag), which
+/// resolves to the hardware parallelism. Zero and unparseable values are
+/// errors pointing the user at `auto` — never a silent single-threaded
+/// run. Shared by every binary exposing a thread flag (`bnnkc run`,
+/// `perfsuite`) so the grammar and messages cannot drift apart.
+///
+/// # Errors
+///
+/// Returns the user-facing message for `0` or a non-numeric value.
+pub fn parse_thread_count(value: Option<&str>) -> std::result::Result<usize, String> {
+    match value {
+        None | Some("auto") => Ok(thread::available_parallelism().map_or(1, usize::from)),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err(
+                "--threads must be at least 1; use `--threads auto` to match the hardware".into(),
+            ),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!(
+                "invalid value `{v}` for --threads (a count or `auto`)"
+            )),
+        },
     }
 }
 
@@ -159,7 +216,9 @@ pub struct ConvScratch {
 }
 
 /// Reusable forward-pass buffers threaded through the model so steady-state
-/// inference stops allocating per layer.
+/// inference stops allocating per layer: once every buffer (including the
+/// graph executor's activation arena) has been sized by a warm-up forward,
+/// repeat forwards of the same shape perform zero heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
     /// Engine-internal lowering buffers.
@@ -172,11 +231,19 @@ pub struct Scratch {
     pub conv_out: Tensor,
     /// Fused bn + shortcut + activation output of the 3×3 stage.
     pub mid: Tensor,
+    /// Quantized-layer staging buffers (stem conv + classifier).
+    pub(crate) quant: crate::layers::QuantScratch,
+    /// The graph executor's activation arena: one reusable tensor per
+    /// liveness-assigned slot of the compiled plan (see
+    /// [`crate::graph`]'s executor).
+    pub(crate) arena: Vec<Tensor>,
 }
 
-/// The parallel tiled executor. Cheap to construct and [`Clone`]; holds no
-/// buffers (those live in [`Scratch`]) and no long-lived threads (workers
-/// are scoped per operation).
+/// The parallel tiled executor. Cheap to construct, [`Clone`], and
+/// [`Sync`]: it holds no buffers (those live in [`Scratch`]) and no
+/// threads of its own — every engine dispatches onto the one process-wide
+/// persistent worker pool ([`crate::pool`]), so a single shared `Engine`
+/// serves all layers, batches, and concurrent callers without spawning.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     policy: ExecPolicy,
@@ -216,57 +283,35 @@ impl Engine {
         })
     }
 
-    /// Fork-join over a mutable output slice of `items * width` elements.
+    /// Parallel loop over a mutable output slice of `items * width`
+    /// elements, dispatched onto the persistent worker pool.
     ///
-    /// The items are split into at most `policy.threads` contiguous bands
-    /// of at least `grain` items each; every worker gets a disjoint
-    /// `&mut` band plus the index of its first item, and the calling
-    /// thread processes the last band itself. With one band the closure
-    /// runs inline, so a single-threaded engine never spawns.
-    pub(crate) fn parallel_chunks<T, F>(&self, out: &mut [T], width: usize, grain: usize, f: F)
-    where
+    /// The items are split into chunks of at least `grain` items — several
+    /// chunks per effective thread, so tail chunks are stolen by whichever
+    /// worker finishes first. Each chunk invocation gets a disjoint `&mut`
+    /// band plus the index of its first item. `work` is the caller's
+    /// estimate of the whole dispatch in lane-word operations; dispatches
+    /// under [`ExecPolicy::min_work`] (and all single-threaded engines)
+    /// run inline on the calling thread without touching the pool.
+    pub(crate) fn parallel_chunks<T, F>(
+        &self,
+        out: &mut [T],
+        width: usize,
+        grain: usize,
+        work: u64,
+        f: F,
+    ) where
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
-        if out.is_empty() || width == 0 {
-            return;
-        }
-        debug_assert_eq!(out.len() % width, 0);
-        let items = out.len() / width;
-        let bands = self.policy.threads.min(items.div_ceil(grain.max(1))).max(1);
-        if bands <= 1 {
-            f(0, out);
-            return;
-        }
-        let per = items.div_ceil(bands);
-        thread::scope(|s| {
-            let f = &f;
-            let mut rest = out;
-            let mut first = 0usize;
-            while !rest.is_empty() {
-                let take = (per * width).min(rest.len());
-                let (band, tail) = rest.split_at_mut(take);
-                rest = tail;
-                let start = first;
-                first += take / width;
-                if rest.is_empty() {
-                    f(start, band); // last band on the calling thread
-                } else {
-                    // Small stacks: workers run flat compute loops, and a
-                    // lean spawn keeps the fork-join overhead visible at
-                    // high thread counts on few cores in check.
-                    thread::Builder::new()
-                        .stack_size(WORKER_STACK_BYTES)
-                        .spawn_scoped(s, move || f(start, band))
-                        .expect("spawn worker thread");
-                }
-            }
-        });
+        let threads = self.policy.effective_threads(work);
+        dispatch_chunks(WorkerPool::global(), threads, out, width, grain, f);
     }
 
     /// Binary GEMM under this policy (see [`crate::ops::gemm::gemm_binary`]
-    /// for operand semantics): rows of `a` are chunked across workers, each
-    /// running the register-blocked micro-kernel on its band.
+    /// for operand semantics): rows of `a` are chunked across the worker
+    /// pool, each chunk running the register-blocked micro-kernel on its
+    /// band.
     ///
     /// # Errors
     ///
@@ -293,7 +338,8 @@ impl Engine {
         resize_unfilled(out, a.rows() * b.rows());
         let (aw, bw) = (a.words(), b.words());
         let (lanes, k, bn) = (a.lanes(), a.cols(), b.rows());
-        self.parallel_chunks(&mut out[..], bn, 8, |first, band| {
+        let work = (a.rows() * bn * lanes) as u64;
+        self.parallel_chunks(&mut out[..], bn, 8, work, |first, band| {
             gemm_rows_into(aw, bw, lanes, k, bn, first, band);
         });
         Ok(())
@@ -367,7 +413,8 @@ impl Engine {
                     &built
                 }
             };
-            self.parallel_chunks(out.data_mut(), ow, 4, |first, band| {
+            let work = (n * kf * oh * ow * kh * kw * acts.lanes()) as u64;
+            self.parallel_chunks(out.data_mut(), ow, 4, work, |first, band| {
                 conv2d_direct_rows(acts, packed, params, pad_ones, first, band);
             });
             return Ok(());
@@ -380,16 +427,26 @@ impl Engine {
             // filter. No lowering, no copies.
             resize_unfilled(&mut scratch.flat, pixels * kf);
             let (aw, bw, lanes) = (acts.words(), packed.words(), acts.lanes());
-            self.parallel_chunks(&mut scratch.flat[..], kf, 16, |first, band| {
+            let work = (pixels * kf * lanes) as u64;
+            self.parallel_chunks(&mut scratch.flat[..], kf, 16, work, |first, band| {
                 gemm_rows_into(aw, bw, lanes, c, kf, first, band);
             });
         } else {
             let cols = kh * kw * c;
             scratch.im2col.reset(pixels, cols);
             let lanes = scratch.im2col.lanes();
-            self.parallel_chunks(scratch.im2col.words_mut(), lanes, 16, |first, band| {
-                im2col_rows(acts, kh, kw, params, first, band, lanes);
-            });
+            // The lowering is a word blit: roughly one lane-word op per
+            // output word (bit gathers cost a couple each).
+            let blit_work = (pixels * lanes * 2) as u64;
+            self.parallel_chunks(
+                scratch.im2col.words_mut(),
+                lanes,
+                16,
+                blit_work,
+                |first, band| {
+                    im2col_rows(acts, kh, kw, params, first, band, lanes);
+                },
+            );
             let built;
             let lk = match kernel.lowered {
                 Some(m) => m,
@@ -401,7 +458,8 @@ impl Engine {
             debug_assert_eq!(lk.cols(), cols);
             resize_unfilled(&mut scratch.flat, pixels * kf);
             let (aw, bw) = (scratch.im2col.words(), lk.words());
-            self.parallel_chunks(&mut scratch.flat[..], kf, 16, |first, band| {
+            let work = (pixels * kf * lanes) as u64;
+            self.parallel_chunks(&mut scratch.flat[..], kf, 16, work, |first, band| {
                 gemm_rows_into(aw, bw, lanes, cols, kf, first, band);
             });
         }
@@ -419,6 +477,53 @@ impl Engine {
         }
         Ok(())
     }
+}
+
+/// Band-dispatch body of [`Engine::parallel_chunks`], parameterized over
+/// the pool so tests can force a multi-worker pool on any host. `threads`
+/// is the already-resolved effective thread count.
+fn dispatch_chunks<T, F>(
+    pool: &WorkerPool,
+    threads: usize,
+    out: &mut [T],
+    width: usize,
+    grain: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if out.is_empty() || width == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % width, 0);
+    let items = out.len() / width;
+    // A few chunks per thread balances steal granularity against the
+    // per-chunk claim overhead (one fetch_add each).
+    let chunk_items = grain
+        .max(1)
+        .max(items.div_ceil(threads.max(1) * CHUNKS_PER_THREAD));
+    let chunks = items.div_ceil(chunk_items);
+    if threads <= 1 || chunks <= 1 {
+        f(0, out);
+        return;
+    }
+    let base = out.as_mut_ptr() as usize;
+    let runner = |chunk: usize| {
+        let start = chunk * chunk_items;
+        let end = (start + chunk_items).min(items);
+        // SAFETY: chunk indices are claimed exactly once by the pool, and
+        // each maps to a disjoint item range of `out`, which outlives the
+        // dispatch (the pool blocks until every chunk completes).
+        let band = unsafe {
+            std::slice::from_raw_parts_mut(
+                (base as *mut T).add(start * width),
+                (end - start) * width,
+            )
+        };
+        f(start, band);
+    };
+    pool.dispatch(chunks, threads - 1, &runner);
 }
 
 #[cfg(test)]
@@ -460,6 +565,7 @@ mod tests {
         assert_eq!(ExecPolicy::single_threaded().threads, 1);
         assert_eq!(ExecPolicy::with_threads(3).threads, 3);
         assert!(ExecPolicy::default().threads >= 1);
+        assert_eq!(ExecPolicy::default().min_work, DEFAULT_MIN_WORK);
         assert_eq!(Engine::with_threads(5).policy().threads, 5);
         assert_eq!(Engine::with_threads(5).inner().policy().threads, 1);
     }
@@ -471,12 +577,28 @@ mod tests {
     }
 
     #[test]
+    fn small_work_runs_inline() {
+        // Below min_work the dispatch is pinned to one thread no matter
+        // how many threads the policy asks for.
+        let policy = ExecPolicy::with_threads(8);
+        assert_eq!(policy.effective_threads(0), 1);
+        assert_eq!(policy.effective_threads(policy.min_work - 1), 1);
+        // At or above the threshold the count is the requested one clamped
+        // by hardware parallelism.
+        let eff = policy.effective_threads(policy.min_work);
+        assert!((1..=8).contains(&eff));
+        assert_eq!(ExecPolicy::single_threaded().effective_threads(u64::MAX), 1);
+    }
+
+    #[test]
     fn parallel_chunks_covers_every_item_once() {
+        // Drive the band dispatch directly with a forced 3-worker pool so
+        // the chunked path runs with real threads even on 1-core hosts.
+        let pool = crate::pool::WorkerPool::with_workers(3, 4);
         for threads in [1usize, 2, 3, 8] {
-            for items in [1usize, 2, 7, 64] {
-                let engine = Engine::with_threads(threads);
+            for items in [1usize, 2, 7, 64, 257] {
                 let mut out = vec![0u32; items * 3];
-                engine.parallel_chunks(&mut out, 3, 1, |first, band| {
+                dispatch_chunks(&pool, threads, &mut out, 3, 1, |first, band| {
                     for (i, row) in band.chunks_mut(3).enumerate() {
                         for v in row.iter_mut() {
                             *v += (first + i) as u32 + 1;
@@ -487,6 +609,18 @@ mod tests {
                 assert_eq!(out, expect, "threads={threads} items={items}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_chunks_respects_grain() {
+        let pool = crate::pool::WorkerPool::with_workers(2, 4);
+        let mut out = vec![0u8; 30];
+        dispatch_chunks(&pool, 4, &mut out, 1, 8, |_, band| {
+            // Bands are at least `grain` items (except possibly the last).
+            assert!(band.len() >= 6, "band of {} items", band.len());
+            band.fill(1);
+        });
+        assert!(out.iter().all(|&v| v == 1));
     }
 
     #[test]
@@ -547,7 +681,12 @@ mod tests {
             let pa = PackedActivations::pack(&a).unwrap();
             let pk = PackedKernel::pack(&wk).unwrap();
             let params = Conv2dParams { stride, pad };
-            let engine = Engine::new(ExecPolicy { threads, lowering });
+            let engine = Engine::new(ExecPolicy {
+                threads,
+                lowering,
+                // Exercise the parallel path even on tiny shapes.
+                min_work: 0,
+            });
             let mut scratch = ConvScratch::default();
             let got = engine.conv2d(&pa, (&pk).into(), params, &mut scratch).unwrap();
             let expect = conv2d_reference(&a.to_tensor(), &wk.to_tensor(), params);

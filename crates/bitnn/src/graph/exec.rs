@@ -16,8 +16,13 @@
 
 use crate::engine::{Engine, Scratch};
 use crate::error::{BitnnError, Result};
-use crate::layers::{avg_pool_2x2, global_avg_pool, Layer};
-use crate::model::block::{add, fuse_channel_stage, fuse_spatial_stage, shortcut_channels};
+use crate::layers::{
+    avg_pool_2x2, avg_pool_2x2_into, global_avg_pool, global_avg_pool_into, Layer,
+};
+use crate::model::block::{
+    add, add_into, fuse_channel_stage, fuse_spatial_stage, shortcut_channels,
+    shortcut_channels_into,
+};
 use crate::pack::PackedActivations;
 use crate::tensor::{BitTensor, Tensor};
 
@@ -109,16 +114,31 @@ impl Step {
     }
 }
 
-/// A compiled execution plan: fused steps plus per-value lifetimes.
+/// Arena slot marker for values that live outside the arena (the borrowed
+/// graph input) or are never produced (folded sign nodes).
+pub(crate) const NO_SLOT: usize = usize::MAX;
+
+/// A compiled execution plan: fused steps, per-value lifetimes, and the
+/// liveness-derived arena slot assignment.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Plan {
     pub(crate) steps: Vec<Step>,
     /// `last_read[v]` = index of the last step that reads node `v`'s
-    /// value (`usize::MAX` when never read), so the executor can free
-    /// intermediates as soon as they are dead.
-    last_read: Vec<usize>,
+    /// value (`usize::MAX` when never read).
+    pub(crate) last_read: Vec<usize>,
     /// The node whose value is the graph output.
-    output: usize,
+    pub(crate) output: usize,
+    /// The graph's input node (its value is the caller's borrowed tensor).
+    input_node: usize,
+    /// Arena slot holding each node's value ([`NO_SLOT`] for the input and
+    /// for nodes that produce no value). Slots are assigned by a liveness
+    /// pass: a slot is recycled only for values whose lifetimes are
+    /// disjoint, and a step's output slot never aliases any of its input
+    /// slots, so every forward runs against a fixed small set of reusable
+    /// tensors instead of allocating per node.
+    pub(crate) slot: Vec<usize>,
+    /// Number of arena slots the plan needs.
+    pub(crate) slots: usize,
 }
 
 /// Compile the node list into a plan. The graph must already be validated
@@ -274,33 +294,105 @@ pub(crate) fn plan(nodes: &[GraphNode]) -> Plan {
             last_read[v] = si;
         }
     }
-    Plan {
-        steps,
-        last_read,
-        output: n - 1,
-    }
-}
+    let output = n - 1;
+    let input_node = steps
+        .iter()
+        .find_map(|s| match *s {
+            Step::Input { node } => Some(node),
+            _ => None,
+        })
+        .unwrap_or(0);
 
-/// A node value during execution: the graph input is borrowed, everything
-/// else is owned.
-enum Val<'a> {
-    Borrowed(&'a Tensor),
-    Owned(Tensor),
-}
-
-impl Val<'_> {
-    fn get(&self) -> &Tensor {
-        match self {
-            Val::Borrowed(t) => t,
-            Val::Owned(t) => t,
+    // Liveness-driven arena allocation: walk the steps assigning each
+    // produced value the lowest free slot, then release the slots of
+    // values whose last reader just ran. Releasing *after* assigning the
+    // output keeps a step's output slot disjoint from all of its inputs
+    // (no in-place aliasing), and the graph output's slot is never
+    // released so it survives to the end of the plan.
+    let mut slot = vec![NO_SLOT; n];
+    let mut free: Vec<usize> = Vec::new();
+    let mut slots = 0usize;
+    for (si, step) in steps.iter().enumerate() {
+        let out_node = step.output();
+        if !matches!(step, Step::Input { .. }) {
+            slot[out_node] = free.pop().unwrap_or_else(|| {
+                slots += 1;
+                slots - 1
+            });
+        }
+        let reads = step.reads();
+        for (j, &v) in reads.iter().enumerate() {
+            // Deduplicate (a step may read one value twice, e.g. add(x, x))
+            // so a slot is never pushed onto the free list twice.
+            if reads[..j].contains(&v) {
+                continue;
+            }
+            if last_read[v] == si && v != output && slot[v] != NO_SLOT {
+                free.push(slot[v]);
+            }
         }
     }
+
+    let plan = Plan {
+        steps,
+        last_read,
+        output,
+        input_node,
+        slot,
+        slots,
+    };
+    debug_assert!(
+        plan.check_no_aliasing().is_ok(),
+        "slot allocator produced aliasing: {:?}",
+        plan.check_no_aliasing()
+    );
+    plan
 }
 
-/// Read a produced value; the plan's topological order guarantees it
-/// exists.
-fn value<'v>(values: &'v [Option<Val<'_>>], v: usize) -> &'v Tensor {
-    values[v].as_ref().expect("topological order").get()
+impl Plan {
+    /// Verify the arena slot assignment: values sharing a slot must have
+    /// strictly disjoint lifetimes (one's producing step comes after the
+    /// other's last reader), which also implies a step's output slot never
+    /// aliases any of its inputs. Debug builds assert this after every
+    /// compile; the property tests sweep it across random graphs.
+    pub(crate) fn check_no_aliasing(&self) -> std::result::Result<(), String> {
+        let horizon = self.steps.len();
+        // Per value: the step producing it and the last step reading it
+        // (the graph output stays live to the end of the plan).
+        let mut produced = vec![usize::MAX; self.slot.len()];
+        for (si, step) in self.steps.iter().enumerate() {
+            produced[step.output()] = si;
+        }
+        let life = |v: usize| -> (usize, usize) {
+            let end = if v == self.output || self.last_read[v] == usize::MAX {
+                horizon
+            } else {
+                self.last_read[v]
+            };
+            (produced[v], end)
+        };
+        for u in 0..self.slot.len() {
+            if self.slot[u] == NO_SLOT {
+                continue;
+            }
+            for v in u + 1..self.slot.len() {
+                if self.slot[v] != self.slot[u] {
+                    continue;
+                }
+                let (pu, eu) = life(u);
+                let (pv, ev) = life(v);
+                let disjoint = if pu < pv { pv > eu } else { pu > ev };
+                if !disjoint {
+                    return Err(format!(
+                        "values {u} (steps {pu}..={eu}) and {v} (steps {pv}..={ev}) \
+                         share slot {}",
+                        self.slot[u]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Fetch the layer behind a node, panicking on a kind mismatch — the plan
@@ -314,124 +406,156 @@ macro_rules! layer {
     };
 }
 
-/// Run the plan through the execution engine (fused stages, scratch
-/// reuse). Bit-exact with [`run_scalar`].
-pub(crate) fn run(
+/// Run the plan through the execution engine (fused stages, scratch reuse,
+/// arena-allocated activations) into a reusable output tensor. Bit-exact
+/// with [`run_scalar`].
+///
+/// Every intermediate value lives in `scratch.arena` at the slot the
+/// liveness pass assigned; on a warmed scratch (same shapes as the last
+/// call) the whole forward performs zero heap allocation.
+pub(crate) fn run_into(
     nodes: &[GraphNode],
     plan: &Plan,
     input: &Tensor,
     engine: &Engine,
     scratch: &mut Scratch,
-) -> Result<Tensor> {
-    let mut values: Vec<Option<Val>> = (0..nodes.len()).map(|_| None).collect();
-    for (si, step) in plan.steps.iter().enumerate() {
-        let produced: Val = match *step {
-            Step::Input { .. } => Val::Borrowed(input),
+    out: &mut Tensor,
+) -> Result<()> {
+    // Split the scratch into its independent buffers so the arena can be
+    // borrowed alongside the conv/sign/quant staging buffers.
+    let Scratch {
+        conv,
+        bits,
+        packed,
+        conv_out,
+        quant,
+        arena,
+        ..
+    } = scratch;
+    if arena.len() < plan.slots {
+        arena.resize_with(plan.slots, Tensor::default);
+    }
+    // Read a node's value: the borrowed graph input or its arena slot.
+    // The liveness pass guarantees a live value's slot is not recycled, so
+    // reading through `plan.slot` always yields the value produced for it.
+    macro_rules! val {
+        ($v:expr) => {
+            if $v == plan.input_node {
+                input
+            } else {
+                &arena[plan.slot[$v]]
+            }
+        };
+    }
+    for step in plan.steps.iter() {
+        let out_node = step.output();
+        if matches!(step, Step::Input { .. }) {
+            continue; // the input's value is the caller's borrowed tensor
+        }
+        // Detach the output slot so the arena stays immutably readable;
+        // the slot allocator guarantees it aliases none of the inputs.
+        let mut dst = std::mem::take(&mut arena[plan.slot[out_node]]);
+        let result = match *step {
+            Step::Input { .. } => unreachable!("handled above"),
             Step::Stem { src, node } => {
                 let stem = layer!(nodes, node, NodeOp::StemConv);
-                Val::Owned(stem.forward_fast(value(&values, src)))
+                stem.forward_fast_with(val!(src), quant, &mut dst);
+                Ok(())
             }
             Step::Conv { node, sign, src } => {
                 let sg = layer!(nodes, sign, NodeOp::Sign);
-                let conv = layer!(nodes, node, NodeOp::BinConv);
-                sg.binarize_into(value(&values, src), &mut scratch.bits);
-                scratch
-                    .packed
-                    .repack(&scratch.bits)
+                let cv = layer!(nodes, node, NodeOp::BinConv);
+                sg.binarize_into(val!(src), bits);
+                packed
+                    .repack(bits)
                     .expect("4-D input validated by binarize");
-                let mut out = Tensor::default();
-                conv.forward_packed_with(&scratch.packed, engine, &mut scratch.conv, &mut out);
-                Val::Owned(out)
+                cv.forward_packed_with(packed, engine, conv, &mut dst);
+                Ok(())
             }
             Step::Bn { node, src } => {
                 let bn = layer!(nodes, node, NodeOp::BatchNorm);
-                Val::Owned(bn.forward(value(&values, src)))
+                bn.forward_into(val!(src), &mut dst);
+                Ok(())
             }
             Step::Act { node, src } => {
                 let act = layer!(nodes, node, NodeOp::Act);
-                Val::Owned(act.forward(value(&values, src)))
+                act.forward_into(val!(src), &mut dst);
+                Ok(())
             }
-            Step::AvgPool { src, .. } => Val::Owned(avg_pool_2x2(value(&values, src))),
+            Step::AvgPool { src, .. } => {
+                avg_pool_2x2_into(val!(src), &mut dst);
+                Ok(())
+            }
             Step::ChannelDup { src, .. } => {
-                let x = value(&values, src);
-                Val::Owned(shortcut_channels(x, 2 * x.shape()[1]))
+                let x = val!(src);
+                shortcut_channels_into(x, 2 * x.shape()[1], &mut dst);
+                Ok(())
             }
-            Step::Add { a, b, .. } => Val::Owned(add(value(&values, a), value(&values, b))),
-            Step::GlobalPool { src, .. } => Val::Owned(global_avg_pool(value(&values, src))),
+            Step::Add { a, b, .. } => {
+                add_into(val!(a), val!(b), &mut dst);
+                Ok(())
+            }
+            Step::GlobalPool { src, .. } => {
+                global_avg_pool_into(val!(src), &mut dst);
+                Ok(())
+            }
             Step::Classifier { node, src } => {
                 let fc = layer!(nodes, node, NodeOp::Classifier);
-                Val::Owned(fc.forward_2d(value(&values, src)))
+                fc.forward_2d_with(val!(src), quant, &mut dst);
+                Ok(())
             }
             Step::FusedSpatial {
                 act,
                 sign,
-                conv,
+                conv: cnode,
                 bn,
                 src,
             } => {
                 let sg = layer!(nodes, sign, NodeOp::Sign);
-                let cv = layer!(nodes, conv, NodeOp::BinConv);
+                let cv = layer!(nodes, cnode, NodeOp::BinConv);
                 let bnl = layer!(nodes, bn, NodeOp::BatchNorm);
                 let al = layer!(nodes, act, NodeOp::Act);
-                let x = value(&values, src);
-                sg.binarize_into(x, &mut scratch.bits);
-                scratch
-                    .packed
-                    .repack(&scratch.bits)
+                let x = val!(src);
+                sg.binarize_into(x, bits);
+                packed
+                    .repack(bits)
                     .expect("4-D input validated by binarize");
-                cv.forward_packed_with(
-                    &scratch.packed,
-                    engine,
-                    &mut scratch.conv,
-                    &mut scratch.conv_out,
-                );
-                let mut out = Tensor::default();
-                fuse_spatial_stage(&scratch.conv_out, x, 2, bnl, al, &mut out)?;
-                Val::Owned(out)
+                cv.forward_packed_with(packed, engine, conv, conv_out);
+                fuse_spatial_stage(conv_out, x, 2, bnl, al, &mut dst)
             }
             Step::FusedChannel {
                 act,
                 sign,
-                conv,
+                conv: cnode,
                 bn,
                 src,
             } => {
                 let sg = layer!(nodes, sign, NodeOp::Sign);
-                let cv = layer!(nodes, conv, NodeOp::BinConv);
+                let cv = layer!(nodes, cnode, NodeOp::BinConv);
                 let bnl = layer!(nodes, bn, NodeOp::BatchNorm);
                 let al = layer!(nodes, act, NodeOp::Act);
-                let x = value(&values, src);
-                sg.binarize_into(x, &mut scratch.bits);
-                scratch
-                    .packed
-                    .repack(&scratch.bits)
+                let x = val!(src);
+                sg.binarize_into(x, bits);
+                packed
+                    .repack(bits)
                     .expect("4-D input validated by binarize");
-                cv.forward_packed_with(
-                    &scratch.packed,
-                    engine,
-                    &mut scratch.conv,
-                    &mut scratch.conv_out,
-                );
-                Val::Owned(fuse_channel_stage(&scratch.conv_out, x, bnl, al))
+                cv.forward_packed_with(packed, engine, conv, conv_out);
+                fuse_channel_stage(conv_out, x, bnl, al, &mut dst);
+                Ok(())
             }
         };
-        let out_node = step.output();
-        values[out_node] = Some(produced);
-        // Free every value whose last reader has now run (keep the graph
-        // output alive).
-        for v in step.reads() {
-            if plan.last_read[v] == si && v != plan.output {
-                values[v] = None;
-            }
-        }
+        arena[plan.slot[out_node]] = dst;
+        result?;
     }
-    match values[plan.output].take() {
-        Some(Val::Owned(t)) => Ok(t),
-        Some(Val::Borrowed(t)) => Ok(t.clone()),
-        None => Err(BitnnError::InvalidConfig(
-            "graph produced no output value".into(),
-        )),
+    if plan.output == plan.input_node {
+        out.clone_from(input);
+    } else {
+        // Hand the output slot's buffer to the caller and keep the
+        // caller's old buffer as the slot's next scratch (capacity
+        // ping-pongs once, then stabilizes — no steady-state allocation).
+        std::mem::swap(out, &mut arena[plan.slot[plan.output]]);
     }
+    Ok(())
 }
 
 /// The scalar reference walk: per-node naive forwards, fresh allocations,

@@ -207,12 +207,40 @@ impl GraphBuilder {
     }
 }
 
+/// Reusable state for [`ModelGraph::forward_batch_into`]: a pool of
+/// per-worker [`Scratch`]es (each with its own activation arena). Chunks
+/// of a batched forward check a scratch out, run their items, and return
+/// it; once every worker has gone through one warm-up batch, steady-state
+/// batched forwards stop allocating.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    idle: std::sync::Mutex<Vec<Scratch>>,
+}
+
+impl BatchScratch {
+    /// Check out a scratch (a fresh one if the pool is dry).
+    fn take(&self) -> Scratch {
+        self.idle
+            .lock()
+            .expect("scratch pool mutex")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a scratch to the pool.
+    fn put(&self, scratch: Scratch) {
+        self.idle.lock().expect("scratch pool mutex").push(scratch);
+    }
+}
+
 /// A weighted, validated, executable model graph.
 ///
 /// Construction validates the topology (via the derived [`GraphSpec`]),
 /// cross-checks every layer's geometry against the inferred shapes, and
-/// compiles the fused execution plan once; forwards then run against the
-/// plan. All forward paths are bit-exact with each other.
+/// compiles the fused execution plan once (including the liveness pass
+/// that assigns every intermediate activation an arena slot); forwards
+/// then run against the plan. All forward paths are bit-exact with each
+/// other.
 #[derive(Debug, Clone)]
 pub struct ModelGraph {
     nodes: Vec<GraphNode>,
@@ -220,6 +248,10 @@ pub struct ModelGraph {
     plan: exec::Plan,
     /// Compressible (3×3 binary conv) node ids, topological order.
     conv3: Vec<usize>,
+    /// Estimated lane-word operations per input element (from the spec's
+    /// workloads at its nominal image size) — the batch executor's
+    /// workload model for picking batch-level vs intra-op parallelism.
+    work_per_elem: u64,
 }
 
 impl ModelGraph {
@@ -278,11 +310,30 @@ impl ModelGraph {
         }
         let plan = exec::plan(&nodes);
         let conv3 = spec.conv3_geometries().iter().map(|g| g.node).collect();
+        // Workload model: total multiply-accumulates at the nominal image
+        // size, weighted by precision (1-bit ops pack 64 to a lane word),
+        // normalized per input element. Convolution work scales linearly
+        // with the input pixel count, so this transfers to other runtime
+        // image sizes well enough for a split heuristic.
+        let nominal_elems = match spec.nodes.first().map(|n| &n.op) {
+            Some(&OpSpec::Input { channels, image }) => (channels * image * image).max(1),
+            _ => 1,
+        };
+        let word_ops: u64 = spec
+            .workloads()
+            .iter()
+            .map(|w| {
+                let macs = (w.in_ch * w.out_ch * w.kh * w.kw * w.oh * w.ow) as u64;
+                (macs * w.precision_bits as u64).div_ceil(64)
+            })
+            .sum();
+        let work_per_elem = (word_ops / nominal_elems as u64).max(1);
         Ok(ModelGraph {
             nodes,
             spec,
             plan,
             conv3,
+            work_per_elem,
         })
     }
 
@@ -433,14 +484,43 @@ impl ModelGraph {
         engine: &Engine,
         scratch: &mut Scratch,
     ) -> Result<Tensor> {
-        self.check_input(input);
-        exec::run(&self.nodes, &self.plan, input, engine, scratch)
+        let mut out = Tensor::default();
+        self.forward_into(input, engine, scratch, &mut out)?;
+        Ok(out)
     }
 
-    /// Forward a batch of independent inputs, chunking items across the
-    /// engine's workers (each worker runs the single-threaded fast path
-    /// with its own scratch). Results are in input order and bit-exact
-    /// with per-item [`Self::forward`].
+    /// [`Self::forward_with`] into a reusable output tensor: on a warmed
+    /// scratch (same input shape as the previous call) the entire forward
+    /// performs zero heap allocation — every intermediate activation lives
+    /// in the scratch's arena at a slot assigned by the plan's liveness
+    /// pass, and the logits land in `out`'s existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError`] for unsupported runtime geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, C, H, W]` with the graph's input
+    /// channel count.
+    pub fn forward_into(
+        &self,
+        input: &Tensor,
+        engine: &Engine,
+        scratch: &mut Scratch,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        self.check_input(input);
+        exec::run_into(&self.nodes, &self.plan, input, engine, scratch, out)
+    }
+
+    /// Estimated lane-word operations for one forward of `input`.
+    fn item_work(&self, input: &Tensor) -> u64 {
+        (input.len() as u64).saturating_mul(self.work_per_elem)
+    }
+
+    /// Forward a batch of independent inputs. Results are in input order
+    /// and bit-exact with per-item [`Self::forward`].
     ///
     /// # Errors
     ///
@@ -450,18 +530,84 @@ impl ModelGraph {
     ///
     /// Panics if any input shape does not match the graph.
     pub fn forward_batch(&self, inputs: &[Tensor], engine: &Engine) -> Result<Vec<Tensor>> {
-        let mut slots: Vec<Option<Result<Tensor>>> = inputs.iter().map(|_| None).collect();
-        let inner = engine.inner();
-        engine.parallel_chunks(&mut slots, 1, 1, |first, band| {
-            let mut scratch = Scratch::default();
-            for (i, slot) in band.iter_mut().enumerate() {
-                *slot = Some(self.forward_with(&inputs[first + i], &inner, &mut scratch));
+        let mut outs = Vec::new();
+        self.forward_batch_into(inputs, engine, &mut BatchScratch::default(), &mut outs)?;
+        Ok(outs)
+    }
+
+    /// [`Self::forward_batch`] into reusable output and scratch state —
+    /// the plan-level parallel entry point.
+    ///
+    /// The executor picks the split from the workload: when there are at
+    /// least as many items as effective threads (the engine's policy
+    /// clamped by hardware and by the batch's total estimated work),
+    /// items are chunked across the persistent worker pool and each chunk
+    /// runs the whole plan single-threaded with a pooled per-worker
+    /// scratch — batch-level parallelism, no oversubscription. With fewer
+    /// items than threads (e.g. one huge image), items run sequentially
+    /// and the parallelism moves *inside* each op instead. Either way the
+    /// results are bit-exact with per-item [`Self::forward`], and on
+    /// warmed state the steady-state forward performs zero heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first item error, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input shape does not match the graph.
+    pub fn forward_batch_into(
+        &self,
+        inputs: &[Tensor],
+        engine: &Engine,
+        scratch: &mut BatchScratch,
+        outs: &mut Vec<Tensor>,
+    ) -> Result<()> {
+        // The pool only needs shared access; the `&mut` in the signature
+        // keeps the door open for lock-free reuse later.
+        let scratch: &BatchScratch = scratch;
+        outs.resize_with(inputs.len(), Tensor::default);
+        let Some(first_input) = inputs.first() else {
+            return Ok(());
+        };
+        let total_work = self
+            .item_work(first_input)
+            .saturating_mul(inputs.len() as u64);
+        let threads = engine.policy().effective_threads(total_work);
+        if threads > 1 && inputs.len() >= threads {
+            // Batch-level split: chunk items across the pool; workers run
+            // the single-threaded plan with a pooled scratch each.
+            let inner = engine.inner();
+            let error = std::sync::Mutex::new(None);
+            engine.parallel_chunks(&mut outs[..], 1, 1, total_work, |first, band| {
+                let mut s = scratch.take();
+                for (i, out) in band.iter_mut().enumerate() {
+                    if let Err(e) = self.forward_into(&inputs[first + i], &inner, &mut s, out) {
+                        error.lock().expect("batch error mutex").get_or_insert(e);
+                        break;
+                    }
+                }
+                scratch.put(s);
+            });
+            match error.into_inner().expect("batch error mutex") {
+                Some(e) => Err(e),
+                None => Ok(()),
             }
-        });
-        slots
-            .into_iter()
-            .map(|t| t.expect("every batch item computed"))
-            .collect()
+        } else {
+            // Intra-op parallelism: items sequential, each op parallel
+            // (or everything inline when the workload is too small).
+            let mut s = scratch.take();
+            let mut result = Ok(());
+            for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+                if let Err(e) = self.forward_into(input, engine, &mut s, out) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            scratch.put(s);
+            result
+        }
     }
 
     /// The scalar reference walk: naive per-node forwards, fresh
@@ -734,6 +880,123 @@ mod tests {
             &[gap],
         );
         assert!(matches!(b.finish(), Err(BitnnError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn arena_assignment_is_compact_and_alias_free_on_builtins() {
+        for arch in crate::graph::arch::Arch::ALL {
+            let g = crate::graph::arch::build_model(arch, 0.0625, 16, 3).unwrap();
+            g.plan.check_no_aliasing().unwrap();
+            // Liveness compaction: the arena must be much smaller than one
+            // slot per node (the whole point of the liveness pass).
+            assert!(
+                g.plan.slots < g.nodes.len() / 2,
+                "{arch}: {} slots for {} nodes",
+                g.plan.slots,
+                g.nodes.len()
+            );
+        }
+    }
+
+    /// Build a random-but-valid graph: a chain of bn/act/conv/pool ops
+    /// with occasional skip-connection adds to random earlier same-shape
+    /// values. Multi-consumer values and reconvergent adds are exactly
+    /// what stresses the liveness-driven slot recycling.
+    fn random_chain_graph(ops: &[usize], picks: &[usize], seed: u64) -> ModelGraph {
+        let c = 8;
+        let stem_w = Tensor::from_vec(&[c, 3, 3, 3], random_floats(c * 27, 1.0, seed)).unwrap();
+        let mut b = GraphBuilder::new("test-random", 3, 8);
+        let mut x = b.push(
+            "stem",
+            NodeOp::StemConv(QuantConv2d::from_float(
+                &stem_w,
+                Conv2dParams { stride: 1, pad: 1 },
+            )),
+            &[0],
+        );
+        let mut size = 8usize; // stride-1 stem keeps the input size
+                               // Every produced map-shaped value with its spatial size, for
+                               // skip-add shape matching.
+        let mut avail: Vec<(usize, usize)> = vec![(x, size)];
+        for (i, (&op, &pick)) in ops.iter().zip(picks).enumerate() {
+            x = match op {
+                0 => b.push(
+                    format!("bn{i}"),
+                    NodeOp::BatchNorm(BatchNorm::identity(c)),
+                    &[x],
+                ),
+                1 => b.push(format!("act{i}"), NodeOp::Act(RPReLU::plain(c, 0.25)), &[x]),
+                2 => {
+                    // Skip add with a random earlier same-shape value
+                    // (falls back to self-add when none exists).
+                    let same: Vec<usize> = avail
+                        .iter()
+                        .filter(|&&(_, s)| s == size)
+                        .map(|&(id, _)| id)
+                        .collect();
+                    let other = same[pick % same.len()];
+                    b.push(format!("add{i}"), NodeOp::Add, &[x, other])
+                }
+                3 => {
+                    let sign = b.push(format!("sign{i}"), NodeOp::Sign(RSign::zero(c)), &[x]);
+                    b.push(
+                        format!("conv{i}"),
+                        NodeOp::BinConv(BinConv2d::new(
+                            random_kernel(&[c, c, 3, 3], seed ^ i as u64),
+                            Conv2dParams { stride: 1, pad: 1 },
+                        )),
+                        &[sign],
+                    )
+                }
+                _ => {
+                    if size < 2 {
+                        continue; // too small to pool again
+                    }
+                    size = size.div_ceil(2);
+                    b.push(format!("pool{i}"), NodeOp::AvgPool2x2, &[x])
+                }
+            };
+            avail.push((x, size));
+        }
+        let gap = b.push("gap", NodeOp::GlobalAvgPool, &[x]);
+        b.push(
+            "fc",
+            NodeOp::Classifier(QuantLinear::from_float(
+                &random_floats(10 * c, 0.5, seed ^ 0xFC),
+                10,
+                c,
+            )),
+            &[gap],
+        );
+        b.finish().unwrap()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Satellite: arena-reused buffers never alias across plan steps —
+        /// for random graphs with skip connections, every pair of values
+        /// sharing an arena slot has strictly disjoint lifetimes, and the
+        /// arena executor stays bit-exact with the scalar walk.
+        #[test]
+        fn arena_slots_never_alias_live_values(
+            ops in proptest::collection::vec(0usize..5, 1..24),
+            picks in proptest::collection::vec(0usize..64, 24),
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let g = random_chain_graph(&ops, &picks, seed);
+            g.plan.check_no_aliasing().unwrap();
+            let x = Tensor::from_vec(&[1, 3, 8, 8], random_floats(3 * 64, 1.0, seed ^ 9)).unwrap();
+            let scalar = g.forward_scalar(&x).unwrap();
+            let mut scratch = Scratch::default();
+            let engine = Engine::single_threaded();
+            // Two consecutive forwards through the same arena: the second
+            // run reuses every slot buffer and must stay bit-exact.
+            for _ in 0..2 {
+                let y = g.forward_with(&x, &engine, &mut scratch).unwrap();
+                proptest::prop_assert_eq!(y.data(), scalar.data());
+            }
+        }
     }
 
     #[test]

@@ -24,9 +24,9 @@ pub mod sign;
 pub use batchnorm::BatchNorm;
 pub use binconv::BinConv2d;
 pub use binlinear::BinLinear;
-pub use pool::{avg_pool_2x2, global_avg_pool};
+pub use pool::{avg_pool_2x2, avg_pool_2x2_into, global_avg_pool, global_avg_pool_into};
 pub use prelu::RPReLU;
-pub use quant::{QuantConv2d, QuantLinear};
+pub use quant::{QuantConv2d, QuantLinear, QuantScratch};
 pub use sign::RSign;
 
 /// A forward-only layer over `f32` tensors.

@@ -8,12 +8,24 @@ use crate::tensor::Tensor;
 ///
 /// Panics if the input is not 4-D or has empty spatial dimensions.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    global_avg_pool_into(input, &mut out);
+    out
+}
+
+/// [`global_avg_pool`] into a reusable output tensor (the graph executor's
+/// arena path). Bit-exact: identical accumulation order.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or has empty spatial dimensions.
+pub fn global_avg_pool_into(input: &Tensor, out: &mut Tensor) {
     let shape = input.shape();
     assert_eq!(shape.len(), 4, "global_avg_pool expects a 4-D tensor");
     let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
     assert!(h > 0 && w > 0, "empty spatial dimensions");
     let inv = 1.0 / (h * w) as f32;
-    let mut out = Tensor::zeros(&[n, c]);
+    out.reset_for_overwrite(&[n, c]);
     for img in 0..n {
         for ch in 0..c {
             let mut acc = 0.0f32;
@@ -25,7 +37,6 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
             out.data_mut()[img * c + ch] = acc * inv;
         }
     }
-    out
 }
 
 /// 2×2 average pooling with stride 2 (odd trailing row/column averaged
@@ -39,12 +50,24 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
 ///
 /// Panics if the input is not 4-D.
 pub fn avg_pool_2x2(x: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    avg_pool_2x2_into(x, &mut out);
+    out
+}
+
+/// [`avg_pool_2x2`] into a reusable output tensor (the graph executor's
+/// arena path). Bit-exact: identical window accumulation order.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn avg_pool_2x2_into(x: &Tensor, out: &mut Tensor) {
     let shape = x.shape();
     assert_eq!(shape.len(), 4, "avg_pool_2x2 expects a 4-D tensor");
     let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
     let oh = h.div_ceil(2);
     let ow = w.div_ceil(2);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    out.reset_for_overwrite(&[n, c, oh, ow]);
     for img in 0..n {
         for ch in 0..c {
             for oy in 0..oh {
@@ -66,7 +89,6 @@ pub fn avg_pool_2x2(x: &Tensor) -> Tensor {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

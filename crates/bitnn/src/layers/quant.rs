@@ -19,13 +19,35 @@ use crate::tensor::Tensor;
 /// vector ops under AVX).
 #[inline(always)]
 pub fn quantize_symmetric(data: &[f32]) -> (Vec<i8>, f32) {
+    let mut q = Vec::new();
+    let scale = quantize_symmetric_into(data, &mut q);
+    (q, scale)
+}
+
+/// [`quantize_symmetric`] into a reusable buffer (the arena-reuse forward
+/// paths), returning the scale. Bit-exact with the allocating variant.
+#[inline(always)]
+pub fn quantize_symmetric_into(data: &[f32], q: &mut Vec<i8>) -> f32 {
     let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
-    let q = data
-        .iter()
-        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-        .collect();
-    (q, scale)
+    q.clear();
+    q.extend(
+        data.iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+    );
+    scale
+}
+
+/// Reusable buffers for the quantized layers' forward passes: the
+/// quantized-input staging buffer and the pixel-major accumulator. Owned
+/// by [`crate::engine::Scratch`] so steady-state inference through the
+/// graph executor performs no per-forward allocation in the 8-bit ends.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    /// Quantized input values.
+    pub(crate) q: Vec<i8>,
+    /// Pixel-major `[OH*OW, KF]` integer accumulator (stem conv only).
+    pub(crate) acc: Vec<i32>,
 }
 
 /// Dequantize a single value.
@@ -122,24 +144,42 @@ impl QuantConv2d {
     ///
     /// Panics if the input is not 4-D with the layer's channel count.
     pub fn forward_fast(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_fast_with(input, &mut QuantScratch::default(), &mut out);
+        out
+    }
+
+    /// [`Self::forward_fast`] into reusable scratch and output buffers
+    /// (the graph executor's arena path): no per-forward allocation once
+    /// the buffers are warm. Bit-exact with [`Self::forward_fast`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D with the layer's channel count.
+    pub fn forward_fast_with(&self, input: &Tensor, scratch: &mut QuantScratch, out: &mut Tensor) {
         #[cfg(target_arch = "x86_64")]
         {
             /// AVX2 instantiation of [`QuantConv2d::forward_fast_impl`].
             #[target_feature(enable = "avx2,popcnt")]
-            unsafe fn fast_avx2(layer: &QuantConv2d, input: &Tensor) -> Tensor {
-                layer.forward_fast_impl(input)
+            unsafe fn fast_avx2(
+                layer: &QuantConv2d,
+                input: &Tensor,
+                scratch: &mut QuantScratch,
+                out: &mut Tensor,
+            ) {
+                layer.forward_fast_impl(input, scratch, out);
             }
             if crate::simd::avx2() {
                 // SAFETY: avx2 + popcnt were detected at runtime.
-                return unsafe { fast_avx2(self, input) };
+                return unsafe { fast_avx2(self, input, scratch, out) };
             }
         }
-        self.forward_fast_impl(input)
+        self.forward_fast_impl(input, scratch, out)
     }
 
-    /// Portable body of [`Self::forward_fast`].
+    /// Portable body of [`Self::forward_fast_with`].
     #[inline(always)]
-    fn forward_fast_impl(&self, input: &Tensor) -> Tensor {
+    fn forward_fast_impl(&self, input: &Tensor, scratch: &mut QuantScratch, out: &mut Tensor) {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "QuantConv2d expects 4-D input");
         assert_eq!(shape[1], self.channels, "channel mismatch in QuantConv2d");
@@ -148,11 +188,18 @@ impl QuantConv2d {
         let kf = self.filters;
         let oh = self.params.out_dim(h, self.kh);
         let ow = self.params.out_dim(w, self.kw);
-        let (input_q, in_scale) = quantize_symmetric(input.data());
+        let in_scale = quantize_symmetric_into(input.data(), &mut scratch.q);
+        let input_q = &scratch.q;
         let out_scale = in_scale * self.w_scale;
         let wt = &self.weights_t; // tap-major, cached at construction
-        let mut out = Tensor::zeros(&[n, kf, oh, ow]);
-        let mut acc = vec![0i32; oh * ow * kf];
+                                  // Every (filter, pixel) accumulator cell is dequantized below, so
+                                  // neither buffer needs a zero-fill beyond the per-image reset.
+        out.reset_for_overwrite(&[n, kf, oh, ow]);
+        if scratch.acc.len() != oh * ow * kf {
+            scratch.acc.clear();
+            scratch.acc.resize(oh * ow * kf, 0);
+        }
+        let acc = &mut scratch.acc;
         // Valid output index range for kernel tap offset `t` along an axis
         // of input extent `extent` and output extent `out_extent`: exactly
         // the `o` with `0 <= o*stride + t - pad < extent`.
@@ -201,7 +248,6 @@ impl QuantConv2d {
                 }
             }
         }
-        out
     }
 }
 
@@ -303,6 +349,18 @@ impl QuantLinear {
     ///
     /// Panics if the trailing dimension is not `in_features`.
     pub fn forward_2d(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_2d_with(input, &mut QuantScratch::default(), &mut out);
+        out
+    }
+
+    /// [`Self::forward_2d`] into reusable scratch and output buffers (the
+    /// graph executor's arena path). Bit-exact with [`Self::forward_2d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing dimension is not `in_features`.
+    pub fn forward_2d_with(&self, input: &Tensor, scratch: &mut QuantScratch, out: &mut Tensor) {
         let shape = input.shape();
         assert_eq!(shape.len(), 2, "QuantLinear expects a 2-D tensor");
         assert_eq!(
@@ -310,9 +368,10 @@ impl QuantLinear {
             "feature mismatch in QuantLinear"
         );
         let n = shape[0];
-        let (input_q, in_scale) = quantize_symmetric(input.data());
+        let in_scale = quantize_symmetric_into(input.data(), &mut scratch.q);
+        let input_q = &scratch.q;
         let out_scale = in_scale * self.w_scale;
-        let mut out = Tensor::zeros(&[n, self.out_features]);
+        out.reset_for_overwrite(&[n, self.out_features]);
         for img in 0..n {
             for o in 0..self.out_features {
                 let mut acc = 0i32;
@@ -323,7 +382,6 @@ impl QuantLinear {
                 out.data_mut()[img * self.out_features + o] = dequantize(acc, out_scale);
             }
         }
-        out
     }
 }
 

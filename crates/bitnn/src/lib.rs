@@ -44,6 +44,7 @@ pub mod layers;
 pub mod model;
 pub mod ops;
 pub mod pack;
+mod pool;
 mod simd;
 pub mod tensor;
 pub mod weightgen;
@@ -51,7 +52,7 @@ pub mod weightgen;
 pub use engine::{Engine, ExecPolicy, KernelForms, Lowering, Scratch};
 pub use error::{BitnnError, Result};
 pub use graph::arch::Arch;
-pub use graph::{GraphBuilder, GraphSpec, ModelGraph};
+pub use graph::{BatchScratch, GraphBuilder, GraphSpec, ModelGraph};
 pub use pack::{PackedActivations, PackedKernel};
 pub use tensor::{BitTensor, Tensor};
 

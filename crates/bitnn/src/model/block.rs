@@ -155,12 +155,15 @@ impl BasicBlock {
             &mut scratch.conv,
             &mut scratch.conv_out,
         );
-        Ok(fuse_channel_stage(
+        let mut out = Tensor::default();
+        fuse_channel_stage(
             &scratch.conv_out,
             &scratch.mid,
             &self.bn2,
             &self.act2,
-        ))
+            &mut out,
+        );
+        Ok(out)
     }
 
     /// Parameter storage in bits across all stages.
@@ -285,18 +288,20 @@ fn fuse_spatial_portable(
     Ok(())
 }
 
-/// Fused `BatchNorm → (+ channel shortcut) → RPReLU` for the 1×1 stage.
-/// The channel-duplication shortcut (`C → 2C` blocks) reads channel
-/// `ch % C` of `mid` on the fly instead of materializing the widened
-/// tensor. Dispatches to an AVX2 instantiation when available. Shared
-/// with the graph executor ([`crate::graph`]).
+/// Fused `BatchNorm → (+ channel shortcut) → RPReLU` for the 1×1 stage,
+/// written into a reusable output tensor. The channel-duplication
+/// shortcut (`C → 2C` blocks) reads channel `ch % C` of `mid` on the fly
+/// instead of materializing the widened tensor. Dispatches to an AVX2
+/// instantiation when available. Shared with the graph executor
+/// ([`crate::graph`]).
 #[inline]
 pub(crate) fn fuse_channel_stage(
     conv: &Tensor,
     mid: &Tensor,
     bn: &BatchNorm,
     act: &RPReLU,
-) -> Tensor {
+    out: &mut Tensor,
+) {
     #[cfg(target_arch = "x86_64")]
     {
         /// AVX2 instantiation of [`fuse_channel_portable`].
@@ -306,20 +311,27 @@ pub(crate) fn fuse_channel_stage(
             mid: &Tensor,
             bn: &BatchNorm,
             act: &RPReLU,
-        ) -> Tensor {
-            fuse_channel_portable(conv, mid, bn, act)
+            out: &mut Tensor,
+        ) {
+            fuse_channel_portable(conv, mid, bn, act, out);
         }
         if crate::simd::avx2() {
             // SAFETY: avx2 was detected at runtime.
-            return unsafe { fuse_channel_avx2(conv, mid, bn, act) };
+            return unsafe { fuse_channel_avx2(conv, mid, bn, act, out) };
         }
     }
-    fuse_channel_portable(conv, mid, bn, act)
+    fuse_channel_portable(conv, mid, bn, act, out)
 }
 
 /// Portable body of [`fuse_channel_stage`].
 #[inline(always)]
-fn fuse_channel_portable(conv: &Tensor, mid: &Tensor, bn: &BatchNorm, act: &RPReLU) -> Tensor {
+fn fuse_channel_portable(
+    conv: &Tensor,
+    mid: &Tensor,
+    bn: &BatchNorm,
+    act: &RPReLU,
+    out: &mut Tensor,
+) {
     let shape = conv.shape();
     let (n, c_out, oh, ow) = (shape[0], shape[1], shape[2], shape[3]);
     let c_in = mid.shape()[1];
@@ -327,7 +339,8 @@ fn fuse_channel_portable(conv: &Tensor, mid: &Tensor, bn: &BatchNorm, act: &RPRe
         c_out == c_in || c_out == 2 * c_in,
         "channel shortcut requires C or 2C output"
     );
-    let mut out = Tensor::zeros(shape);
+    // Every element is written below, so skip the zero-fill.
+    out.reset_for_overwrite(shape);
     let scale = bn.folded_scale();
     let offset = bn.folded_offset();
     let cd = conv.data();
@@ -346,7 +359,6 @@ fn fuse_channel_portable(conv: &Tensor, mid: &Tensor, bn: &BatchNorm, act: &RPRe
             }
         }
     }
-    out
 }
 
 /// Element-wise sum of same-shape tensors.
@@ -355,12 +367,23 @@ fn fuse_channel_portable(conv: &Tensor, mid: &Tensor, bn: &BatchNorm, act: &RPRe
 ///
 /// Panics on shape mismatch.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
-    let mut out = a.clone();
-    for (o, &x) in out.data_mut().iter_mut().zip(b.data()) {
-        *o += x;
-    }
+    let mut out = Tensor::default();
+    add_into(a, b, &mut out);
     out
+}
+
+/// [`add`] into a reusable output tensor (the graph executor's arena
+/// path). Bit-exact: the same element-wise sum.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn add_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+    out.reset_for_overwrite(a.shape());
+    for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = x + y;
+    }
 }
 
 /// Spatial shortcut: identity for stride 1, 2×2 average pool for stride 2.
@@ -386,14 +409,27 @@ fn shortcut_spatial(x: &Tensor, stride: usize) -> Result<Tensor> {
 ///
 /// Panics if `out_ch` is neither `C` nor `2C`.
 pub(crate) fn shortcut_channels(x: &Tensor, out_ch: usize) -> Tensor {
+    let mut out = Tensor::default();
+    shortcut_channels_into(x, out_ch, &mut out);
+    out
+}
+
+/// [`shortcut_channels`] into a reusable output tensor (the graph
+/// executor's arena path).
+///
+/// # Panics
+///
+/// Panics if `out_ch` is neither `C` nor `2C`.
+pub(crate) fn shortcut_channels_into(x: &Tensor, out_ch: usize, out: &mut Tensor) {
     let shape = x.shape();
     let c = shape[1];
     if out_ch == c {
-        return x.clone();
+        out.clone_from(x);
+        return;
     }
     assert_eq!(out_ch, 2 * c, "channel shortcut requires C or 2C output");
     let (n, h, w) = (shape[0], shape[2], shape[3]);
-    let mut out = Tensor::zeros(&[n, out_ch, h, w]);
+    out.reset_for_overwrite(&[n, out_ch, h, w]);
     for img in 0..n {
         for ch in 0..c {
             for y in 0..h {
@@ -405,7 +441,6 @@ pub(crate) fn shortcut_channels(x: &Tensor, out_ch: usize) -> Tensor {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -413,9 +413,27 @@ impl ReActNet {
             .expect("strides validated at construction")
     }
 
-    /// Forward a batch of independent inputs, chunking the items across
-    /// the engine's worker threads (each worker runs the single-threaded
-    /// fast path with its own scratch, so there is no oversubscription).
+    /// [`Self::forward_with`] into a reusable output tensor: zero heap
+    /// allocation once the scratch (arena included) is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the configuration.
+    pub fn forward_into(
+        &self,
+        input: &Tensor,
+        engine: &Engine,
+        scratch: &mut Scratch,
+        out: &mut Tensor,
+    ) {
+        self.graph
+            .forward_into(input, engine, scratch, out)
+            .expect("strides validated at construction")
+    }
+
+    /// Forward a batch of independent inputs through the plan-level
+    /// batch executor (batch-level chunking across the persistent worker
+    /// pool when there are enough items, intra-op parallelism otherwise).
     /// Results are in input order and bit-exact with per-item
     /// [`Self::forward`].
     ///
@@ -425,6 +443,24 @@ impl ReActNet {
     pub fn forward_batch(&self, inputs: &[Tensor], engine: &Engine) -> Vec<Tensor> {
         self.graph
             .forward_batch(inputs, engine)
+            .expect("strides validated at construction")
+    }
+
+    /// [`Self::forward_batch`] into reusable output and scratch state
+    /// (see [`crate::graph::ModelGraph::forward_batch_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input shape does not match the configuration.
+    pub fn forward_batch_into(
+        &self,
+        inputs: &[Tensor],
+        engine: &Engine,
+        scratch: &mut crate::graph::BatchScratch,
+        outs: &mut Vec<Tensor>,
+    ) {
+        self.graph
+            .forward_batch_into(inputs, engine, scratch, outs)
             .expect("strides validated at construction")
     }
 

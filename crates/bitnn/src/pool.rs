@@ -1,0 +1,396 @@
+//! The persistent worker pool behind [`crate::engine::Engine`].
+//!
+//! The engine's first thread pool forked and joined scoped OS threads on
+//! every dispatch; at µs-scale op granularity the spawn/join cost dwarfed
+//! the compute and every multi-thread configuration *regressed* versus one
+//! thread. This module replaces it with a process-wide pool:
+//!
+//! * **Persistent workers, parked on a condvar** — one pool of
+//!   `available_parallelism() - 1` workers is spawned on first use and
+//!   lives for the process. Between jobs the workers sleep in
+//!   [`Condvar::wait`]; waking one costs a futex wake, not a `clone(2)`.
+//! * **Chunked jobs with atomic tail-stealing** — a job is a contiguous
+//!   index range pre-split into more chunks than workers. Workers (and the
+//!   dispatching thread, which always participates) claim chunks with one
+//!   `fetch_add` each, so a slow worker's tail chunks are stolen by fast
+//!   ones and no chunk is ever run twice.
+//! * **Shared by everything** — the pool is global, so one set of workers
+//!   serves every [`crate::engine::Engine`], every layer, every batch, and
+//!   any number of concurrent callers. Jobs from concurrent dispatchers
+//!   queue up and drain in submission order; a dispatcher only blocks on
+//!   *its own* job's completion.
+//!
+//! The pool intentionally has no unpark/shutdown API: workers are idle
+//! (parked) whenever no job is queued, and the process exit tears them
+//! down. Dispatch from inside a worker is not supported (the engine never
+//! nests parallel sections — per-item batch workers run single-threaded
+//! engines), and would merely run inline if attempted, because workers are
+//! not counted as dispatchers.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Stack size for pool workers: the band kernels are flat loops with a few
+/// KB of locals, so 512 KiB leaves two orders of magnitude of headroom.
+const WORKER_STACK_BYTES: usize = 512 * 1024;
+
+/// One submitted parallel job: `chunks` indices handed out by `fetch_add`
+/// on `next`, run through the type-erased `run` pointer.
+struct Job {
+    /// Type-erased pointer to the dispatcher's chunk closure. Only valid
+    /// while the dispatcher is blocked in [`WorkerPool::dispatch`]; the
+    /// completion protocol below guarantees no dereference outlives it.
+    run: *const (dyn Fn(usize) + Sync),
+    /// Total number of chunks.
+    chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Chunks fully executed.
+    completed: AtomicUsize,
+    /// Workers that have joined this job (capped at `max_workers`).
+    joined: AtomicUsize,
+    /// Maximum number of *pool workers* that may join (the dispatcher is
+    /// always an extra participant on top).
+    max_workers: usize,
+    /// First panic payload caught in a chunk closure. A panicking chunk
+    /// still counts as completed (so the dispatcher never deadlocks and
+    /// the worker thread survives); the dispatcher rethrows the payload
+    /// after the job fully drains and is retired from the queue.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Completion latch for the dispatcher.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `run` is only dereferenced for successfully claimed chunk
+// indices, and every claimed chunk completes (incrementing `completed`)
+// before `dispatch` returns — so the pointee outlives every dereference.
+// All other fields are plain atomics/sync primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Whether every chunk has been claimed (not necessarily completed).
+    fn drained(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.chunks
+    }
+
+    /// Try to reserve a worker slot on this job.
+    fn try_join(&self) -> bool {
+        let mut cur = self.joined.load(Ordering::Relaxed);
+        while cur < self.max_workers {
+            match self.joined.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
+
+    /// Claim and run chunks until none are left. Returns whether this call
+    /// completed the final chunk.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called while the dispatcher is blocked in
+    /// [`WorkerPool::dispatch`] for this job (enforced by the completion
+    /// protocol: `dispatch` waits for `completed == chunks`).
+    unsafe fn drain(&self) -> bool {
+        let mut finished_last = false;
+        loop {
+            let chunk = self.next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.chunks {
+                return finished_last;
+            }
+            // SAFETY: `chunk` was claimed exactly once and the dispatcher
+            // is still parked in `dispatch`, so the closure is alive.
+            // A panic is contained here — never unwound through the pool —
+            // so a panicking chunk can neither kill a worker nor let the
+            // dispatcher unwind out of `dispatch` while the queue still
+            // references its stack frame.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.run)(chunk) })) {
+                self.panic
+                    .lock()
+                    .expect("pool mutex poisoned")
+                    .get_or_insert(payload);
+            }
+            let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+            finished_last = done == self.chunks;
+        }
+    }
+
+    /// Signal the dispatcher that the final chunk completed.
+    fn signal_done(&self) {
+        let mut done = self.done.lock().expect("pool mutex poisoned");
+        *done = true;
+        self.done_cv.notify_all();
+    }
+}
+
+/// Queue state shared between dispatchers and workers.
+#[derive(Default)]
+struct Queue {
+    jobs: Vec<Arc<Job>>,
+}
+
+/// The shared pool: job queue plus the condvar workers park on.
+struct Shared {
+    queue: Mutex<Queue>,
+    work_cv: Condvar,
+}
+
+/// A persistent pool of parked worker threads (see the module docs).
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Spawned worker count (`hw_threads - 1`, possibly zero).
+    workers: usize,
+    /// Cached `available_parallelism()`.
+    hw_threads: usize,
+}
+
+impl WorkerPool {
+    /// The process-wide pool, spawned on first use: one worker per
+    /// hardware thread beyond the callers' own.
+    pub(crate) fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let hw_threads = thread::available_parallelism().map_or(1, usize::from);
+            WorkerPool::with_workers(hw_threads - 1, hw_threads)
+        })
+    }
+
+    /// A pool with an explicit worker count (tests force real workers even
+    /// on single-core machines; production code uses [`Self::global`]).
+    pub(crate) fn with_workers(workers: usize, hw_threads: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            work_cv: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("bitnn-pool-{i}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        WorkerPool {
+            shared,
+            workers,
+            hw_threads,
+        }
+    }
+
+    /// Hardware parallelism observed at pool creation.
+    pub(crate) fn hw_threads(&self) -> usize {
+        self.hw_threads
+    }
+
+    /// Run `run(chunk)` for every `chunk in 0..chunks`, each exactly once,
+    /// using up to `max_workers` pool workers alongside the calling thread.
+    /// Blocks until every chunk has completed. With no workers to enlist
+    /// (or a single chunk) everything runs inline on the calling thread.
+    pub(crate) fn dispatch(&self, chunks: usize, max_workers: usize, run: &(dyn Fn(usize) + Sync)) {
+        let max_workers = max_workers.min(self.workers);
+        if chunks <= 1 || max_workers == 0 {
+            for chunk in 0..chunks {
+                run(chunk);
+            }
+            return;
+        }
+        let job = Arc::new(Job {
+            // Erase the borrow's lifetime so parked workers can hold the
+            // job; see `Job::drain` — every dereference happens before
+            // this function returns. SAFETY: only the lifetime changes.
+            run: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(run)
+            },
+            chunks,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            joined: AtomicUsize::new(0),
+            max_workers,
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool mutex poisoned");
+            queue.jobs.push(Arc::clone(&job));
+        }
+        if max_workers == 1 {
+            self.shared.work_cv.notify_one();
+        } else {
+            self.shared.work_cv.notify_all();
+        }
+        // The dispatcher always participates; with tail-stealing it
+        // typically claims the lion's share and never parks at all.
+        // SAFETY: we are the dispatcher and block below until completion.
+        if unsafe { job.drain() } {
+            job.signal_done();
+        }
+        {
+            let mut done = job.done.lock().expect("pool mutex poisoned");
+            while !*done {
+                done = job.done_cv.wait(done).expect("pool mutex poisoned");
+            }
+        }
+        // Retire the job so parked workers stop scanning it, then — and
+        // only then, with the queue no longer referencing this stack
+        // frame — rethrow the first chunk panic on the dispatcher.
+        {
+            let mut queue = self.shared.queue.lock().expect("pool mutex poisoned");
+            queue.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+        let payload = job.panic.lock().expect("pool mutex poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Body of one pool worker: park until a joinable job appears, drain it,
+/// repeat forever (the process exit reaps the thread).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = queue
+                    .jobs
+                    .iter()
+                    .find(|j| !j.drained() && j.try_join())
+                    .map(Arc::clone)
+                {
+                    break job;
+                }
+                queue = shared.work_cv.wait(queue).expect("pool mutex poisoned");
+            }
+        };
+        // SAFETY: the job was found in the queue, so its dispatcher is
+        // still blocked in `dispatch` waiting for completion.
+        if unsafe { job.drain() } {
+            job.signal_done();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A test pool with real workers regardless of the host's core count,
+    /// so the claim/steal/park paths are exercised even on 1-core CI.
+    fn test_pool() -> WorkerPool {
+        WorkerPool::with_workers(3, 4)
+    }
+
+    #[test]
+    fn dispatch_runs_every_chunk_exactly_once() {
+        let pool = test_pool();
+        for chunks in [0usize, 1, 2, 7, 64, 257] {
+            let counts: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            pool.dispatch(chunks, 8, &|c| {
+                counts[c].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "chunk {i} of {chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_with_zero_workers_runs_inline() {
+        let pool = WorkerPool::with_workers(0, 1);
+        let sum = AtomicU64::new(0);
+        pool.dispatch(16, 8, &|c| {
+            sum.fetch_add(c as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..16).sum::<u64>());
+        assert_eq!(pool.hw_threads(), 1);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_share_the_pool() {
+        let pool = &test_pool();
+        thread::scope(|s| {
+            for t in 0..4usize {
+                s.spawn(move || {
+                    for round in 0..50 {
+                        let chunks = 1 + (t * 7 + round) % 23;
+                        let hits = AtomicUsize::new(0);
+                        pool.dispatch(chunks, 4, &|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(hits.load(Ordering::Relaxed), chunks);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn max_workers_caps_pool_participation() {
+        // With max_workers = 1 at most one pool worker joins; the job
+        // still completes because the dispatcher always participates.
+        let pool = test_pool();
+        let hits = AtomicUsize::new(0);
+        pool.dispatch(32, 1, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn chunk_panic_propagates_to_dispatcher_and_pool_survives() {
+        let pool = test_pool();
+        // A panicking chunk must surface on the dispatcher as a normal
+        // panic — not a deadlock, not a dead worker, not a dangling job.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(16, 3, &|c| {
+                if c == 7 {
+                    panic!("chunk 7 exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("chunk panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("chunk 7"), "wrong payload: {msg}");
+        // Every worker survived containment: the pool still drains full
+        // jobs afterwards.
+        for _ in 0..3 {
+            let hits = AtomicUsize::new(0);
+            pool.dispatch(32, 3, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 32);
+        }
+    }
+
+    #[test]
+    fn heavy_chunks_complete_before_dispatch_returns() {
+        // Chunks that actually compute: the dispatcher must observe every
+        // write made by workers (completion is an AcqRel handshake).
+        let pool = test_pool();
+        let mut out = vec![0u64; 1024];
+        let base = out.as_mut_ptr() as usize;
+        pool.dispatch(64, 3, &|c| {
+            for i in 0..16 {
+                // SAFETY: disjoint 16-element bands per chunk index.
+                unsafe { *(base as *mut u64).add(c * 16 + i) = (c * 16 + i) as u64 + 1 };
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! bnnkc verify     --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
 //!                  [--no-cluster]
 //! bnnkc run        --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
-//!                  [--image 224] [--batch 1] [--threads N] [--offline]
+//!                  [--image 224] [--batch 1] [--threads N|auto] [--offline]
 //! bnnkc simulate   [--arch A] [--scale 1.0] [--image 224]
 //!                  [--ratio 1.33 | --in model.bkcm]
 //! ```
@@ -150,6 +150,13 @@ fn parse_scale(args: &[String], default: f64) -> Result<f64, Box<dyn std::error:
         return Err("--scale must be positive".into());
     }
     Ok(scale)
+}
+
+/// Parse `--threads` through the engine's shared grammar: a positive
+/// integer or `auto` (also the default), rejecting `0` with a pointer at
+/// `auto` instead of silently running single-threaded.
+fn parse_threads(args: &[String]) -> Result<usize, Box<dyn std::error::Error>> {
+    bnnkc::bitnn::engine::parse_thread_count(flag_value(args, "--threads")).map_err(Into::into)
 }
 
 /// The architecture a container belongs to: its stored arch tag (v2), or
@@ -368,17 +375,13 @@ fn cmd_run(args: &[String]) -> CliResult {
     let scale = parse_scale(args, 0.25)?;
     let image: usize = parse_flag(args, "--image", 224)?;
     let batch: usize = parse_flag(args, "--batch", 1)?;
-    let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
-    let threads: usize = parse_flag(args, "--threads", default_threads)?;
+    let threads = parse_threads(args)?;
     let offline = args.iter().any(|a| a == "--offline");
     if image == 0 {
         return Err("--image must be at least 1".into());
     }
     if batch == 0 {
         return Err("--batch must be at least 1".into());
-    }
-    if threads == 0 {
-        return Err("--threads must be at least 1".into());
     }
 
     let bytes = std::fs::read(input)?;

@@ -1,0 +1,97 @@
+//! Steady-state allocation gate: a warmed `forward_batch_into` performs
+//! ZERO heap allocations — every intermediate activation lives in the
+//! plan's liveness-assigned arena, the quantized ends stage through
+//! scratch buffers, and the logits land in the caller's reused output
+//! tensors.
+//!
+//! Asserted with a counting global allocator, so this file holds exactly
+//! one test: a sibling test running concurrently would pollute the count.
+
+use bitnn::graph::BatchScratch;
+use bnnkc::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapper that counts every allocation call.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_forward_batch_performs_zero_allocations() {
+    let model = ReActNet::tiny(7);
+    let inputs = synthetic_batch(4, 3, 32, 11);
+    let expect: Vec<Tensor> = inputs.iter().map(|x| model.forward_scalar(x)).collect();
+    let engine = Engine::single_threaded();
+    let mut scratch = BatchScratch::default();
+    let mut outs = Vec::new();
+
+    // Warm-up: size the arena, the lowering/quantization scratches, and
+    // the output tensors (two rounds so the output/arena buffer swap
+    // settles too).
+    for _ in 0..2 {
+        model.forward_batch_into(&inputs, &engine, &mut scratch, &mut outs);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        model.forward_batch_into(&inputs, &engine, &mut scratch, &mut outs);
+    }
+    let allocated = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocated, 0,
+        "warmed forward_batch_into allocated {allocated} times"
+    );
+
+    // And it still computes the right thing.
+    for (o, e) in outs.iter().zip(&expect) {
+        assert_eq!(o.data(), e.data());
+    }
+
+    // The graph-level path shares the property: repeat single forwards
+    // through one Scratch allocate nothing either.
+    let graph = model.graph();
+    let mut s = bitnn::Scratch::default();
+    let mut out = Tensor::default();
+    for _ in 0..2 {
+        graph
+            .forward_into(&inputs[0], &engine, &mut s, &mut out)
+            .unwrap();
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        graph
+            .forward_into(&inputs[0], &engine, &mut s, &mut out)
+            .unwrap();
+    }
+    let allocated = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocated, 0,
+        "warmed forward_into allocated {allocated} times"
+    );
+    assert_eq!(out.data(), expect[0].data());
+}

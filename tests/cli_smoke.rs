@@ -226,3 +226,30 @@ fn unknown_and_malformed_flags_are_rejected() {
             .success()
     );
 }
+
+#[test]
+fn run_threads_auto_resolves_and_zero_is_rejected() {
+    let out = TempFile(tmp_file("threads.bkcm"));
+    let path = out.0.to_str().unwrap();
+    let c = bnnkc(&["compress", "--out", path, "--scale", "0.125"]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+
+    // `auto` resolves via available_parallelism and runs normally.
+    let base = ["run", "--in", path, "--scale", "0.125", "--image", "16"];
+    let auto = bnnkc(&[&base[..], &["--threads", "auto"]].concat());
+    assert!(auto.status.success(), "run --threads auto failed: {auto:?}");
+    assert!(String::from_utf8_lossy(&auto.stdout).contains("threads"));
+
+    // Zero is a clear error pointing at `auto`, not a silent 1-thread run.
+    let zero = bnnkc(&[&base[..], &["--threads", "0"]].concat());
+    assert!(!zero.status.success(), "--threads 0 must be rejected");
+    let stderr = String::from_utf8_lossy(&zero.stderr);
+    assert!(
+        stderr.contains("--threads") && stderr.contains("auto"),
+        "unhelpful --threads 0 error: {stderr}"
+    );
+
+    // Garbage thread counts are rejected too.
+    let bad = bnnkc(&[&base[..], &["--threads", "lots"]].concat());
+    assert!(!bad.status.success(), "--threads lots must be rejected");
+}
