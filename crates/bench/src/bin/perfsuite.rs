@@ -35,10 +35,21 @@
 //! scheduler drift as a phantom thread-scaling difference. On a host with
 //! at least 8 cores every ladder entry is a genuine measurement.
 //! Results are printed as a table and written to
-//! `BENCH_perf.json` (schema `bnnkc-perfsuite/v2`; override the path with
+//! `BENCH_perf.json` (schema `bnnkc-perfsuite/v3`; override the path with
 //! `--out PATH`), then the file is re-read through [`bench::perfjson`] and
 //! structurally validated, so CI's `--smoke` run proves the tracked
 //! artifact stays parseable.
+//!
+//! Since `bnnkc-perfsuite/v3` every measurement records *which* backend
+//! and kernel variant produced it: each entry carries a `backend` field
+//! (`cpu` for the engine paths; the baselines are the frozen `scalar`
+//! reference) and a `kernel` field naming the dispatched code path —
+//! SIMD level plus the autotuned GEMM register blocking
+//! (`avx512/gemm-4x4`), the direct conv (`avx2/conv-direct`), or the
+//! fused graph walk (`avx512/fused-graph`). The document also records
+//! the effective SIMD level and the autotuner's per-shape-class GEMM
+//! selections, so a perf delta between two committed runs can be
+//! attributed to a dispatch change instead of guessed at.
 //!
 //! Flags: `--smoke` (tiny shapes, CI-fast), `--out PATH`, `--seed N`,
 //! `--threads N|auto` (cap the thread ladder at N — or at the hardware
@@ -46,13 +57,17 @@
 //! rejected).
 
 use bench::{arg_flag, arg_u64, perfjson, TablePrinter};
-use bitnn::engine::{Engine, ExecPolicy, Lowering};
+use bitnn::engine::Engine;
+use bitnn::exec::{ExecPolicy, Lowering, IM2COL_MAX_CHANNELS};
 use bitnn::graph::arch::{build_model, Arch};
 use bitnn::infer::synthetic_batch;
 use bitnn::model::ReActNet;
 use bitnn::ops::conv::{conv2d_binary, Conv2dParams};
-use bitnn::ops::gemm::{gemm_binary, gemm_binary_naive, PackedMatrix};
+use bitnn::ops::gemm::{
+    gemm_binary, gemm_binary_naive, gemm_kernel_name, warm_gemm_tables, PackedMatrix,
+};
 use bitnn::pack::{PackedActivations, PackedKernel};
+use bitnn::simd;
 use bitnn::tensor::BitTensor;
 use kc_core::codec::KernelCodec;
 use kc_core::container::{read_model_container, write_model_container, Container};
@@ -68,11 +83,46 @@ const DEFAULT_LADDER: [usize; 4] = [1, 2, 4, 8];
 /// fallback), not real regressions.
 const SCALING_FLOOR: f64 = 0.9;
 
-/// One timed configuration.
+/// One timed configuration. `backend`/`kernel` record which execution
+/// backend and which dispatched kernel variant produced the number —
+/// the v3 schema fields that let a perf delta between two committed
+/// runs be attributed to a dispatch change.
 struct Entry {
     name: &'static str,
     threads: usize,
     ns: f64,
+    backend: &'static str,
+    kernel: String,
+}
+
+/// Kernel label for a binary GEMM whose rows carry `k_bits` bits:
+/// the effective SIMD level plus the register-blocking variant the
+/// autotuner selected for that shape class (`avx512/gemm-4x4`), or the
+/// dedicated short-row path for rows of ≤ 2 lanes.
+fn gemm_kernel(k_bits: usize) -> String {
+    format!(
+        "{}/gemm-{}",
+        simd::level(),
+        gemm_kernel_name(k_bits.div_ceil(64))
+    )
+}
+
+/// Kernel label for a 3×3 conv over `c` channels under `lowering`,
+/// mirroring the engine's `Lowering::Auto` rule so the label names the
+/// path that actually ran.
+fn conv_kernel(c: usize, lowering: Lowering) -> String {
+    match lowering {
+        Lowering::Direct => format!("{}/conv-direct", simd::level()),
+        Lowering::Im2col => gemm_kernel(c * 9),
+        Lowering::Auto if c <= IM2COL_MAX_CHANNELS => conv_kernel(c, Lowering::Im2col),
+        Lowering::Auto => conv_kernel(c, Lowering::Direct),
+    }
+}
+
+/// Kernel label for whole-model forwards through the graph executor's
+/// fused plan (mixed conv/GEMM/fusion kernels under one SIMD level).
+fn fused_graph_kernel() -> String {
+    format!("{}/fused-graph", simd::level())
 }
 
 /// One benchmark tier.
@@ -126,6 +176,7 @@ fn entry_reusing(
     entries: &[Entry],
     name: &'static str,
     threads: usize,
+    kernel: String,
     measure: impl FnOnce() -> f64,
 ) -> Entry {
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
@@ -134,7 +185,13 @@ fn entry_reusing(
         .find(|e| e.name == name && e.threads.min(hw) == threads.min(hw))
         .map(|e| e.ns)
         .unwrap_or_else(measure);
-    Entry { name, threads, ns }
+    Entry {
+        name,
+        threads,
+        ns,
+        backend: "cpu",
+        kernel,
+    }
 }
 
 /// Best-of-three mean wall time per iteration, with one warmup call.
@@ -206,12 +263,14 @@ fn bench_gemm(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         ns: time_ns(iters, || {
             black_box(gemm_binary(black_box(&a), black_box(&b)).unwrap());
         }),
+        backend: "cpu",
+        kernel: gemm_kernel(k),
     }];
     for &t in ladder {
         let eng = engine(t, Lowering::Auto);
         assert_eq!(eng.gemm(&a, &b).unwrap(), expect, "engine GEMM mismatch");
         let mut out = Vec::new();
-        let entry = entry_reusing(&entries, "engine", t, || {
+        let entry = entry_reusing(&entries, "engine", t, gemm_kernel(k), || {
             time_ns(iters, || {
                 eng.gemm_into(black_box(&a), black_box(&b), &mut out)
                     .unwrap();
@@ -272,12 +331,18 @@ fn bench_conv(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
             name,
             threads: 1,
             ns: measure(name, 1, lowering),
+            backend: "cpu",
+            kernel: conv_kernel(c, lowering),
         });
     }
     for &t in ladder {
-        let entry = entry_reusing(&entries, "engine", t, || {
-            measure("engine", t, Lowering::Auto)
-        });
+        let entry = entry_reusing(
+            &entries,
+            "engine",
+            t,
+            conv_kernel(c, Lowering::Auto),
+            || measure("engine", t, Lowering::Auto),
+        );
         entries.push(entry);
     }
     Section {
@@ -310,7 +375,7 @@ fn bench_e2e(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         for (g, e) in got.iter().zip(&expect) {
             assert_eq!(g.data(), e.data(), "engine forward mismatch at {t} threads");
         }
-        let entry = entry_reusing(&entries, "engine_batch", t, || {
+        let entry = entry_reusing(&entries, "engine_batch", t, fused_graph_kernel(), || {
             time_ns(iters, || {
                 black_box(model.forward_batch(black_box(&inputs), &eng));
             })
@@ -378,6 +443,8 @@ fn bench_compressed(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
             ns: time_ns(iters, || {
                 black_box(deploy_offline(black_box(&containers)));
             }),
+            backend: "cpu",
+            kernel: "container-decode".into(),
         },
         Entry {
             name: "stream_deploy",
@@ -385,16 +452,24 @@ fn bench_compressed(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
             ns: time_ns(iters, || {
                 black_box(deploy_streamed(black_box(&containers)));
             }),
+            backend: "cpu",
+            kernel: "container-stream-decode".into(),
         },
     ];
     for &t in ladder {
         let eng = engine(t, Lowering::Auto);
-        let entry = entry_reusing(&entries, "stream_deploy_forward", t, || {
-            time_ns(iters, || {
-                let m = deploy_streamed(black_box(&containers));
-                black_box(m.forward_batch(black_box(&inputs), &eng));
-            })
-        });
+        let entry = entry_reusing(
+            &entries,
+            "stream_deploy_forward",
+            t,
+            fused_graph_kernel(),
+            || {
+                time_ns(iters, || {
+                    let m = deploy_streamed(black_box(&containers));
+                    black_box(m.forward_batch(black_box(&inputs), &eng));
+                })
+            },
+        );
         entries.push(entry);
     }
     Section {
@@ -443,7 +518,7 @@ fn bench_arch_e2e(smoke: bool, seed: u64) -> Section {
                     "{arch} executor mismatch at {t} threads"
                 );
             }
-            let entry = entry_reusing(&entries, arch.name(), t, || {
+            let entry = entry_reusing(&entries, arch.name(), t, fused_graph_kernel(), || {
                 time_ns(iters, || {
                     black_box(model.forward_batch(black_box(&inputs), &eng).unwrap());
                 })
@@ -501,7 +576,7 @@ fn bench_parallel_scaling(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
 
         assert_eq!(eng.gemm(&a, &b).unwrap(), gemm_expect, "gemm @ {t}t");
         let mut out = Vec::new();
-        let entry = entry_reusing(&entries, "gemm", t, || {
+        let entry = entry_reusing(&entries, "gemm", t, gemm_kernel(gk), || {
             time_ns(giters, || {
                 eng.gemm_into(black_box(&a), black_box(&b), &mut out)
                     .unwrap();
@@ -515,26 +590,32 @@ fn bench_parallel_scaling(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
             .conv2d(&acts, (&kernel).into(), params, &mut scratch)
             .unwrap();
         assert_eq!(got.data(), conv_expect.data(), "conv @ {t}t");
-        let entry = entry_reusing(&entries, "conv3x3", t, || {
-            time_ns(citers, || {
-                black_box(
-                    eng.conv2d(
-                        black_box(&acts),
-                        black_box(&kernel).into(),
-                        params,
-                        &mut scratch,
-                    )
-                    .unwrap(),
-                );
-            })
-        });
+        let entry = entry_reusing(
+            &entries,
+            "conv3x3",
+            t,
+            conv_kernel(cc, Lowering::Auto),
+            || {
+                time_ns(citers, || {
+                    black_box(
+                        eng.conv2d(
+                            black_box(&acts),
+                            black_box(&kernel).into(),
+                            params,
+                            &mut scratch,
+                        )
+                        .unwrap(),
+                    );
+                })
+            },
+        );
         entries.push(entry);
 
         let got = model.forward_batch(&inputs, &eng);
         for (g, e) in got.iter().zip(&e2e_expect) {
             assert_eq!(g.data(), e.data(), "e2e @ {t}t");
         }
-        let entry = entry_reusing(&entries, "e2e", t, || {
+        let entry = entry_reusing(&entries, "e2e", t, fused_graph_kernel(), || {
             time_ns(eiters, || {
                 black_box(model.forward_batch(black_box(&inputs), &eng));
             })
@@ -565,8 +646,10 @@ fn arch_e2e_total_4t(archs: &Section) -> f64 {
 
 /// Derive every tracked criterion from the measured sections. The
 /// parallel-scaling ones are enforced: perfsuite exits nonzero when any
-/// of them misses its floor.
-fn criteria(sections: &[Section]) -> Vec<Criterion> {
+/// of them misses its floor. The GEMM floors are enforced on full runs
+/// only — smoke shapes are too small to reflect the tuned kernels, so
+/// gating them there would track noise, not dispatch quality.
+fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
     let gemm = &sections[0];
     let e2e = &sections[2];
     let comp = &sections[3];
@@ -586,11 +669,22 @@ fn criteria(sections: &[Section]) -> Vec<Criterion> {
     };
     let e2e_top = e2e.entries.iter().map(|e| e.threads).max().unwrap_or(1);
     vec![
-        c(
-            "gemm_tiled_1t_speedup",
-            1.5,
-            gemm.baseline_ns / gemm.entry_ns("tiled", 1),
-        ),
+        // GEMM floors, gated on full runs: raised from the pre-backend
+        // 1.5 once the per-shape SIMD dispatch + autotuner landed. The
+        // engine floor sits above the 2.33x the old single-variant
+        // kernel measured, so a dispatch regression to it fails the run.
+        Criterion {
+            name: "gemm_tiled_1t_speedup",
+            target: 1.8,
+            measured: gemm.baseline_ns / gemm.entry_ns("tiled", 1),
+            enforced: !smoke,
+        },
+        Criterion {
+            name: "gemm_engine_1t_speedup",
+            target: 2.4,
+            measured: gemm.baseline_ns / gemm.entry_ns("engine", 1),
+            enforced: !smoke,
+        },
         // Best-ladder engine batch forward vs the scalar walk.
         c(
             "e2e_max_threads_speedup",
@@ -634,12 +728,36 @@ fn criteria(sections: &[Section]) -> Vec<Criterion> {
 fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"bnnkc-perfsuite/v2\",\n");
+    s.push_str("  \"schema\": \"bnnkc-perfsuite/v3\",\n");
     s.push_str(&format!("  \"mode\": \"{}\",\n", perfjson::escape(mode)));
     s.push_str(&format!(
         "  \"threads_available\": {},\n",
         std::thread::available_parallelism().map_or(1, usize::from)
     ));
+    // v3: the dispatch configuration every measurement below ran under —
+    // the effective SIMD level and the autotuner's per-shape-class GEMM
+    // register-blocking selections (warmed here so all three classes are
+    // recorded even if a section happened not to touch one).
+    s.push_str(&format!(
+        "  \"simd_level\": \"{}\",\n",
+        perfjson::escape(simd::level().name())
+    ));
+    s.push_str("  \"gemm_selection\": [\n");
+    let choices = warm_gemm_tables();
+    for (i, ch) in choices.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"class\": \"{}\", \"variant\": \"{}\", \"source\": \"{}\"}}{}\n",
+            perfjson::escape(ch.class.name()),
+            perfjson::escape(ch.variant.name()),
+            if ch.source == simd::ChoiceSource::Forced {
+                "forced"
+            } else {
+                "autotuned"
+            },
+            if i + 1 == choices.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"sections\": [\n");
     for (i, sec) in sections.iter().enumerate() {
         s.push_str("    {\n");
@@ -652,15 +770,17 @@ fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &s
             perfjson::escape(&sec.config)
         ));
         s.push_str(&format!(
-            "      \"baseline\": {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}},\n",
+            "      \"baseline\": {{\"name\": \"{}\", \"backend\": \"scalar\", \"ns_per_iter\": {:.1}}},\n",
             perfjson::escape(sec.baseline_name),
             sec.baseline_ns
         ));
         s.push_str("      \"entries\": [\n");
         for (j, e) in sec.entries.iter().enumerate() {
             s.push_str(&format!(
-                "        {{\"name\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.1}, \"speedup_vs_baseline\": {:.3}}}{}\n",
+                "        {{\"name\": \"{}\", \"backend\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.1}, \"speedup_vs_baseline\": {:.3}}}{}\n",
                 perfjson::escape(e.name),
+                perfjson::escape(e.backend),
+                perfjson::escape(&e.kernel),
                 e.threads,
                 e.ns,
                 sec.baseline_ns / e.ns,
@@ -692,8 +812,25 @@ fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &s
 
 /// Structural validation of the emitted document (CI's `--smoke` gate).
 fn validate(doc: &perfjson::Value) -> Result<(), String> {
-    if doc.get("schema").and_then(|v| v.as_str()) != Some("bnnkc-perfsuite/v2") {
+    if doc.get("schema").and_then(|v| v.as_str()) != Some("bnnkc-perfsuite/v3") {
         return Err("missing or wrong schema tag".into());
+    }
+    if doc
+        .get("simd_level")
+        .and_then(|v| v.as_str())
+        .is_none_or(str::is_empty)
+    {
+        return Err("missing simd_level".into());
+    }
+    let selection = doc
+        .get("gemm_selection")
+        .and_then(|v| v.as_arr())
+        .ok_or("gemm_selection must be an array")?;
+    if selection.len() != 3 {
+        return Err(format!(
+            "expected 3 gemm_selection entries (one per shape class), found {}",
+            selection.len()
+        ));
     }
     let sections = doc
         .get("sections")
@@ -734,14 +871,23 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
             if !(ns.is_finite() && ns > 0.0 && sp.is_finite() && sp > 0.0) {
                 return Err(format!("section {name}: malformed entry"));
             }
+            // v3: every measurement names its backend and kernel path.
+            for field in ["backend", "kernel"] {
+                if e.get(field)
+                    .and_then(|v| v.as_str())
+                    .is_none_or(str::is_empty)
+                {
+                    return Err(format!("section {name}: entry without a {field}"));
+                }
+            }
         }
     }
     let criteria = doc
         .get("criteria")
         .and_then(|v| v.as_arr())
         .ok_or("criteria must be an array")?;
-    if criteria.len() != 8 {
-        return Err(format!("expected 8 criteria, found {}", criteria.len()));
+    if criteria.len() != 9 {
+        return Err(format!("expected 9 criteria, found {}", criteria.len()));
     }
     Ok(())
 }
@@ -758,7 +904,7 @@ fn thread_ladder(args: &[String]) -> Vec<usize> {
     if requested.is_none() {
         return DEFAULT_LADDER.to_vec();
     }
-    let cap = match bitnn::engine::parse_thread_count(requested.map(String::as_str)) {
+    let cap = match bitnn::exec::parse_thread_count(requested.map(String::as_str)) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error: {e}");
@@ -799,17 +945,18 @@ fn main() {
         bench_arch_e2e(smoke, seed),
         bench_parallel_scaling(smoke, seed, &ladder),
     ];
-    let crits = criteria(&sections);
+    let crits = criteria(&sections, smoke);
 
     let mut table = TablePrinter::new();
     table.row(vec![
-        "section", "config", "impl", "thr", "ns/iter", "speedup",
+        "section", "config", "impl", "kernel", "thr", "ns/iter", "speedup",
     ]);
     for sec in &sections {
         table.row(vec![
             sec.name.to_string(),
             sec.config.clone(),
             sec.baseline_name.to_string(),
+            "scalar/reference".into(),
             "1".into(),
             format!("{:.0}", sec.baseline_ns),
             "1.00x".into(),
@@ -819,6 +966,7 @@ fn main() {
                 String::new(),
                 String::new(),
                 e.name.to_string(),
+                format!("{}:{}", e.backend, e.kernel),
                 e.threads.to_string(),
                 format!("{:.0}", e.ns),
                 format!("{:.2}x", sec.baseline_ns / e.ns),
@@ -839,7 +987,7 @@ fn main() {
         eprintln!("FAIL: emitted {out_path} is malformed: {e}");
         std::process::exit(1);
     }
-    println!("wrote {out_path} (validated, schema bnnkc-perfsuite/v2)");
+    println!("wrote {out_path} (validated, schema bnnkc-perfsuite/v3)");
 
     let mut failed = false;
     for c in &crits {
@@ -850,8 +998,7 @@ fn main() {
         );
         if c.enforced && c.measured < c.target {
             eprintln!(
-                "FAIL: {} = {:.3} below its floor {:.2} — a multi-thread \
-                 configuration is slower than single-thread",
+                "FAIL: {} = {:.3} below its floor {:.2}",
                 c.name, c.measured, c.target
             );
             failed = true;

@@ -41,7 +41,13 @@ use crate::ops::im2col::{im2col_kernel_packed, im2col_rows};
 use crate::pack::{PackedActivations, PackedKernel};
 use crate::pool::WorkerPool;
 use crate::tensor::{BitTensor, Tensor};
-use std::thread;
+
+// The policy/lowering knobs used to live here; they moved to the neutral
+// [`crate::exec`] module so the CLI and bench crates stop importing engine
+// internals. Re-exported for path compatibility.
+pub use crate::exec::{
+    parse_thread_count, ExecPolicy, Lowering, DEFAULT_MIN_WORK, IM2COL_MAX_CHANNELS,
+};
 
 /// Set a buffer's length without zero-filling retained elements — for
 /// outputs whose every element is written before being read.
@@ -52,126 +58,10 @@ fn resize_unfilled(v: &mut Vec<i32>, n: usize) {
     }
 }
 
-/// How a convolution is lowered onto the binary compute substrate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Lowering {
-    /// Choose per shape: 1×1 stride-1 pad-0 layers run as a GEMM over the
-    /// packed activations, narrow layers (≤ [`IM2COL_MAX_CHANNELS`]
-    /// channels) are im2col-lowered so the tiled GEMM amortizes their
-    /// short channel vectors, and wide layers run the direct conv whose
-    /// long channel dots already saturate the popcount units.
-    #[default]
-    Auto,
-    /// Always use the direct channel-packed convolution.
-    Direct,
-    /// Always lower to im2col + GEMM.
-    Im2col,
-}
-
-/// Channel-count threshold for [`Lowering::Auto`]: at or below this the
-/// im2col lowering wins (short channel vectors, per-position call overhead
-/// dominates the direct path); above it the direct path's long dots win
-/// and the 9× activation duplication stops paying for itself.
-pub const IM2COL_MAX_CHANNELS: usize = 256;
-
-/// Default [`ExecPolicy::min_work`]: roughly 15 µs of lane-word operations
-/// on a current core. Below this, waking even one parked worker costs a
-/// measurable fraction of the op itself, so the dispatch runs inline.
-pub const DEFAULT_MIN_WORK: u64 = 32 * 1024;
-
 /// Target number of claimable chunks per effective thread: enough that a
 /// stalled worker's tail is stolen, few enough that the per-chunk
 /// `fetch_add` stays invisible.
 const CHUNKS_PER_THREAD: usize = 4;
-
-/// Execution policy: worker count, per-dispatch inline threshold, and
-/// lowering choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExecPolicy {
-    /// Number of threads parallel sections may use (≥ 1), counting the
-    /// calling thread. `1` means everything runs inline. The effective
-    /// count is clamped to the hardware parallelism at dispatch time —
-    /// requesting more threads than cores never oversubscribes.
-    pub threads: usize,
-    /// Minimum estimated work (in lane-word operations) an op must carry
-    /// before it is split across workers; smaller dispatches run inline on
-    /// the calling thread regardless of `threads`. This is what keeps
-    /// tiny ops (short GEMMs, 1×1 convs on small maps) from losing to
-    /// their own parallel overhead.
-    pub min_work: u64,
-    /// Convolution lowering selection.
-    pub lowering: Lowering,
-}
-
-impl Default for ExecPolicy {
-    /// All available hardware parallelism, default inline threshold,
-    /// automatic lowering.
-    fn default() -> Self {
-        ExecPolicy {
-            threads: thread::available_parallelism().map_or(1, usize::from),
-            min_work: DEFAULT_MIN_WORK,
-            lowering: Lowering::Auto,
-        }
-    }
-}
-
-impl ExecPolicy {
-    /// Everything inline on the calling thread, automatic lowering.
-    pub fn single_threaded() -> Self {
-        ExecPolicy {
-            threads: 1,
-            ..Default::default()
-        }
-    }
-
-    /// `threads` workers, automatic lowering.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    pub fn with_threads(threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one worker thread");
-        ExecPolicy {
-            threads,
-            ..Default::default()
-        }
-    }
-
-    /// The thread count a dispatch of `work` estimated lane-word
-    /// operations actually uses: `threads`, clamped by the hardware
-    /// parallelism, or 1 when the op is too small to amortize a wakeup.
-    pub fn effective_threads(&self, work: u64) -> usize {
-        if self.threads <= 1 || work < self.min_work {
-            return 1;
-        }
-        self.threads.min(WorkerPool::global().hw_threads())
-    }
-}
-
-/// Parse a `--threads`-style CLI value into a thread count: a positive
-/// integer, or `auto` (also the meaning of an absent flag), which
-/// resolves to the hardware parallelism. Zero and unparseable values are
-/// errors pointing the user at `auto` — never a silent single-threaded
-/// run. Shared by every binary exposing a thread flag (`bnnkc run`,
-/// `perfsuite`) so the grammar and messages cannot drift apart.
-///
-/// # Errors
-///
-/// Returns the user-facing message for `0` or a non-numeric value.
-pub fn parse_thread_count(value: Option<&str>) -> std::result::Result<usize, String> {
-    match value {
-        None | Some("auto") => Ok(thread::available_parallelism().map_or(1, usize::from)),
-        Some(v) => match v.parse::<usize>() {
-            Ok(0) => Err(
-                "--threads must be at least 1; use `--threads auto` to match the hardware".into(),
-            ),
-            Ok(n) => Ok(n),
-            Err(_) => Err(format!(
-                "invalid value `{v}` for --threads (a count or `auto`)"
-            )),
-        },
-    }
-}
 
 /// Borrowed kernel representations for [`Engine::conv2d`].
 ///
@@ -215,24 +105,41 @@ pub struct ConvScratch {
     pub(crate) flat: Vec<i32>,
 }
 
+/// The CPU backend's per-step staging buffers — everything a step of the
+/// compiled plan needs besides the liveness-assigned activation arena.
+///
+/// This is the scratch type [`crate::backend::CpuBackend`] owns behind the
+/// `Backend` trait's type-erased scratch handle; the legacy engine-based
+/// forwards reach the same buffers through [`Scratch::cpu`].
+#[derive(Debug, Clone, Default)]
+pub struct CpuScratch {
+    /// Engine-internal lowering buffers.
+    pub(crate) conv: ConvScratch,
+    /// Binarized activations (output of the sign stages).
+    pub(crate) bits: BitTensor,
+    /// Channel-packed binarized activations.
+    pub(crate) packed: PackedActivations,
+    /// Raw convolution output of the current stage.
+    pub(crate) conv_out: Tensor,
+    /// Fused bn + shortcut + activation output of the 3×3 stage.
+    pub(crate) mid: Tensor,
+    /// Quantized-layer staging buffers (stem conv + classifier).
+    pub(crate) quant: crate::layers::QuantScratch,
+}
+
 /// Reusable forward-pass buffers threaded through the model so steady-state
 /// inference stops allocating per layer: once every buffer (including the
 /// graph executor's activation arena) has been sized by a warm-up forward,
 /// repeat forwards of the same shape perform zero heap allocation.
+///
+/// Split in two so the graph dispatcher can hand the backend its own
+/// buffers (`cpu`) while itself mutating the arena — disjoint borrows of
+/// one struct.
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
-    /// Engine-internal lowering buffers.
-    pub conv: ConvScratch,
-    /// Binarized activations (output of the sign stages).
-    pub bits: BitTensor,
-    /// Channel-packed binarized activations.
-    pub packed: PackedActivations,
-    /// Raw convolution output of the current stage.
-    pub conv_out: Tensor,
-    /// Fused bn + shortcut + activation output of the 3×3 stage.
-    pub mid: Tensor,
-    /// Quantized-layer staging buffers (stem conv + classifier).
-    pub(crate) quant: crate::layers::QuantScratch,
+    /// CPU-backend staging buffers (lowering, binarization, packing,
+    /// quantized ends).
+    pub(crate) cpu: CpuScratch,
     /// The graph executor's activation arena: one reusable tensor per
     /// liveness-assigned slot of the compiled plan (see
     /// [`crate::graph`]'s executor).
@@ -530,8 +437,6 @@ fn dispatch_chunks<T, F>(
 mod tests {
     use super::*;
     use crate::ops::conv::conv2d_binary;
-    use crate::ops::gemm::gemm_binary_naive;
-    use crate::ops::reference::{conv2d_reference, matmul_reference};
     use proptest::prelude::*;
 
     fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
@@ -548,46 +453,11 @@ mod tests {
         t
     }
 
-    fn random_bools(n: usize, seed: u64) -> Vec<bool> {
-        let mut s = seed | 1;
-        (0..n)
-            .map(|_| {
-                s = s
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                s >> 63 == 1
-            })
-            .collect()
-    }
-
     #[test]
-    fn policy_constructors() {
-        assert_eq!(ExecPolicy::single_threaded().threads, 1);
-        assert_eq!(ExecPolicy::with_threads(3).threads, 3);
-        assert!(ExecPolicy::default().threads >= 1);
-        assert_eq!(ExecPolicy::default().min_work, DEFAULT_MIN_WORK);
+    fn engine_policy_plumbing() {
         assert_eq!(Engine::with_threads(5).policy().threads, 5);
         assert_eq!(Engine::with_threads(5).inner().policy().threads, 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_rejected() {
-        ExecPolicy::with_threads(0);
-    }
-
-    #[test]
-    fn small_work_runs_inline() {
-        // Below min_work the dispatch is pinned to one thread no matter
-        // how many threads the policy asks for.
-        let policy = ExecPolicy::with_threads(8);
-        assert_eq!(policy.effective_threads(0), 1);
-        assert_eq!(policy.effective_threads(policy.min_work - 1), 1);
-        // At or above the threshold the count is the requested one clamped
-        // by hardware parallelism.
-        let eff = policy.effective_threads(policy.min_work);
-        assert!((1..=8).contains(&eff));
-        assert_eq!(ExecPolicy::single_threaded().effective_threads(u64::MAX), 1);
+        assert_eq!(Engine::single_threaded().policy().threads, 1);
     }
 
     #[test]
@@ -655,70 +525,12 @@ mod tests {
         assert_eq!(fast.data(), direct.data());
     }
 
+    // The engine-vs-reference conv and GEMM oracle proptests that lived
+    // here moved to `tests/backend_conformance.rs`, where one harness
+    // sweeps every registered backend against the scalar oracle.
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Satellite: the parallel engine is bit-exact vs `ops::reference`
-        /// conv across random shapes, strides, pads, thread counts, and
-        /// every lowering.
-        #[test]
-        fn engine_conv_matches_reference(
-            c in 1usize..70,
-            h in 3usize..7,
-            w in 3usize..7,
-            n in 1usize..3,
-            kf in 1usize..4,
-            ks in 1usize..4,
-            stride in 1usize..3,
-            pad in 0usize..2,
-            threads in 1usize..5,
-            lowering_pick in 0usize..3,
-            seed in any::<u64>()
-        ) {
-            let lowering = [Lowering::Auto, Lowering::Direct, Lowering::Im2col][lowering_pick];
-            let a = random_bits(&[n, c, h, w], seed);
-            let wk = random_bits(&[kf, c, ks, ks], !seed);
-            let pa = PackedActivations::pack(&a).unwrap();
-            let pk = PackedKernel::pack(&wk).unwrap();
-            let params = Conv2dParams { stride, pad };
-            let engine = Engine::new(ExecPolicy {
-                threads,
-                lowering,
-                // Exercise the parallel path even on tiny shapes.
-                min_work: 0,
-            });
-            let mut scratch = ConvScratch::default();
-            let got = engine.conv2d(&pa, (&pk).into(), params, &mut scratch).unwrap();
-            let expect = conv2d_reference(&a.to_tensor(), &wk.to_tensor(), params);
-            prop_assert_eq!(got.shape(), expect.shape());
-            for (g, e) in got.data().iter().zip(expect.data()) {
-                prop_assert_eq!(*g, *e);
-            }
-        }
-
-        /// Satellite: the parallel engine GEMM is bit-exact vs the float
-        /// reference and the seed's scalar loop for any thread count.
-        #[test]
-        fn engine_gemm_matches_reference(
-            m in 1usize..9, kn in 1usize..7, k in 1usize..200,
-            threads in 1usize..5,
-            seed in any::<u64>()
-        ) {
-            let a_bits = random_bools(m * k, seed);
-            let b_bits = random_bools(kn * k, !seed);
-            let a = PackedMatrix::from_bools(m, k, &a_bits).unwrap();
-            let b = PackedMatrix::from_bools(kn, k, &b_bits).unwrap();
-            let engine = Engine::with_threads(threads);
-            let got = engine.gemm(&a, &b).unwrap();
-            prop_assert_eq!(&got, &gemm_binary_naive(&a, &b).unwrap());
-            let sgn = |v: bool| if v { 1.0f32 } else { -1.0 };
-            let af: Vec<f32> = a_bits.iter().map(|&v| sgn(v)).collect();
-            let bf: Vec<f32> = b_bits.iter().map(|&v| sgn(v)).collect();
-            let reference = matmul_reference(&af, &bf, m, kn, k);
-            for (g, e) in got.iter().zip(&reference) {
-                prop_assert_eq!(*g as f32, *e);
-            }
-        }
 
         /// The engine's reusable-scratch conv gives identical results when
         /// the scratch is reused across differently-shaped layers.

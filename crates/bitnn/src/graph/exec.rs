@@ -1,85 +1,141 @@
-//! The graph executor: lowers a validated node list onto the execution
-//! engine, fusing the `conv → bn → (+shortcut) → act` patterns onto the
-//! same fused stages the ReActNet block path uses.
+//! Plan structure and backend dispatch for the graph executor.
+//!
+//! This module owns the *backend-neutral* half of execution: the
+//! [`Step`] vocabulary, the step-list builders ([`fused_steps`] /
+//! [`unfused_steps`]) that backends call from their `compile`, the
+//! liveness pass that assigns every intermediate value an arena slot
+//! ([`CompiledPlan::from_steps`]), and the dispatch loop ([`run_plan`])
+//! that resolves each step's operand tensors and hands the step to a
+//! [`Backend`](crate::backend::Backend). It never touches a kernel: how a
+//! step is actually computed — which engine, which SIMD level, which
+//! scratch buffers — is entirely the backend's business (see
+//! [`crate::backend`]).
 //!
 //! Planning happens once, at [`crate::graph::ModelGraph`] construction:
 //! the node list is walked, sign nodes are folded into their consuming
-//! convolutions (binarize + channel-pack straight into the engine's
-//! scratch), and every `BinConv → BatchNorm → Add → Act` chain whose
-//! intermediates are single-use is matched to one of the two fused
-//! element-wise kernels ([`fuse_spatial_stage`] for the stride-2
-//! average-pool shortcut, [`fuse_channel_stage`] for the identity and
-//! channel-duplication shortcuts). Everything else runs node-by-node.
-//! Both paths are bit-exact with the scalar walk ([`run_scalar`]): the
-//! convolutions are integer, and the fused float stages apply the same
-//! per-element operations in the same order.
+//! convolutions, and (in the fused lowering) every
+//! `BinConv → BatchNorm → Add → Act` chain whose intermediates are
+//! single-use is collapsed into one fused step. Every backend is
+//! bit-exact with every other: the convolutions are integer, and the
+//! fused float stages apply the same per-element operations in the same
+//! order.
 
-use crate::engine::{Engine, Scratch};
-use crate::error::{BitnnError, Result};
-use crate::layers::{
-    avg_pool_2x2, avg_pool_2x2_into, global_avg_pool, global_avg_pool_into, Layer,
-};
-use crate::model::block::{
-    add, add_into, fuse_channel_stage, fuse_spatial_stage, shortcut_channels,
-    shortcut_channels_into,
-};
-use crate::pack::PackedActivations;
-use crate::tensor::{BitTensor, Tensor};
+use crate::backend::{Backend, StepCtx};
+use crate::error::Result;
+use crate::tensor::Tensor;
 
 use super::{GraphNode, NodeOp};
 
 /// One planned execution step. Node indices refer to the graph's node
-/// list; each step produces the value of its `node`.
+/// list; each step produces the value of its [`Step::output`] node.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum Step {
+pub enum Step {
     /// The graph input.
-    Input { node: usize },
+    Input {
+        /// The input node.
+        node: usize,
+    },
     /// 8-bit stem convolution.
-    Stem { node: usize, src: usize },
+    Stem {
+        /// Producing node.
+        node: usize,
+        /// Value read.
+        src: usize,
+    },
     /// Sign + binary convolution (the sign node is folded in).
     Conv {
+        /// The convolution node.
         node: usize,
+        /// The folded sign node.
         sign: usize,
+        /// Value read (the sign node's input).
         src: usize,
     },
     /// Stand-alone batch-norm.
-    Bn { node: usize, src: usize },
+    Bn {
+        /// Producing node.
+        node: usize,
+        /// Value read.
+        src: usize,
+    },
     /// Stand-alone RPReLU.
-    Act { node: usize, src: usize },
+    Act {
+        /// Producing node.
+        node: usize,
+        /// Value read.
+        src: usize,
+    },
     /// 2×2 average pool.
-    AvgPool { node: usize, src: usize },
+    AvgPool {
+        /// Producing node.
+        node: usize,
+        /// Value read.
+        src: usize,
+    },
     /// Channel duplication.
-    ChannelDup { node: usize, src: usize },
+    ChannelDup {
+        /// Producing node.
+        node: usize,
+        /// Value read.
+        src: usize,
+    },
     /// Element-wise add.
-    Add { node: usize, a: usize, b: usize },
+    Add {
+        /// Producing node.
+        node: usize,
+        /// Left operand value.
+        a: usize,
+        /// Right operand value.
+        b: usize,
+    },
     /// Global average pool.
-    GlobalPool { node: usize, src: usize },
+    GlobalPool {
+        /// Producing node.
+        node: usize,
+        /// Value read.
+        src: usize,
+    },
     /// 8-bit classifier.
-    Classifier { node: usize, src: usize },
+    Classifier {
+        /// Producing node.
+        node: usize,
+        /// Value read.
+        src: usize,
+    },
     /// `sign(src) → conv(stride 2) → bn → (+ avg_pool(src)) → act`,
     /// with the pool computed on the fly inside the fused kernel.
     /// Produces the value of `act`.
     FusedSpatial {
+        /// The activation node whose value this step produces.
         act: usize,
+        /// The folded sign node.
         sign: usize,
+        /// The convolution node.
         conv: usize,
+        /// The batch-norm node.
         bn: usize,
+        /// Value read.
         src: usize,
     },
     /// `sign(src) → conv(stride 1) → bn → (+ src or channel_dup(src)) →
     /// act`. Produces the value of `act`.
     FusedChannel {
+        /// The activation node whose value this step produces.
         act: usize,
+        /// The folded sign node.
         sign: usize,
+        /// The convolution node.
         conv: usize,
+        /// The batch-norm node.
         bn: usize,
+        /// Value read.
         src: usize,
     },
 }
 
 impl Step {
     /// The node whose value this step produces.
-    fn output(&self) -> usize {
+    pub fn output(&self) -> usize {
         match *self {
             Step::Input { node }
             | Step::Stem { node, .. }
@@ -95,10 +151,12 @@ impl Step {
         }
     }
 
-    /// Node values this step reads.
-    fn reads(&self) -> Vec<usize> {
+    /// Node values this step reads, as an allocation-free pair: the first
+    /// operand (absent only for [`Step::Input`]) and the second (present
+    /// only for [`Step::Add`]).
+    pub fn read_pair(&self) -> (Option<usize>, Option<usize>) {
         match *self {
-            Step::Input { .. } => vec![],
+            Step::Input { .. } => (None, None),
             Step::Stem { src, .. }
             | Step::Conv { src, .. }
             | Step::Bn { src, .. }
@@ -108,8 +166,8 @@ impl Step {
             | Step::GlobalPool { src, .. }
             | Step::Classifier { src, .. }
             | Step::FusedSpatial { src, .. }
-            | Step::FusedChannel { src, .. } => vec![src],
-            Step::Add { a, b, .. } => vec![a, b],
+            | Step::FusedChannel { src, .. } => (Some(src), None),
+            Step::Add { a, b, .. } => (Some(a), Some(b)),
         }
     }
 }
@@ -118,10 +176,16 @@ impl Step {
 /// graph input) or are never produced (folded sign nodes).
 pub(crate) const NO_SLOT: usize = usize::MAX;
 
-/// A compiled execution plan: fused steps, per-value lifetimes, and the
-/// liveness-derived arena slot assignment.
+/// A compiled execution plan: the step list a backend's `compile` chose,
+/// per-value lifetimes, and the liveness-derived arena slot assignment.
+///
+/// The plan is pure topology — it says *what* runs in *which order*
+/// against *which arena slots*, never *how*. Backends build one via
+/// [`CompiledPlan::from_steps`] from a step list (usually [`fused_steps`]
+/// or [`unfused_steps`]) and [`run_plan`] drives any plan against any
+/// backend.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct Plan {
+pub struct CompiledPlan {
     pub(crate) steps: Vec<Step>,
     /// `last_read[v]` = index of the last step that reads node `v`'s
     /// value (`usize::MAX` when never read).
@@ -141,10 +205,15 @@ pub(crate) struct Plan {
     pub(crate) slots: usize,
 }
 
-/// Compile the node list into a plan. The graph must already be validated
-/// (see [`crate::graph::spec::GraphSpec::validate`]); planning itself only
-/// decides fusion.
-pub(crate) fn plan(nodes: &[GraphNode]) -> Plan {
+/// Build the fused step list: sign nodes folded into their consuming
+/// convolutions, and every `BinConv → BatchNorm → Add → Act` chain whose
+/// intermediates are single-use collapsed into a fused step. The shortcut
+/// operand must be the conv chain's source (identity), its 2×2 average
+/// pool (stride-2 convs), or its channel duplication — each single-use.
+///
+/// The graph must already be validated (see
+/// [`crate::graph::spec::GraphSpec::validate`]).
+pub fn fused_steps(nodes: &[GraphNode]) -> Vec<Step> {
     let n = nodes.len();
     let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, node) in nodes.iter().enumerate() {
@@ -242,114 +311,151 @@ pub(crate) fn plan(nodes: &[GraphNode]) -> Plan {
             steps.push(step);
             continue;
         }
-        let step = match node.op {
-            NodeOp::Input { .. } => Step::Input { node: i },
-            NodeOp::StemConv(_) => Step::Stem {
-                node: i,
-                src: node.inputs[0],
-            },
-            // Sign nodes are folded into their consuming convolutions.
-            NodeOp::Sign(_) => continue,
-            NodeOp::BinConv(_) => Step::Conv {
-                node: i,
-                sign: node.inputs[0],
-                src: nodes[node.inputs[0]].inputs[0],
-            },
-            NodeOp::BatchNorm(_) => Step::Bn {
-                node: i,
-                src: node.inputs[0],
-            },
-            NodeOp::Act(_) => Step::Act {
-                node: i,
-                src: node.inputs[0],
-            },
-            NodeOp::AvgPool2x2 => Step::AvgPool {
-                node: i,
-                src: node.inputs[0],
-            },
-            NodeOp::ChannelDup => Step::ChannelDup {
-                node: i,
-                src: node.inputs[0],
-            },
-            NodeOp::Add => Step::Add {
-                node: i,
-                a: node.inputs[0],
-                b: node.inputs[1],
-            },
-            NodeOp::GlobalAvgPool => Step::GlobalPool {
-                node: i,
-                src: node.inputs[0],
-            },
-            NodeOp::Classifier(_) => Step::Classifier {
-                node: i,
-                src: node.inputs[0],
-            },
-        };
-        steps.push(step);
-    }
-
-    let mut last_read = vec![usize::MAX; n];
-    for (si, step) in steps.iter().enumerate() {
-        for v in step.reads() {
-            last_read[v] = si;
+        if let Some(step) = node_step(nodes, i, node) {
+            steps.push(step);
         }
     }
-    let output = n - 1;
-    let input_node = steps
-        .iter()
-        .find_map(|s| match *s {
-            Step::Input { node } => Some(node),
-            _ => None,
-        })
-        .unwrap_or(0);
-
-    // Liveness-driven arena allocation: walk the steps assigning each
-    // produced value the lowest free slot, then release the slots of
-    // values whose last reader just ran. Releasing *after* assigning the
-    // output keeps a step's output slot disjoint from all of its inputs
-    // (no in-place aliasing), and the graph output's slot is never
-    // released so it survives to the end of the plan.
-    let mut slot = vec![NO_SLOT; n];
-    let mut free: Vec<usize> = Vec::new();
-    let mut slots = 0usize;
-    for (si, step) in steps.iter().enumerate() {
-        let out_node = step.output();
-        if !matches!(step, Step::Input { .. }) {
-            slot[out_node] = free.pop().unwrap_or_else(|| {
-                slots += 1;
-                slots - 1
-            });
-        }
-        let reads = step.reads();
-        for (j, &v) in reads.iter().enumerate() {
-            // Deduplicate (a step may read one value twice, e.g. add(x, x))
-            // so a slot is never pushed onto the free list twice.
-            if reads[..j].contains(&v) {
-                continue;
-            }
-            if last_read[v] == si && v != output && slot[v] != NO_SLOT {
-                free.push(slot[v]);
-            }
-        }
-    }
-
-    let plan = Plan {
-        steps,
-        last_read,
-        output,
-        input_node,
-        slot,
-        slots,
-    };
-    debug_assert!(
-        plan.check_no_aliasing().is_ok(),
-        "slot allocator produced aliasing: {:?}",
-        plan.check_no_aliasing()
-    );
-    plan
+    steps
 }
 
-impl Plan {
+/// Build the unfused step list: one step per node, with only the
+/// mandatory sign-into-conv folding (a sign node's value — packed bits —
+/// is not a [`Tensor`] and cannot live in the arena). This is the step
+/// list the reference backend compiles to: maximum per-step
+/// observability, no fusion to hide behind.
+pub fn unfused_steps(nodes: &[GraphNode]) -> Vec<Step> {
+    nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, node)| node_step(nodes, i, node))
+        .collect()
+}
+
+/// The plain (unfused) step for one node; `None` for folded sign nodes.
+fn node_step(nodes: &[GraphNode], i: usize, node: &GraphNode) -> Option<Step> {
+    Some(match node.op {
+        NodeOp::Input { .. } => Step::Input { node: i },
+        NodeOp::StemConv(_) => Step::Stem {
+            node: i,
+            src: node.inputs[0],
+        },
+        // Sign nodes are folded into their consuming convolutions.
+        NodeOp::Sign(_) => return None,
+        NodeOp::BinConv(_) => Step::Conv {
+            node: i,
+            sign: node.inputs[0],
+            src: nodes[node.inputs[0]].inputs[0],
+        },
+        NodeOp::BatchNorm(_) => Step::Bn {
+            node: i,
+            src: node.inputs[0],
+        },
+        NodeOp::Act(_) => Step::Act {
+            node: i,
+            src: node.inputs[0],
+        },
+        NodeOp::AvgPool2x2 => Step::AvgPool {
+            node: i,
+            src: node.inputs[0],
+        },
+        NodeOp::ChannelDup => Step::ChannelDup {
+            node: i,
+            src: node.inputs[0],
+        },
+        NodeOp::Add => Step::Add {
+            node: i,
+            a: node.inputs[0],
+            b: node.inputs[1],
+        },
+        NodeOp::GlobalAvgPool => Step::GlobalPool {
+            node: i,
+            src: node.inputs[0],
+        },
+        NodeOp::Classifier(_) => Step::Classifier {
+            node: i,
+            src: node.inputs[0],
+        },
+    })
+}
+
+impl CompiledPlan {
+    /// Compile a step list over a graph of `n_nodes` nodes into a plan:
+    /// derive per-value lifetimes and run the liveness pass that assigns
+    /// arena slots. This is the one constructor — every backend's
+    /// `compile` funnels through it, so the aliasing guarantees hold for
+    /// any step list.
+    pub fn from_steps(n_nodes: usize, steps: Vec<Step>) -> CompiledPlan {
+        let mut last_read = vec![usize::MAX; n_nodes];
+        for (si, step) in steps.iter().enumerate() {
+            let (a, b) = step.read_pair();
+            for v in [a, b].into_iter().flatten() {
+                last_read[v] = si;
+            }
+        }
+        let output = n_nodes - 1;
+        let input_node = steps
+            .iter()
+            .find_map(|s| match *s {
+                Step::Input { node } => Some(node),
+                _ => None,
+            })
+            .unwrap_or(0);
+
+        // Liveness-driven arena allocation: walk the steps assigning each
+        // produced value the lowest free slot, then release the slots of
+        // values whose last reader just ran. Releasing *after* assigning
+        // the output keeps a step's output slot disjoint from all of its
+        // inputs (no in-place aliasing), and the graph output's slot is
+        // never released so it survives to the end of the plan.
+        let mut slot = vec![NO_SLOT; n_nodes];
+        let mut free: Vec<usize> = Vec::new();
+        let mut slots = 0usize;
+        for (si, step) in steps.iter().enumerate() {
+            let out_node = step.output();
+            if !matches!(step, Step::Input { .. }) {
+                slot[out_node] = free.pop().unwrap_or_else(|| {
+                    slots += 1;
+                    slots - 1
+                });
+            }
+            let (a, b) = step.read_pair();
+            // Deduplicate (a step may read one value twice, e.g.
+            // add(x, x)) so a slot is never pushed onto the free list
+            // twice.
+            let reads = [a, if b == a { None } else { b }];
+            for v in reads.into_iter().flatten() {
+                if last_read[v] == si && v != output && slot[v] != NO_SLOT {
+                    free.push(slot[v]);
+                }
+            }
+        }
+
+        let plan = CompiledPlan {
+            steps,
+            last_read,
+            output,
+            input_node,
+            slot,
+            slots,
+        };
+        debug_assert!(
+            plan.check_no_aliasing().is_ok(),
+            "slot allocator produced aliasing: {:?}",
+            plan.check_no_aliasing()
+        );
+        plan
+    }
+
+    /// The planned steps, in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of arena slots this plan needs.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
     /// Verify the arena slot assignment: values sharing a slot must have
     /// strictly disjoint lifetimes (one's producing step comes after the
     /// other's last reader), which also implies a step's output slot never
@@ -395,155 +501,58 @@ impl Plan {
     }
 }
 
-/// Fetch the layer behind a node, panicking on a kind mismatch — the plan
-/// is derived from the same node list, so a mismatch is a planner bug.
-macro_rules! layer {
-    ($nodes:expr, $idx:expr, $variant:path) => {
-        match $nodes[$idx].op {
-            $variant(ref l) => l,
-            ref other => unreachable!("planner wired {} into a {:?}", $idx, other.tag()),
-        }
-    };
-}
-
-/// Run the plan through the execution engine (fused stages, scratch reuse,
-/// arena-allocated activations) into a reusable output tensor. Bit-exact
-/// with [`run_scalar`].
+/// Run a compiled plan against a backend into a reusable output tensor.
 ///
-/// Every intermediate value lives in `scratch.arena` at the slot the
-/// liveness pass assigned; on a warmed scratch (same shapes as the last
-/// call) the whole forward performs zero heap allocation.
-pub(crate) fn run_into(
+/// This is the whole dispatch loop: per step, resolve the operand values
+/// (the borrowed graph input or arena slots), detach the liveness-assigned
+/// output slot, and hand the step to [`Backend::execute_step`] with the
+/// backend's own scratch. Every intermediate value lives in `arena` at
+/// the slot the liveness pass assigned; on a warmed arena (same shapes as
+/// the last call) the loop itself performs zero heap allocation — whether
+/// the whole forward does depends on the backend (the CPU backend's does,
+/// the reference backend allocates per step by design).
+pub(crate) fn run_plan(
     nodes: &[GraphNode],
-    plan: &Plan,
+    plan: &CompiledPlan,
+    backend: &dyn Backend,
     input: &Tensor,
-    engine: &Engine,
-    scratch: &mut Scratch,
+    arena: &mut Vec<Tensor>,
+    scratch: &mut (dyn std::any::Any + Send),
     out: &mut Tensor,
 ) -> Result<()> {
-    // Split the scratch into its independent buffers so the arena can be
-    // borrowed alongside the conv/sign/quant staging buffers.
-    let Scratch {
-        conv,
-        bits,
-        packed,
-        conv_out,
-        quant,
-        arena,
-        ..
-    } = scratch;
     if arena.len() < plan.slots {
         arena.resize_with(plan.slots, Tensor::default);
     }
-    // Read a node's value: the borrowed graph input or its arena slot.
-    // The liveness pass guarantees a live value's slot is not recycled, so
-    // reading through `plan.slot` always yields the value produced for it.
-    macro_rules! val {
-        ($v:expr) => {
-            if $v == plan.input_node {
-                input
-            } else {
-                &arena[plan.slot[$v]]
-            }
-        };
-    }
     for step in plan.steps.iter() {
-        let out_node = step.output();
-        if matches!(step, Step::Input { .. }) {
+        let (first, second) = step.read_pair();
+        let Some(first) = first else {
             continue; // the input's value is the caller's borrowed tensor
-        }
+        };
+        let out_node = step.output();
         // Detach the output slot so the arena stays immutably readable;
         // the slot allocator guarantees it aliases none of the inputs.
         let mut dst = std::mem::take(&mut arena[plan.slot[out_node]]);
-        let result = match *step {
-            Step::Input { .. } => unreachable!("handled above"),
-            Step::Stem { src, node } => {
-                let stem = layer!(nodes, node, NodeOp::StemConv);
-                stem.forward_fast_with(val!(src), quant, &mut dst);
-                Ok(())
-            }
-            Step::Conv { node, sign, src } => {
-                let sg = layer!(nodes, sign, NodeOp::Sign);
-                let cv = layer!(nodes, node, NodeOp::BinConv);
-                sg.binarize_into(val!(src), bits);
-                packed
-                    .repack(bits)
-                    .expect("4-D input validated by binarize");
-                cv.forward_packed_with(packed, engine, conv, &mut dst);
-                Ok(())
-            }
-            Step::Bn { node, src } => {
-                let bn = layer!(nodes, node, NodeOp::BatchNorm);
-                bn.forward_into(val!(src), &mut dst);
-                Ok(())
-            }
-            Step::Act { node, src } => {
-                let act = layer!(nodes, node, NodeOp::Act);
-                act.forward_into(val!(src), &mut dst);
-                Ok(())
-            }
-            Step::AvgPool { src, .. } => {
-                avg_pool_2x2_into(val!(src), &mut dst);
-                Ok(())
-            }
-            Step::ChannelDup { src, .. } => {
-                let x = val!(src);
-                shortcut_channels_into(x, 2 * x.shape()[1], &mut dst);
-                Ok(())
-            }
-            Step::Add { a, b, .. } => {
-                add_into(val!(a), val!(b), &mut dst);
-                Ok(())
-            }
-            Step::GlobalPool { src, .. } => {
-                global_avg_pool_into(val!(src), &mut dst);
-                Ok(())
-            }
-            Step::Classifier { node, src } => {
-                let fc = layer!(nodes, node, NodeOp::Classifier);
-                fc.forward_2d_with(val!(src), quant, &mut dst);
-                Ok(())
-            }
-            Step::FusedSpatial {
-                act,
-                sign,
-                conv: cnode,
-                bn,
-                src,
-            } => {
-                let sg = layer!(nodes, sign, NodeOp::Sign);
-                let cv = layer!(nodes, cnode, NodeOp::BinConv);
-                let bnl = layer!(nodes, bn, NodeOp::BatchNorm);
-                let al = layer!(nodes, act, NodeOp::Act);
-                let x = val!(src);
-                sg.binarize_into(x, bits);
-                packed
-                    .repack(bits)
-                    .expect("4-D input validated by binarize");
-                cv.forward_packed_with(packed, engine, conv, conv_out);
-                fuse_spatial_stage(conv_out, x, 2, bnl, al, &mut dst)
-            }
-            Step::FusedChannel {
-                act,
-                sign,
-                conv: cnode,
-                bn,
-                src,
-            } => {
-                let sg = layer!(nodes, sign, NodeOp::Sign);
-                let cv = layer!(nodes, cnode, NodeOp::BinConv);
-                let bnl = layer!(nodes, bn, NodeOp::BatchNorm);
-                let al = layer!(nodes, act, NodeOp::Act);
-                let x = val!(src);
-                sg.binarize_into(x, bits);
-                packed
-                    .repack(bits)
-                    .expect("4-D input validated by binarize");
-                cv.forward_packed_with(packed, engine, conv, conv_out);
-                fuse_channel_stage(conv_out, x, bnl, al, &mut dst);
-                Ok(())
+        // Read a node's value: the borrowed graph input or its arena
+        // slot. The liveness pass guarantees a live value's slot is not
+        // recycled, so reading through `plan.slot` always yields the
+        // value produced for it.
+        let resolve = |v: usize| -> &Tensor {
+            if v == plan.input_node {
+                input
+            } else {
+                &arena[plan.slot[v]]
             }
         };
+        let result = backend.execute_step(
+            StepCtx {
+                nodes,
+                step,
+                a: resolve(first),
+                b: second.map(resolve),
+            },
+            scratch,
+            &mut dst,
+        );
         arena[plan.slot[out_node]] = dst;
         result?;
     }
@@ -556,56 +565,4 @@ pub(crate) fn run_into(
         std::mem::swap(out, &mut arena[plan.slot[plan.output]]);
     }
     Ok(())
-}
-
-/// The scalar reference walk: per-node naive forwards, fresh allocations,
-/// no fusion, no engine — the graph-level twin of the frozen
-/// `ReActNet::forward_scalar` oracle. When `traces` is `Some`, the
-/// binarized input of every 3×3 binary convolution is appended in
-/// topological order (the bit sequences of the paper's Sec. I
-/// observation).
-pub(crate) fn run_scalar(
-    nodes: &[GraphNode],
-    input: &Tensor,
-    mut traces: Option<&mut Vec<BitTensor>>,
-) -> Result<Tensor> {
-    fn get(values: &[Option<Tensor>], v: usize) -> &Tensor {
-        values[v].as_ref().expect("topological order")
-    }
-    let mut values: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
-    for (i, node) in nodes.iter().enumerate() {
-        let out = match node.op {
-            NodeOp::Input { .. } => input.clone(),
-            NodeOp::StemConv(ref stem) => stem.forward(get(&values, node.inputs[0])),
-            NodeOp::Sign(_) => continue, // folded into the consuming conv
-            NodeOp::BinConv(ref conv) => {
-                let sign = node.inputs[0];
-                let sg = layer!(nodes, sign, NodeOp::Sign);
-                let bits = sg.binarize(get(&values, nodes[sign].inputs[0]));
-                let packed = PackedActivations::pack(&bits).expect("4-D input");
-                let y = conv.forward_packed(&packed);
-                if let Some(ref mut t) = traces {
-                    if conv.kernel_size() == (3, 3) {
-                        t.push(bits);
-                    }
-                }
-                y
-            }
-            NodeOp::BatchNorm(ref bn) => bn.forward(get(&values, node.inputs[0])),
-            NodeOp::Act(ref act) => act.forward(get(&values, node.inputs[0])),
-            NodeOp::AvgPool2x2 => avg_pool_2x2(get(&values, node.inputs[0])),
-            NodeOp::ChannelDup => {
-                let x = get(&values, node.inputs[0]);
-                shortcut_channels(x, 2 * x.shape()[1])
-            }
-            NodeOp::Add => add(get(&values, node.inputs[0]), get(&values, node.inputs[1])),
-            NodeOp::GlobalAvgPool => global_avg_pool(get(&values, node.inputs[0])),
-            NodeOp::Classifier(ref fc) => fc.forward_2d(get(&values, node.inputs[0])),
-        };
-        values[i] = Some(out);
-    }
-    values
-        .pop()
-        .flatten()
-        .ok_or_else(|| BitnnError::InvalidConfig("graph produced no output value".into()))
 }

@@ -35,8 +35,10 @@ pub mod arch;
 mod exec;
 pub mod spec;
 
+pub use exec::{fused_steps, unfused_steps, CompiledPlan, Step};
 pub use spec::{ConvGeometry, GraphSpec, NodeSpec, OpSpec, ShapeInfo};
 
+use crate::backend::{Backend, CpuBackend};
 use crate::engine::{Engine, Scratch};
 use crate::error::{BitnnError, Result};
 use crate::layers::{BatchNorm, BinConv2d, QuantConv2d, QuantLinear, RPReLU, RSign};
@@ -233,6 +235,32 @@ impl BatchScratch {
     }
 }
 
+/// Reusable forward state for one [`crate::backend::Backend`]: the plan
+/// that backend compiled, the activation arena the dispatch loop
+/// recycles, and the backend's own opaque scratch. Built by
+/// [`ModelGraph::state_for`], consumed by [`ModelGraph::forward_on`].
+pub struct ForwardState {
+    plan: exec::CompiledPlan,
+    arena: Vec<Tensor>,
+    scratch: Box<dyn std::any::Any + Send>,
+}
+
+impl ForwardState {
+    /// The compiled plan this state runs.
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
+    }
+}
+
+impl std::fmt::Debug for ForwardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForwardState")
+            .field("plan", &self.plan)
+            .field("arena", &self.arena.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// A weighted, validated, executable model graph.
 ///
 /// Construction validates the topology (via the derived [`GraphSpec`]),
@@ -245,7 +273,7 @@ impl BatchScratch {
 pub struct ModelGraph {
     nodes: Vec<GraphNode>,
     spec: GraphSpec,
-    plan: exec::Plan,
+    plan: exec::CompiledPlan,
     /// Compressible (3×3 binary conv) node ids, topological order.
     conv3: Vec<usize>,
     /// Estimated lane-word operations per input element (from the spec's
@@ -308,7 +336,10 @@ impl ModelGraph {
                 }
             }
         }
-        let plan = exec::plan(&nodes);
+        // The stored plan is the CPU backend's (fused) compilation — the
+        // one the `forward*` family runs. Other backends compile their
+        // own via [`ModelGraph::state_for`].
+        let plan = exec::CompiledPlan::from_steps(nodes.len(), exec::fused_steps(&nodes));
         let conv3 = spec.conv3_geometries().iter().map(|g| g.node).collect();
         // Workload model: total multiply-accumulates at the nominal image
         // size, weighted by precision (1-bit ops pack 64 to a lane word),
@@ -511,7 +542,52 @@ impl ModelGraph {
         out: &mut Tensor,
     ) -> Result<()> {
         self.check_input(input);
-        exec::run_into(&self.nodes, &self.plan, input, engine, scratch, out)
+        let backend = CpuBackend::new(engine.clone());
+        let Scratch { cpu, arena } = scratch;
+        exec::run_plan(&self.nodes, &self.plan, &backend, input, arena, cpu, out)
+    }
+
+    /// Compile this graph for an arbitrary [`Backend`] and allocate its
+    /// forward state (plan, activation arena, backend scratch). Reuse the
+    /// state across [`Self::forward_on`] calls to amortize buffers.
+    pub fn state_for(&self, backend: &dyn Backend) -> ForwardState {
+        ForwardState {
+            plan: backend.compile(&self.nodes),
+            arena: Vec::new(),
+            scratch: backend.new_scratch(),
+        }
+    }
+
+    /// Forward pass through an arbitrary backend with state from
+    /// [`Self::state_for`]. Bit-exact with [`Self::forward_scalar`] for
+    /// every registered backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError`] for unsupported runtime geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, C, H, W]` with the graph's input
+    /// channel count, or if `state` was compiled by a different backend
+    /// kind than `backend`.
+    pub fn forward_on(
+        &self,
+        backend: &dyn Backend,
+        state: &mut ForwardState,
+        input: &Tensor,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        self.check_input(input);
+        exec::run_plan(
+            &self.nodes,
+            &state.plan,
+            backend,
+            input,
+            &mut state.arena,
+            state.scratch.as_mut(),
+            out,
+        )
     }
 
     /// Estimated lane-word operations for one forward of `input`.
@@ -622,7 +698,7 @@ impl ModelGraph {
     /// Panics if the input shape does not match the graph.
     pub fn forward_scalar(&self, input: &Tensor) -> Result<Tensor> {
         self.check_input(input);
-        exec::run_scalar(&self.nodes, input, None)
+        crate::backend::scalar::run_scalar(&self.nodes, input, None)
     }
 
     /// Scalar forward that also returns the binarized input of every
@@ -639,7 +715,7 @@ impl ModelGraph {
     pub fn forward_traced(&self, input: &Tensor) -> Result<(Tensor, Vec<BitTensor>)> {
         self.check_input(input);
         let mut traces = Vec::with_capacity(self.conv3.len());
-        let out = exec::run_scalar(&self.nodes, input, Some(&mut traces))?;
+        let out = crate::backend::scalar::run_scalar(&self.nodes, input, Some(&mut traces))?;
         Ok((out, traces))
     }
 

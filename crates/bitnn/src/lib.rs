@@ -34,9 +34,11 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bitword;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod graph;
 pub mod infer;
 pub mod io;
@@ -45,12 +47,14 @@ pub mod model;
 pub mod ops;
 pub mod pack;
 mod pool;
-mod simd;
+pub mod simd;
 pub mod tensor;
 pub mod weightgen;
 
-pub use engine::{Engine, ExecPolicy, KernelForms, Lowering, Scratch};
+pub use backend::{Backend, BackendKind};
+pub use engine::{Engine, KernelForms, Scratch};
 pub use error::{BitnnError, Result};
+pub use exec::{ExecPolicy, Lowering};
 pub use graph::arch::Arch;
 pub use graph::{BatchScratch, GraphBuilder, GraphSpec, ModelGraph};
 pub use pack::{PackedActivations, PackedKernel};

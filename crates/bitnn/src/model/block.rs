@@ -122,47 +122,32 @@ impl BasicBlock {
         engine: &Engine,
         scratch: &mut Scratch,
     ) -> Result<Tensor> {
+        let s = &mut scratch.cpu;
         // --- 3x3 stage ---
-        self.sign1.binarize_into(x, &mut scratch.bits);
-        scratch
-            .packed
-            .repack(&scratch.bits)
+        self.sign1.binarize_into(x, &mut s.bits);
+        s.packed
+            .repack(&s.bits)
             .expect("4-D input validated by binarize");
-        self.conv3.forward_packed_with(
-            &scratch.packed,
-            engine,
-            &mut scratch.conv,
-            &mut scratch.conv_out,
-        );
+        self.conv3
+            .forward_packed_with(&s.packed, engine, &mut s.conv, &mut s.conv_out);
         fuse_spatial_stage(
-            &scratch.conv_out,
+            &s.conv_out,
             x,
             self.stride(),
             &self.bn1,
             &self.act1,
-            &mut scratch.mid,
+            &mut s.mid,
         )?;
 
         // --- 1x1 stage ---
-        self.sign2.binarize_into(&scratch.mid, &mut scratch.bits);
-        scratch
-            .packed
-            .repack(&scratch.bits)
+        self.sign2.binarize_into(&s.mid, &mut s.bits);
+        s.packed
+            .repack(&s.bits)
             .expect("4-D input validated by binarize");
-        self.conv1.forward_packed_with(
-            &scratch.packed,
-            engine,
-            &mut scratch.conv,
-            &mut scratch.conv_out,
-        );
+        self.conv1
+            .forward_packed_with(&s.packed, engine, &mut s.conv, &mut s.conv_out);
         let mut out = Tensor::default();
-        fuse_channel_stage(
-            &scratch.conv_out,
-            &scratch.mid,
-            &self.bn2,
-            &self.act2,
-            &mut out,
-        );
+        fuse_channel_stage(&s.conv_out, &s.mid, &self.bn2, &self.act2, &mut out);
         Ok(out)
     }
 

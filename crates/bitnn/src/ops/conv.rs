@@ -150,6 +150,19 @@ pub(crate) fn conv2d_direct_rows(
 ) {
     #[cfg(target_arch = "x86_64")]
     {
+        /// AVX-512 instantiation of [`conv2d_direct_rows_portable`]: the
+        /// channel-dot `count_ones` loops compile to hardware `vpopcntq`.
+        #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+        unsafe fn conv2d_direct_rows_avx512(
+            acts: &PackedActivations,
+            kernel: &PackedKernel,
+            params: Conv2dParams,
+            pad_ones: &[u32],
+            row_start: usize,
+            out: &mut [f32],
+        ) {
+            conv2d_direct_rows_portable(acts, kernel, params, pad_ones, row_start, out);
+        }
         /// AVX2+popcnt instantiation of [`conv2d_direct_rows_portable`].
         #[target_feature(enable = "avx2,popcnt")]
         unsafe fn conv2d_direct_rows_avx2(
@@ -161,6 +174,12 @@ pub(crate) fn conv2d_direct_rows(
             out: &mut [f32],
         ) {
             conv2d_direct_rows_portable(acts, kernel, params, pad_ones, row_start, out);
+        }
+        if crate::simd::avx512() {
+            // SAFETY: avx512f/bw/vpopcntdq + popcnt were detected at runtime.
+            return unsafe {
+                conv2d_direct_rows_avx512(acts, kernel, params, pad_ones, row_start, out)
+            };
         }
         if crate::simd::avx2() {
             // SAFETY: avx2 + popcnt were detected at runtime.

@@ -6,12 +6,16 @@
 //!
 //! Two implementations are provided:
 //!
-//! * [`gemm_binary`] — the register-blocked fast path. A
-//!   [`MR`]`×`[`NR`] micro-kernel keeps one tile of output accumulators
-//!   live across the whole lane loop, so every loaded activation lane is
-//!   reused [`NR`] times and every weight lane [`MR`] times, and the
-//!   independent accumulators break the popcount addition dependency
-//!   chain (the daBNN register-tiling idea on `u64` lanes).
+//! * [`gemm_binary`] — the register-blocked fast path. An `MR×NR`
+//!   micro-kernel keeps one tile of output accumulators live across the
+//!   whole lane loop, so every loaded activation lane is reused `NR`
+//!   times and every weight lane `MR` times, and the independent
+//!   accumulators break the popcount addition dependency chain (the daBNN
+//!   register-tiling idea on `u64` lanes). The blocking (4×2, 8×2, or
+//!   4×4) is chosen per shape class by the [`crate::simd`] selection
+//!   table, which micro-autotunes on first use; the ISA instantiation
+//!   (portable / AVX2 / AVX-512 `vpopcntq`) follows the detected dispatch
+//!   level.
 //! * [`gemm_binary_naive`] — the seed's scalar row-by-row loop, kept
 //!   bit-identical as the perf-tracking baseline and as a second
 //!   implementation for cross-checking.
@@ -27,6 +31,7 @@
 use crate::bitword::xnor_popcount_slice;
 use crate::error::{BitnnError, Result};
 use crate::ops::dot::dot_channels_seed;
+use crate::simd::{self, GemmVariant, ShapeClass};
 use crate::{lanes_for, LANE_BITS};
 
 /// A binary matrix stored row-major with each row packed into `u64` lanes.
@@ -173,36 +178,81 @@ impl PackedMatrix {
     }
 }
 
-/// Rows per micro-kernel tile along the `a` (activation) dimension.
-pub const MR: usize = 4;
-/// Rows per micro-kernel tile along the `b` (weight) dimension.
-pub const NR: usize = 2;
-
-/// The register-blocked inner tile: [`MR`] rows of `a` against [`NR`] rows
-/// of `b`, all lanes, eight independent accumulators.
+/// The register-blocked inner tile: `MR` rows of `a` against `NR` rows of
+/// `b`, all lanes, `MR*NR` independent accumulators. Monomorphized per
+/// [`GemmVariant`]; the 4×2 instantiation is the historical micro-kernel.
 #[inline(always)]
-fn microkernel_4x2(a: &[u64], b: &[u64], lanes: usize) -> [u32; MR * NR] {
+fn microkernel<const MR: usize, const NR: usize>(
+    a: &[u64],
+    b: &[u64],
+    lanes: usize,
+) -> [[u32; NR]; MR] {
     // Real (non-debug) asserts so the bounds checks below are elided.
     assert_eq!(a.len(), MR * lanes);
     assert_eq!(b.len(), NR * lanes);
-    let mut acc = [0u32; MR * NR];
+    let mut acc = [[0u32; NR]; MR];
     for l in 0..lanes {
-        let w0 = b[l];
-        let w1 = b[lanes + l];
-        let x0 = a[l];
-        let x1 = a[lanes + l];
-        let x2 = a[2 * lanes + l];
-        let x3 = a[3 * lanes + l];
-        acc[0] += (!(x0 ^ w0)).count_ones();
-        acc[1] += (!(x0 ^ w1)).count_ones();
-        acc[2] += (!(x1 ^ w0)).count_ones();
-        acc[3] += (!(x1 ^ w1)).count_ones();
-        acc[4] += (!(x2 ^ w0)).count_ones();
-        acc[5] += (!(x2 ^ w1)).count_ones();
-        acc[6] += (!(x3 ^ w0)).count_ones();
-        acc[7] += (!(x3 ^ w1)).count_ones();
+        let mut w = [0u64; NR];
+        for (ni, wl) in w.iter_mut().enumerate() {
+            *wl = b[ni * lanes + l];
+        }
+        for (mi, row) in acc.iter_mut().enumerate() {
+            let x = a[mi * lanes + l];
+            for (ni, cell) in row.iter_mut().enumerate() {
+                *cell += (!(x ^ w[ni])).count_ones();
+            }
+        }
     }
     acc
+}
+
+/// The `MR×NR`-blocked tiling loop over a band of `a` rows, with edge
+/// tiles falling back to plain slice dots. `corr` is the clean-tail
+/// correction already computed by the caller.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn gemm_rows_blocked<const MR: usize, const NR: usize>(
+    a_words: &[u64],
+    b_words: &[u64],
+    lanes: usize,
+    corr: i32,
+    bn: usize,
+    m_start: usize,
+    m_count: usize,
+    out: &mut [i32],
+) {
+    let mut m = 0;
+    while m + MR <= m_count {
+        let a_tile = &a_words[(m_start + m) * lanes..(m_start + m + MR) * lanes];
+        let mut n = 0;
+        while n + NR <= bn {
+            let b_tile = &b_words[n * lanes..(n + NR) * lanes];
+            let acc = microkernel::<MR, NR>(a_tile, b_tile, lanes);
+            for (mi, row) in acc.iter().enumerate() {
+                for (ni, &cell) in row.iter().enumerate() {
+                    out[(m + mi) * bn + n + ni] = 2 * cell as i32 - corr;
+                }
+            }
+            n += NR;
+        }
+        while n < bn {
+            let rb = &b_words[n * lanes..(n + 1) * lanes];
+            for mi in 0..MR {
+                let ra = &a_tile[mi * lanes..(mi + 1) * lanes];
+                out[(m + mi) * bn + n] = 2 * xnor_popcount_slice(ra, rb) as i32 - corr;
+            }
+            n += 1;
+        }
+        m += MR;
+    }
+    while m < m_count {
+        let ra = &a_words[(m_start + m) * lanes..(m_start + m + 1) * lanes];
+        for n in 0..bn {
+            let rb = &b_words[n * lanes..(n + 1) * lanes];
+            out[m * bn + n] = 2 * xnor_popcount_slice(ra, rb) as i32 - corr;
+        }
+        m += 1;
+    }
 }
 
 /// Tiled GEMM over raw packed words for a contiguous band of `a` rows.
@@ -211,9 +261,10 @@ fn microkernel_4x2(a: &[u64], b: &[u64], lanes: usize) -> [u32; MR * NR] {
 /// logical bits per row (clean tails required); `bn` is the number of `b`
 /// rows (the output width). Writes ±1-domain dot products for `a` rows
 /// `m_start ..` into `out`, whose length determines how many rows are
-/// computed. This is the worker body the [`crate::engine::Engine`] hands
-/// to each thread with a disjoint output band; it dispatches to an
-/// AVX2+popcnt instantiation when the CPU has one (see [`crate::simd`]).
+/// computed. This is the worker body the execution backends hand to each
+/// thread with a disjoint output band; the register blocking comes from
+/// the [`crate::simd`] selection table (autotuned on first use per shape
+/// class) and the ISA instantiation from the detected dispatch level.
 #[inline]
 pub(crate) fn gemm_rows_into(
     a_words: &[u64],
@@ -224,11 +275,35 @@ pub(crate) fn gemm_rows_into(
     m_start: usize,
     out: &mut [i32],
 ) {
+    let variant = match ShapeClass::of_lanes(lanes) {
+        Some(class) => simd::gemm_variant_for(class, autotune_gemm),
+        None => GemmVariant::Mr4Nr2, // short-row path; blocking unused
+    };
+    gemm_rows_with_variant(variant, a_words, b_words, lanes, k, bn, m_start, out);
+}
+
+/// [`gemm_rows_into`] with an explicit register blocking — the ISA
+/// dispatcher, also driven directly by the autotuner so candidate timings
+/// run through exactly the code path later dispatches will take.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_rows_with_variant(
+    variant: GemmVariant,
+    a_words: &[u64],
+    b_words: &[u64],
+    lanes: usize,
+    k: usize,
+    bn: usize,
+    m_start: usize,
+    out: &mut [i32],
+) {
     #[cfg(target_arch = "x86_64")]
     {
-        /// AVX2+popcnt instantiation of [`gemm_rows_portable`].
-        #[target_feature(enable = "avx2,popcnt")]
-        unsafe fn gemm_rows_avx2(
+        /// AVX-512 instantiation of [`gemm_rows_portable`]: `count_ones`
+        /// loops compile to hardware `vpopcntq` over 512-bit lanes.
+        #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+        unsafe fn gemm_rows_avx512(
+            variant: GemmVariant,
             a_words: &[u64],
             b_words: &[u64],
             lanes: usize,
@@ -237,20 +312,44 @@ pub(crate) fn gemm_rows_into(
             m_start: usize,
             out: &mut [i32],
         ) {
-            gemm_rows_portable(a_words, b_words, lanes, k, bn, m_start, out);
+            gemm_rows_portable(variant, a_words, b_words, lanes, k, bn, m_start, out);
+        }
+        /// AVX2+popcnt instantiation of [`gemm_rows_portable`].
+        #[target_feature(enable = "avx2,popcnt")]
+        unsafe fn gemm_rows_avx2(
+            variant: GemmVariant,
+            a_words: &[u64],
+            b_words: &[u64],
+            lanes: usize,
+            k: usize,
+            bn: usize,
+            m_start: usize,
+            out: &mut [i32],
+        ) {
+            gemm_rows_portable(variant, a_words, b_words, lanes, k, bn, m_start, out);
+        }
+        if crate::simd::avx512() {
+            // SAFETY: avx512f/bw/vpopcntdq + popcnt were detected at runtime.
+            return unsafe {
+                gemm_rows_avx512(variant, a_words, b_words, lanes, k, bn, m_start, out)
+            };
         }
         if crate::simd::avx2() {
             // SAFETY: avx2 + popcnt were detected at runtime.
-            return unsafe { gemm_rows_avx2(a_words, b_words, lanes, k, bn, m_start, out) };
+            return unsafe {
+                gemm_rows_avx2(variant, a_words, b_words, lanes, k, bn, m_start, out)
+            };
         }
     }
-    gemm_rows_portable(a_words, b_words, lanes, k, bn, m_start, out);
+    gemm_rows_portable(variant, a_words, b_words, lanes, k, bn, m_start, out);
 }
 
-/// Portable body of [`gemm_rows_into`] — the single source both ISA
-/// instantiations compile from.
+/// Portable body of [`gemm_rows_into`] — the single source every ISA
+/// instantiation compiles from.
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn gemm_rows_portable(
+    variant: GemmVariant,
     a_words: &[u64],
     b_words: &[u64],
     lanes: usize,
@@ -290,37 +389,76 @@ fn gemm_rows_portable(
         }
         return;
     }
-    let mut m = 0;
-    while m + MR <= m_count {
-        let a_tile = &a_words[(m_start + m) * lanes..(m_start + m + MR) * lanes];
-        let mut n = 0;
-        while n + NR <= bn {
-            let b_tile = &b_words[n * lanes..(n + NR) * lanes];
-            let acc = microkernel_4x2(a_tile, b_tile, lanes);
-            for mi in 0..MR {
-                for ni in 0..NR {
-                    out[(m + mi) * bn + n + ni] = 2 * acc[mi * NR + ni] as i32 - corr;
-                }
-            }
-            n += NR;
+    match variant {
+        GemmVariant::Mr4Nr2 => {
+            gemm_rows_blocked::<4, 2>(a_words, b_words, lanes, corr, bn, m_start, m_count, out)
         }
-        while n < bn {
-            let rb = &b_words[n * lanes..(n + 1) * lanes];
-            for mi in 0..MR {
-                let ra = &a_tile[mi * lanes..(mi + 1) * lanes];
-                out[(m + mi) * bn + n] = 2 * xnor_popcount_slice(ra, rb) as i32 - corr;
-            }
-            n += 1;
+        GemmVariant::Mr8Nr2 => {
+            gemm_rows_blocked::<8, 2>(a_words, b_words, lanes, corr, bn, m_start, m_count, out)
         }
-        m += MR;
+        GemmVariant::Mr4Nr4 => {
+            gemm_rows_blocked::<4, 4>(a_words, b_words, lanes, corr, bn, m_start, m_count, out)
+        }
     }
-    while m < m_count {
-        let ra = &a_words[(m_start + m) * lanes..(m_start + m + 1) * lanes];
-        for n in 0..bn {
-            let rb = &b_words[n * lanes..(n + 1) * lanes];
-            out[m * bn + n] = 2 * xnor_popcount_slice(ra, rb) as i32 - corr;
+}
+
+/// Micro-autotune one shape class: time every register-blocking variant on
+/// synthetic operands of the class's representative lane count and return
+/// the fastest. Runs once per class per process (cached by the
+/// [`crate::simd`] selection table); total cost is well under a
+/// millisecond. Every variant is bit-exact, so timing noise can cost
+/// speed, never correctness.
+fn autotune_gemm(class: ShapeClass) -> GemmVariant {
+    const M: usize = 48;
+    const BN: usize = 48;
+    const REPS: usize = 4;
+    let lanes = class.representative_lanes();
+    let k = lanes * LANE_BITS; // full lanes: tails trivially clean
+    let mut seed = 0x9E3779B97F4A7C15u64 ^ lanes as u64;
+    let mut word = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seed
+    };
+    let a: Vec<u64> = (0..M * lanes).map(|_| word()).collect();
+    let b: Vec<u64> = (0..BN * lanes).map(|_| word()).collect();
+    let mut out = vec![0i32; M * BN];
+    let mut best = (GemmVariant::Mr4Nr2, std::time::Duration::MAX);
+    for variant in GemmVariant::ALL {
+        let mut fastest = std::time::Duration::MAX;
+        for _ in 0..REPS {
+            let t0 = std::time::Instant::now();
+            gemm_rows_with_variant(variant, &a, &b, lanes, k, BN, 0, &mut out);
+            std::hint::black_box(&mut out);
+            fastest = fastest.min(t0.elapsed());
         }
-        m += 1;
+        if fastest < best.1 {
+            best = (variant, fastest);
+        }
+    }
+    best.0
+}
+
+/// Force-populate the GEMM variant selection table for every shape class
+/// and return the recorded choices — used by `bnnkc features` and the
+/// perfsuite so reports cover all classes, not just the ones a workload
+/// happened to hit.
+pub fn warm_gemm_tables() -> Vec<simd::GemmChoice> {
+    for class in ShapeClass::ALL {
+        simd::gemm_variant_for(class, autotune_gemm);
+    }
+    simd::gemm_choices()
+}
+
+/// The name of the kernel that serves rows of `lanes` lane words:
+/// `"short-row"` for the dedicated ≤2-lane path, otherwise the selected
+/// register blocking (`"4x2"`-style, autotuning on first use). For
+/// measurement labeling — perfsuite entries record this per benchmark.
+pub fn gemm_kernel_name(lanes: usize) -> &'static str {
+    match ShapeClass::of_lanes(lanes) {
+        None => "short-row",
+        Some(class) => simd::gemm_variant_for(class, autotune_gemm).name(),
     }
 }
 

@@ -1,35 +1,379 @@
-//! Runtime CPU-feature dispatch for the hot kernels.
+//! Runtime CPU-feature dispatch and kernel-variant selection.
 //!
 //! The crate builds for the portable x86-64 baseline (SSE2, no `popcnt`),
-//! but the band kernels the execution engine hands to its workers are
-//! *also* compiled in a second instantiation with
-//! `#[target_feature(enable = "avx2,popcnt")]`. LLVM then vectorizes the
-//! `count_ones` inner loops with the AVX2 `vpshufb` nibble-LUT popcount
-//! and uses the hardware `popcnt` for scalar remainders — the portable
-//! source stays the single implementation, and the right instantiation is
-//! picked per call through the cached detection below (the same
-//! compile-once/dispatch-at-runtime scheme daBNN uses for its NEON
-//! kernels, without any hand-written intrinsics).
+//! but every band kernel the execution backends hand to their workers is
+//! *also* compiled in wider instantiations behind
+//! `#[target_feature(enable = ...)]`: an AVX2+`popcnt` one, where LLVM
+//! vectorizes the `count_ones` inner loops with the `vpshufb` nibble-LUT
+//! popcount, and — when the host has it — an AVX-512 one
+//! (`avx512f,avx512bw,avx512vpopcntdq`), where the same loops compile to
+//! the hardware `vpopcntq` over 512-bit lanes. The portable source stays
+//! the single implementation; the right instantiation is picked per call
+//! through the cached detection below (the compile-once /
+//! dispatch-at-runtime scheme daBNN uses for its NEON kernels, without
+//! hand-written intrinsics).
 //!
-//! Each kernel follows the same three-piece pattern at its definition
-//! site: an `#[inline(always)]` portable body, a `#[target_feature]`
-//! wrapper that inlines that body under the wider ISA, and a thin public
-//! dispatcher gated on [`avx2()`].
+//! Each kernel follows the same pattern at its definition site: an
+//! `#[inline(always)]` portable body, one `#[target_feature]` wrapper per
+//! ISA level that inlines that body under the wider feature set, and a
+//! thin dispatcher gated on [`level()`].
+//!
+//! On top of the ISA dispatch sits a small **kernel-variant selection
+//! table** for the register-blocked GEMM: the hot shapes are bucketed into
+//! [`ShapeClass`]es by their lane count, and the first GEMM of each class
+//! runs a micro-autotune (see `ops::gemm`) that times the available
+//! register-blocking variants and caches the winner for the process
+//! lifetime. Selections are recorded and exposed through
+//! [`gemm_choices()`] so `bnnkc features` and the perfsuite can report
+//! exactly which kernel served each measurement.
+//!
+//! # Environment overrides
+//!
+//! * `BITNN_SIMD` = `portable` | `avx2` | `avx512` | `auto` — caps the
+//!   dispatch level. A cap can only *disable* features the CPU has, never
+//!   enable ones it lacks, so forcing is always safe; `BITNN_SIMD=portable`
+//!   is how CI exercises the fallback kernels on AVX2 hosts.
+//! * `BITNN_GEMM` = `4x2` | `8x2` | `4x4` — pins the GEMM register
+//!   blocking for every shape class, skipping the autotuner.
 
-/// Whether this CPU supports the AVX2+popcnt fast instantiations.
-/// Detection runs once and is cached.
-#[cfg(target_arch = "x86_64")]
-#[inline]
-pub(crate) fn avx2() -> bool {
-    use std::sync::OnceLock;
-    static AVX2: OnceLock<bool> = OnceLock::new();
-    *AVX2.get_or_init(|| {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+use std::sync::{Mutex, OnceLock};
+
+/// Raw CPU capability bits relevant to the binary kernels, as detected —
+/// before any [`BITNN_SIMD` cap](self#environment-overrides) is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// Hardware scalar `popcnt`.
+    pub popcnt: bool,
+    /// AVX2 (with `popcnt`): the nibble-LUT vector popcount instantiations.
+    pub avx2: bool,
+    /// AVX-512 F+BW+VPOPCNTDQ: the native 512-bit vector popcount
+    /// instantiations.
+    pub avx512: bool,
+}
+
+/// Detected CPU capabilities. Detection runs once and is cached.
+pub fn detect() -> CpuFeatures {
+    static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+    *FEATURES.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let popcnt = std::arch::is_x86_feature_detected!("popcnt");
+            CpuFeatures {
+                popcnt,
+                avx2: popcnt && std::arch::is_x86_feature_detected!("avx2"),
+                avx512: popcnt
+                    && std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                    && std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            CpuFeatures {
+                popcnt: false,
+                avx2: false,
+                avx512: false,
+            }
+        }
     })
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+/// The ISA tier a kernel dispatch runs at, ordered from narrowest to
+/// widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Baseline x86-64 (or non-x86): scalar `count_ones` loops.
+    Portable,
+    /// AVX2 + `popcnt` instantiations.
+    Avx2,
+    /// AVX-512 F/BW/VPOPCNTDQ instantiations.
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Stable lower-case name, as accepted by `BITNN_SIMD` and printed by
+    /// `bnnkc features` / the perfsuite schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Portable => "portable",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The effective dispatch level: detected capabilities, capped by
+/// `BITNN_SIMD` when set. Resolved once and cached.
+///
+/// An unrecognized `BITNN_SIMD` value is ignored (full detected level)
+/// rather than being an error: the variable is a diagnostic/CI knob, not
+/// part of the CLI surface.
+pub fn level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let f = detect();
+        let detected = if f.avx512 {
+            SimdLevel::Avx512
+        } else if f.avx2 {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Portable
+        };
+        let cap = match std::env::var("BITNN_SIMD").as_deref() {
+            Ok("portable") => SimdLevel::Portable,
+            Ok("avx2") => SimdLevel::Avx2,
+            _ => SimdLevel::Avx512, // "avx512", "auto", unset, unrecognized
+        };
+        detected.min(cap)
+    })
+}
+
+/// Whether dispatches may use the AVX2+popcnt instantiations.
 #[inline]
 pub(crate) fn avx2() -> bool {
-    false
+    level() >= SimdLevel::Avx2
+}
+
+/// Whether dispatches may use the AVX-512 instantiations.
+#[inline]
+pub(crate) fn avx512() -> bool {
+    level() >= SimdLevel::Avx512
+}
+
+/// A register-blocking variant of the tiled GEMM micro-kernel: `MRxNR`
+/// output accumulator tiles (see `ops::gemm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmVariant {
+    /// 4 activation rows × 2 weight rows, 8 accumulators.
+    Mr4Nr2,
+    /// 8 activation rows × 2 weight rows, 16 accumulators — more lane
+    /// reuse per weight load, more register pressure.
+    Mr8Nr2,
+    /// 4 activation rows × 4 weight rows, 16 accumulators — more lane
+    /// reuse per activation load.
+    Mr4Nr4,
+}
+
+impl GemmVariant {
+    /// Every selectable variant, in autotune order.
+    pub const ALL: [GemmVariant; 3] = [
+        GemmVariant::Mr4Nr2,
+        GemmVariant::Mr8Nr2,
+        GemmVariant::Mr4Nr4,
+    ];
+
+    /// Stable name (`4x2` form), as accepted by `BITNN_GEMM` and printed
+    /// by `bnnkc features` / the perfsuite schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmVariant::Mr4Nr2 => "4x2",
+            GemmVariant::Mr8Nr2 => "8x2",
+            GemmVariant::Mr4Nr4 => "4x4",
+        }
+    }
+}
+
+impl std::fmt::Display for GemmVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// GEMM shape bucket, by inner-dimension lane count. Each class gets one
+/// autotuned variant choice; the representative lane counts are the hot
+/// shapes of the model zoo (1×1 convs ≈ 1–4 lanes, im2col'd 3×3 convs
+/// ≈ 5–12, the classifier ≥ 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeClass {
+    /// 3–4 lanes per row (K ≤ 256 bits).
+    Narrow,
+    /// 5–12 lanes per row.
+    Medium,
+    /// 13+ lanes per row.
+    Wide,
+}
+
+impl ShapeClass {
+    /// All tunable classes.
+    pub const ALL: [ShapeClass; 3] = [ShapeClass::Narrow, ShapeClass::Medium, ShapeClass::Wide];
+
+    /// The class of a row with `lanes` lane words, or `None` for rows the
+    /// dedicated short-row path handles (≤ 2 lanes — never tile-blocked).
+    pub fn of_lanes(lanes: usize) -> Option<ShapeClass> {
+        match lanes {
+            0..=2 => None,
+            3..=4 => Some(ShapeClass::Narrow),
+            5..=12 => Some(ShapeClass::Medium),
+            _ => Some(ShapeClass::Wide),
+        }
+    }
+
+    /// A representative lane count for autotuning this class.
+    pub fn representative_lanes(self) -> usize {
+        match self {
+            ShapeClass::Narrow => 4,
+            ShapeClass::Medium => 9, // 3×3 im2col of a 64-channel layer
+            ShapeClass::Wide => 16,  // the 1024-bit classifier
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeClass::Narrow => "narrow",
+            ShapeClass::Medium => "medium",
+            ShapeClass::Wide => "wide",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ShapeClass::Narrow => 0,
+            ShapeClass::Medium => 1,
+            ShapeClass::Wide => 2,
+        }
+    }
+}
+
+/// Where a recorded variant selection came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceSource {
+    /// Picked by the runtime micro-autotuner.
+    Autotuned,
+    /// Pinned via `BITNN_GEMM`.
+    Forced,
+}
+
+/// One recorded kernel selection: which GEMM variant serves a shape class,
+/// and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmChoice {
+    /// The shape bucket.
+    pub class: ShapeClass,
+    /// The selected register blocking.
+    pub variant: GemmVariant,
+    /// Autotuned or forced.
+    pub source: ChoiceSource,
+}
+
+/// Per-class selection table. `OnceLock` per slot: the first GEMM of a
+/// class tunes (or reads the override) and every later dispatch is a
+/// plain atomic load.
+static GEMM_TABLE: [OnceLock<GemmChoice>; 3] = [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+
+/// Record of selections in the order they were made, for reporting.
+static GEMM_LOG: Mutex<Vec<GemmChoice>> = Mutex::new(Vec::new());
+
+fn forced_variant() -> Option<GemmVariant> {
+    match std::env::var("BITNN_GEMM").as_deref() {
+        Ok("4x2") => Some(GemmVariant::Mr4Nr2),
+        Ok("8x2") => Some(GemmVariant::Mr8Nr2),
+        Ok("4x4") => Some(GemmVariant::Mr4Nr4),
+        _ => None,
+    }
+}
+
+/// The GEMM register blocking to use for `class`, tuning on first use.
+///
+/// `tune` runs at most once per class per process (unless `BITNN_GEMM`
+/// pins the variant, in which case it never runs); `ops::gemm` passes its
+/// micro-benchmark. Every variant is bit-exact, so a noisy tuning run can
+/// cost speed but never correctness.
+pub(crate) fn gemm_variant_for(
+    class: ShapeClass,
+    tune: impl FnOnce(ShapeClass) -> GemmVariant,
+) -> GemmVariant {
+    GEMM_TABLE[class.index()]
+        .get_or_init(|| {
+            let choice = match forced_variant() {
+                Some(variant) => GemmChoice {
+                    class,
+                    variant,
+                    source: ChoiceSource::Forced,
+                },
+                None => GemmChoice {
+                    class,
+                    variant: tune(class),
+                    source: ChoiceSource::Autotuned,
+                },
+            };
+            if let Ok(mut log) = GEMM_LOG.lock() {
+                log.push(choice);
+            }
+            choice
+        })
+        .variant
+}
+
+/// The GEMM variant selections recorded so far, in selection order. Only
+/// classes that have actually been dispatched (or warmed via
+/// `ops::gemm::warm_gemm_tables`) appear.
+pub fn gemm_choices() -> Vec<GemmChoice> {
+    GEMM_LOG.lock().map(|log| log.clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_is_consistent_with_detection() {
+        let f = detect();
+        let l = level();
+        // The cap can lower the level but never raise it past detection.
+        if l >= SimdLevel::Avx2 {
+            assert!(f.avx2);
+        }
+        if l >= SimdLevel::Avx512 {
+            assert!(f.avx512);
+        }
+    }
+
+    #[test]
+    fn shape_classes_partition_lane_counts() {
+        assert_eq!(ShapeClass::of_lanes(0), None);
+        assert_eq!(ShapeClass::of_lanes(2), None);
+        assert_eq!(ShapeClass::of_lanes(3), Some(ShapeClass::Narrow));
+        assert_eq!(ShapeClass::of_lanes(4), Some(ShapeClass::Narrow));
+        assert_eq!(ShapeClass::of_lanes(5), Some(ShapeClass::Medium));
+        assert_eq!(ShapeClass::of_lanes(12), Some(ShapeClass::Medium));
+        assert_eq!(ShapeClass::of_lanes(13), Some(ShapeClass::Wide));
+        assert_eq!(ShapeClass::of_lanes(1000), Some(ShapeClass::Wide));
+        for class in ShapeClass::ALL {
+            assert_eq!(
+                ShapeClass::of_lanes(class.representative_lanes()),
+                Some(class)
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SimdLevel::Portable.name(), "portable");
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+        assert_eq!(SimdLevel::Avx512.name(), "avx512");
+        assert_eq!(GemmVariant::Mr4Nr2.name(), "4x2");
+        assert_eq!(GemmVariant::Mr8Nr2.name(), "8x2");
+        assert_eq!(GemmVariant::Mr4Nr4.name(), "4x4");
+    }
+
+    #[test]
+    fn variant_table_caches_first_selection() {
+        // Whatever is in the table for Narrow after two calls, both calls
+        // agree and at most one tune ran.
+        let first = gemm_variant_for(ShapeClass::Narrow, |_| GemmVariant::Mr4Nr2);
+        let second = gemm_variant_for(ShapeClass::Narrow, |_| {
+            panic!("tune ran twice for one class")
+        });
+        assert_eq!(first, second);
+        assert!(gemm_choices()
+            .iter()
+            .any(|c| c.class == ShapeClass::Narrow && c.variant == first));
+    }
 }

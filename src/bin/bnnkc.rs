@@ -5,11 +5,13 @@
 //!                  [--scale 0.25] [--image 224] [--no-cluster]
 //! bnnkc inspect    --in model.bkcm
 //! bnnkc verify     --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
-//!                  [--no-cluster]
+//!                  [--no-cluster] [--backend auto|cpu|scalar]
 //! bnnkc run        --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
 //!                  [--image 224] [--batch 1] [--threads N|auto] [--offline]
+//!                  [--backend auto|cpu|scalar]
 //! bnnkc simulate   [--arch A] [--scale 1.0] [--image 224]
 //!                  [--ratio 1.33 | --in model.bkcm]
+//! bnnkc features
 //! ```
 //!
 //! Every command speaks the model-graph IR (`bitnn::graph`), so the whole
@@ -32,6 +34,16 @@
 //! logits). `simulate` runs the timing model — with `--in` the per-layer
 //! stream sizes, sequence counts, and decoder configurations come from
 //! the actual container (any architecture), not a synthetic ratio.
+//! `features` reports what this host offers the execution backends:
+//! detected CPU features, the selected SIMD level, hardware parallelism,
+//! the backend `auto` resolves to, and the GEMM kernel variant the
+//! micro-autotuner picks per shape class.
+//!
+//! `run` executes through the selected execution backend (`--backend`):
+//! `cpu` is the fused engine path, `scalar` the naive reference oracle,
+//! and `auto` (the default) honors `BITNN_BACKEND` then falls back to
+//! `cpu`. All backends produce bit-identical logits; `verify` accepts the
+//! flag for symmetry and reports which backend the choice resolves to.
 //!
 //! v1 containers (13 anonymous ReActNet kernels) still load everywhere:
 //! their ReActNet schedule is reconstructed from the kernel dimensions.
@@ -54,7 +66,7 @@ const RUN_INPUT_SALT: u64 = 0x1A7E57;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: bnnkc <compress|inspect|verify|run|simulate> [flags]");
+        eprintln!("usage: bnnkc <compress|inspect|verify|run|simulate|features> [flags]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -63,6 +75,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args),
         "run" => cmd_run(&args),
         "simulate" => cmd_simulate(&args),
+        "features" => cmd_features(&args),
         other => {
             eprintln!("unknown command `{other}`");
             return ExitCode::FAILURE;
@@ -96,11 +109,12 @@ fn check_flags(cmd: &str, args: &[String], value_flags: &[&str], bool_flags: &[&
             i += 1;
         } else {
             let known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
-            return Err(format!(
-                "unknown flag `{a}` for `{cmd}` (known flags: {})",
-                known.join(", ")
-            )
-            .into());
+            let detail = if known.is_empty() {
+                format!("`{cmd}` takes no flags")
+            } else {
+                format!("known flags: {}", known.join(", "))
+            };
+            return Err(format!("unknown flag `{a}` for `{cmd}` ({detail})").into());
         }
     }
     Ok(())
@@ -156,7 +170,16 @@ fn parse_scale(args: &[String], default: f64) -> Result<f64, Box<dyn std::error:
 /// integer or `auto` (also the default), rejecting `0` with a pointer at
 /// `auto` instead of silently running single-threaded.
 fn parse_threads(args: &[String]) -> Result<usize, Box<dyn std::error::Error>> {
-    bnnkc::bitnn::engine::parse_thread_count(flag_value(args, "--threads")).map_err(Into::into)
+    bnnkc::bitnn::exec::parse_thread_count(flag_value(args, "--threads")).map_err(Into::into)
+}
+
+/// Parse `--backend` (default `auto`); the returned kind may still be
+/// `Auto` — resolution to a concrete backend happens where it is used.
+fn parse_backend(args: &[String]) -> Result<BackendKind, Box<dyn std::error::Error>> {
+    match flag_value(args, "--backend") {
+        None => Ok(BackendKind::Auto),
+        Some(v) => v.parse::<BackendKind>().map_err(Into::into),
+    }
 }
 
 /// The architecture a container belongs to: its stored arch tag (v2), or
@@ -292,9 +315,10 @@ fn cmd_verify(args: &[String]) -> CliResult {
     check_flags(
         "verify",
         args,
-        &["--in", "--seed", "--scale", "--arch"],
+        &["--in", "--seed", "--scale", "--arch", "--backend"],
         &["--no-cluster"],
     )?;
+    let backend = parse_backend(args)?.resolve();
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let clustered = !args.iter().any(|a| a == "--no-cluster");
     let seed: u64 = parse_flag(args, "--seed", 1)?;
@@ -338,7 +362,7 @@ fn cmd_verify(args: &[String]) -> CliResult {
         }
         println!("kernel {:>2}: OK", i + 1);
     }
-    println!("\nall kernels verified ({arch})");
+    println!("\nall kernels verified ({arch}; execution backend: {backend})");
     Ok(())
 }
 
@@ -367,6 +391,7 @@ fn cmd_run(args: &[String]) -> CliResult {
             "--batch",
             "--threads",
             "--arch",
+            "--backend",
         ],
         &["--offline"],
     )?;
@@ -376,6 +401,7 @@ fn cmd_run(args: &[String]) -> CliResult {
     let image: usize = parse_flag(args, "--image", 224)?;
     let batch: usize = parse_flag(args, "--batch", 1)?;
     let threads = parse_threads(args)?;
+    let backend = parse_backend(args)?.resolve();
     let offline = args.iter().any(|a| a == "--offline");
     if image == 0 {
         return Err("--image must be at least 1".into());
@@ -418,7 +444,23 @@ fn cmd_run(args: &[String]) -> CliResult {
     let inputs = synthetic_batch(batch, input_channels, image, seed ^ RUN_INPUT_SALT);
     let engine = Engine::with_threads(threads);
     let t1 = Instant::now();
-    let outputs = model.forward_batch(&inputs, &engine)?;
+    let outputs = match backend {
+        // The engine path keeps its batch-level parallel entry point.
+        BackendKind::Auto | BackendKind::Cpu => model.forward_batch(&inputs, &engine)?,
+        // Any other backend runs item-by-item through the generic
+        // backend entry point (bit-exact with the engine path).
+        kind => {
+            let b = kind.create(engine.clone());
+            let mut state = model.state_for(b.as_ref());
+            let mut outs = Vec::with_capacity(inputs.len());
+            for x in &inputs {
+                let mut out = Tensor::default();
+                model.forward_on(b.as_ref(), &mut state, x, &mut out)?;
+                outs.push(out);
+            }
+            outs
+        }
+    };
     let forward_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     println!(
@@ -431,7 +473,8 @@ fn cmd_run(args: &[String]) -> CliResult {
         }
     );
     println!(
-        "forward: batch {batch}, image {image}x{image}, {threads} threads, {forward_ms:.1} ms"
+        "forward: backend {backend}, batch {batch}, image {image}x{image}, {threads} threads, \
+         {forward_ms:.1} ms"
     );
     for (i, out) in outputs.iter().enumerate() {
         let logits = out.data();
@@ -593,6 +636,57 @@ fn simulate_container(args: &[String], input: &str, image: usize) -> CliResult {
     println!("  baseline: {e_base:>10.1} uJ");
     println!("  software: {e_sw:>10.1} uJ ({:.3}x)", e_sw / e_base);
     println!("  hardware: {e_hw:>10.1} uJ ({:.3}x)", e_hw / e_base);
+    Ok(())
+}
+
+/// `bnnkc features`: what this host offers the execution backends —
+/// detected CPU features, the SIMD level the kernels dispatch at (after
+/// any `BITNN_SIMD` cap), hardware parallelism, which backend `auto`
+/// resolves to, and the GEMM microkernel variant the autotuner picks per
+/// kernel shape class.
+fn cmd_features(args: &[String]) -> CliResult {
+    check_flags("features", args, &[], &[])?;
+    use bnnkc::bitnn::{exec, ops::gemm, simd};
+
+    let f = simd::detect();
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    println!("cpu features:");
+    println!("  popcnt:            {}", yn(f.popcnt));
+    println!("  avx2:              {}", yn(f.avx2));
+    println!("  avx512-vpopcntdq:  {}", yn(f.avx512));
+    let cap = std::env::var("BITNN_SIMD").ok();
+    println!(
+        "simd level: {} (BITNN_SIMD {})",
+        simd::level().name(),
+        cap.as_deref()
+            .map_or("unset".to_string(), |v| format!("= {v}")),
+    );
+    println!("hardware threads: {}", exec::hardware_threads());
+
+    let kind = parse_backend(args)?; // always Auto: features takes no flags
+    println!(
+        "backend: {} (auto; BITNN_BACKEND {})",
+        kind.resolve(),
+        std::env::var("BITNN_BACKEND")
+            .ok()
+            .map_or("unset".to_string(), |v| format!("= {v}")),
+    );
+
+    println!("gemm microkernel selection ({}):", simd::level().name());
+    println!("  <=2 lanes (<=128 ch): short-row path (fixed)");
+    for choice in gemm::warm_gemm_tables() {
+        let lanes = choice.class.representative_lanes();
+        println!(
+            "  {:>6} (~{} lanes): {} ({})",
+            choice.class.name(),
+            lanes,
+            choice.variant.name(),
+            match choice.source {
+                simd::ChoiceSource::Autotuned => "autotuned",
+                simd::ChoiceSource::Forced => "forced via BITNN_GEMM",
+            },
+        );
+    }
     Ok(())
 }
 

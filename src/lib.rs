@@ -48,7 +48,9 @@ pub use simcpu;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
+    pub use bitnn::backend::{Backend, BackendKind, CpuBackend, ScalarBackend};
     pub use bitnn::engine::Engine;
+    pub use bitnn::exec::ExecPolicy;
     pub use bitnn::graph::arch::{
         attach_weights, build_model, build_spec, reactnet_spec, sample_conv3_kernels, Arch,
     };

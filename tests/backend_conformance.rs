@@ -1,0 +1,259 @@
+//! Backend conformance: every registered execution backend must be
+//! bit-exact with `ScalarBackend` — the frozen naive-reference oracle —
+//! on random graphs, strides, pads, batch sizes, and thread counts.
+//!
+//! This is the one parameterized harness that replaces the old
+//! engine-specific oracle proptests: a new backend added to
+//! `bitnn::backend::all_backends` is swept here automatically, with no
+//! new test code. The op-level section keeps the kernel substrate honest
+//! underneath the graph sweep: the engine's conv and GEMM (through
+//! whatever SIMD level and microkernel variant the host dispatches to —
+//! portable, AVX2, or AVX-512; see the CI legs that pin
+//! `BITNN_SIMD=portable`) against the float references.
+
+use bnnkc::prelude::*;
+use proptest::prelude::*;
+
+use bitnn::backend::all_backends;
+use bitnn::exec::Lowering;
+use bitnn::layers::{BatchNorm, BinConv2d, QuantConv2d, QuantLinear, RPReLU, RSign};
+use bitnn::ops::conv::Conv2dParams;
+use bitnn::pack::PackedActivations;
+use bitnn::weightgen::{random_floats, random_kernel};
+
+/// Build a random-but-valid graph: a chain of bn/act/conv/pool ops with
+/// occasional skip-connection adds to random earlier same-shape values,
+/// plus stride-2 convolutions. Multi-consumer values, reconvergent adds,
+/// and mixed strides are exactly what stresses fusion detection and the
+/// liveness-driven slot recycling differently per backend (fused vs
+/// unfused step lists).
+fn random_chain_graph(ops: &[usize], picks: &[usize], seed: u64) -> ModelGraph {
+    let c = 8;
+    let stem_w = Tensor::from_vec(&[c, 3, 3, 3], random_floats(c * 27, 1.0, seed)).unwrap();
+    let mut b = GraphBuilder::new("conformance", 3, 8);
+    let mut x = b.push(
+        "stem",
+        NodeOp::StemConv(QuantConv2d::from_float(
+            &stem_w,
+            Conv2dParams { stride: 1, pad: 1 },
+        )),
+        &[0],
+    );
+    let mut size = 8usize; // stride-1 stem keeps the input size
+    let mut avail: Vec<(usize, usize)> = vec![(x, size)];
+    for (i, (&op, &pick)) in ops.iter().zip(picks).enumerate() {
+        x = match op {
+            0 => b.push(
+                format!("bn{i}"),
+                NodeOp::BatchNorm(BatchNorm::identity(c)),
+                &[x],
+            ),
+            1 => b.push(format!("act{i}"), NodeOp::Act(RPReLU::plain(c, 0.25)), &[x]),
+            2 => {
+                // Skip add with a random earlier same-shape value (falls
+                // back to self-add when none exists).
+                let same: Vec<usize> = avail
+                    .iter()
+                    .filter(|&&(_, s)| s == size)
+                    .map(|&(id, _)| id)
+                    .collect();
+                let other = same[pick % same.len()];
+                b.push(format!("add{i}"), NodeOp::Add, &[x, other])
+            }
+            3 => {
+                let sign = b.push(format!("sign{i}"), NodeOp::Sign(RSign::zero(c)), &[x]);
+                b.push(
+                    format!("conv{i}"),
+                    NodeOp::BinConv(BinConv2d::new(
+                        random_kernel(&[c, c, 3, 3], seed ^ i as u64),
+                        Conv2dParams { stride: 1, pad: 1 },
+                    )),
+                    &[sign],
+                )
+            }
+            4 => {
+                // Stride-2 conv: halves the spatial size like the pool.
+                if size < 3 {
+                    continue;
+                }
+                size = (size + 2 - 3) / 2 + 1; // pad 1, k 3, stride 2
+                let sign = b.push(format!("sign{i}"), NodeOp::Sign(RSign::zero(c)), &[x]);
+                b.push(
+                    format!("sconv{i}"),
+                    NodeOp::BinConv(BinConv2d::new(
+                        random_kernel(&[c, c, 3, 3], seed ^ (0x51 + i as u64)),
+                        Conv2dParams { stride: 2, pad: 1 },
+                    )),
+                    &[sign],
+                )
+            }
+            _ => {
+                if size < 2 {
+                    continue; // too small to pool again
+                }
+                size = size.div_ceil(2);
+                b.push(format!("pool{i}"), NodeOp::AvgPool2x2, &[x])
+            }
+        };
+        avail.push((x, size));
+    }
+    let gap = b.push("gap", NodeOp::GlobalAvgPool, &[x]);
+    b.push(
+        "fc",
+        NodeOp::Classifier(QuantLinear::from_float(
+            &random_floats(10 * c, 0.5, seed ^ 0xFC),
+            10,
+            c,
+        )),
+        &[gap],
+    );
+    b.finish().unwrap()
+}
+
+/// Run every registered backend over `inputs` and assert each output is
+/// bit-exact with the scalar oracle. Two consecutive forwards per input
+/// stream through the same state, so warmed-arena reuse is covered too.
+fn assert_backends_conform(model: &ModelGraph, inputs: &[Tensor], threads: usize) {
+    let expect: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| model.forward_scalar(x).unwrap())
+        .collect();
+    for backend in all_backends(threads) {
+        let mut state = model.state_for(backend.as_ref());
+        for round in 0..2 {
+            for (x, e) in inputs.iter().zip(&expect) {
+                let mut y = Tensor::default();
+                model
+                    .forward_on(backend.as_ref(), &mut state, x, &mut y)
+                    .unwrap();
+                assert_eq!(
+                    y.data(),
+                    e.data(),
+                    "backend {} diverged from scalar oracle \
+                     (threads {threads}, round {round})",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every registered backend is bit-exact with `ScalarBackend` on
+    /// random graphs — skip adds, stride-2 convs, pools, reconvergence —
+    /// across thread counts and repeated (arena-reusing) forwards.
+    #[test]
+    fn backends_match_scalar_on_random_graphs(
+        ops in proptest::collection::vec(0usize..6, 1..20),
+        picks in proptest::collection::vec(0usize..64, 20),
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let model = random_chain_graph(&ops, &picks, seed);
+        let x = Tensor::from_vec(&[1, 3, 8, 8], random_floats(3 * 64, 1.0, seed ^ 9)).unwrap();
+        assert_backends_conform(&model, &[x], threads);
+    }
+
+    /// Every backend is bit-exact with the oracle on the built-in
+    /// architecture families across image sizes, batch sizes, and thread
+    /// counts — strides and shortcut forms vary per family (identity,
+    /// stride-2 pool, channel duplication), so this sweeps all fused
+    /// paths. The engine's batch entry point must agree too.
+    #[test]
+    fn backends_match_scalar_across_architectures(
+        arch_idx in 0usize..3,
+        image in 12usize..24,
+        batch in 1usize..4,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let arch = Arch::ALL[arch_idx];
+        let model = build_model(arch, 0.0625, image, seed).unwrap();
+        let inputs = synthetic_batch(batch, 3, image, seed ^ 0x6A17);
+        assert_backends_conform(&model, &inputs, threads);
+        // The CPU backend's batch-parallel entry point (forward_batch)
+        // must match the per-item path as well.
+        let engine = Engine::with_threads(threads);
+        let batched = model.forward_batch(&inputs, &engine).unwrap();
+        for (x, via_batch) in inputs.iter().zip(&batched) {
+            let scalar = model.forward_scalar(x).unwrap();
+            prop_assert_eq!(scalar.data(), via_batch.data(),
+                "{} batch path diverged", arch);
+        }
+    }
+
+    /// Op-level floor under the graph sweep: the engine conv is bit-exact
+    /// vs `ops::reference` across random shapes, strides, pads, thread
+    /// counts, and every lowering — through whatever SIMD path the host
+    /// dispatches (portable, AVX2, AVX-512).
+    #[test]
+    fn engine_conv_matches_reference(
+        c in 1usize..70,
+        h in 3usize..7,
+        w in 3usize..7,
+        n in 1usize..3,
+        kf in 1usize..4,
+        ks in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        threads in 1usize..5,
+        lowering_pick in 0usize..3,
+        seed in any::<u64>()
+    ) {
+        use bitnn::engine::ConvScratch;
+        use bitnn::ops::reference::conv2d_reference;
+
+        let lowering = [Lowering::Auto, Lowering::Direct, Lowering::Im2col][lowering_pick];
+        let a = random_kernel(&[n, c, h, w], seed);
+        let wk = random_kernel(&[kf, c, ks, ks], !seed);
+        let pa = PackedActivations::pack(&a).unwrap();
+        let pk = PackedKernel::pack(&wk).unwrap();
+        let params = Conv2dParams { stride, pad };
+        let engine = Engine::new(ExecPolicy {
+            threads,
+            lowering,
+            // Exercise the parallel path even on tiny shapes.
+            min_work: 0,
+        });
+        let mut scratch = ConvScratch::default();
+        let got = engine.conv2d(&pa, (&pk).into(), params, &mut scratch).unwrap();
+        let expect = conv2d_reference(&a.to_tensor(), &wk.to_tensor(), params);
+        prop_assert_eq!(got.shape(), expect.shape());
+        for (g, e) in got.data().iter().zip(expect.data()) {
+            prop_assert_eq!(*g, *e);
+        }
+    }
+
+    /// The engine GEMM is bit-exact vs the naive loop and the float
+    /// reference for any thread count. `k` spans every microkernel shape
+    /// class (short-row ≤ 2 lanes through wide ≥ 13 lanes), so whichever
+    /// register-blocking variant the autotuner picked is validated here.
+    #[test]
+    fn engine_gemm_matches_reference(
+        m in 1usize..9, kn in 1usize..7, k in 1usize..1200,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        use bitnn::ops::gemm::PackedMatrix;
+        use bitnn::ops::reference::matmul_reference;
+
+        let ak = random_kernel(&[1, 1, m, k], seed);
+        let bk = random_kernel(&[1, 1, kn, k], !seed);
+        let a_bits: Vec<bool> = (0..ak.len()).map(|i| ak.get(i)).collect();
+        let b_bits: Vec<bool> = (0..bk.len()).map(|i| bk.get(i)).collect();
+        let a = PackedMatrix::from_bools(m, k, &a_bits).unwrap();
+        let b = PackedMatrix::from_bools(kn, k, &b_bits).unwrap();
+        let engine = Engine::with_threads(threads);
+        let got = engine.gemm(&a, &b).unwrap();
+        prop_assert_eq!(&got, &bitnn::ops::gemm::gemm_binary_naive(&a, &b).unwrap());
+        let sgn = |v: bool| if v { 1.0f32 } else { -1.0 };
+        let af: Vec<f32> = a_bits.iter().map(|&v| sgn(v)).collect();
+        let bf: Vec<f32> = b_bits.iter().map(|&v| sgn(v)).collect();
+        let reference = matmul_reference(&af, &bf, m, kn, k);
+        for (g, e) in got.iter().zip(&reference) {
+            prop_assert_eq!(*g as f32, *e);
+        }
+    }
+}

@@ -228,6 +228,87 @@ fn unknown_and_malformed_flags_are_rejected() {
 }
 
 #[test]
+fn features_reports_host_capabilities() {
+    let f = bnnkc(&["features"]);
+    assert!(f.status.success(), "features failed: {f:?}");
+    let stdout = String::from_utf8_lossy(&f.stdout);
+    assert!(stdout.contains("cpu features"), "missing header: {stdout}");
+    assert!(
+        stdout.contains("popcnt") && stdout.contains("avx2") && stdout.contains("avx512"),
+        "missing feature lines: {stdout}"
+    );
+    assert!(stdout.contains("simd level:"), "missing level: {stdout}");
+    assert!(
+        stdout.contains("hardware threads:"),
+        "missing parallelism: {stdout}"
+    );
+    assert!(stdout.contains("backend:"), "missing backend: {stdout}");
+    assert!(
+        stdout.contains("gemm microkernel selection"),
+        "missing kernel table: {stdout}"
+    );
+    // One selection line per autotuned shape class.
+    for class in ["narrow", "medium", "wide"] {
+        assert!(stdout.contains(class), "missing {class} row: {stdout}");
+    }
+    // features takes no flags.
+    assert!(!bnnkc(&["features", "--verbose"]).status.success());
+}
+
+#[test]
+fn run_backend_selection_is_bit_exact_and_validated() {
+    let out = TempFile(tmp_file("backend.bkcm"));
+    let path = out.0.to_str().unwrap();
+    let c = bnnkc(&["compress", "--out", path, "--scale", "0.125"]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+
+    let base = ["run", "--in", path, "--scale", "0.125", "--image", "16"];
+    let digest_of = |out: &std::process::Output| -> String {
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        let line = stdout
+            .lines()
+            .find(|l| l.contains("digest"))
+            .unwrap_or_else(|| panic!("no digest line: {stdout}"))
+            .to_string();
+        line.rsplit(' ').next().unwrap().to_string()
+    };
+
+    // Scalar and CPU backends must agree bit-for-bit on the logits.
+    let cpu = bnnkc(&[&base[..], &["--backend", "cpu"]].concat());
+    assert!(cpu.status.success(), "run --backend cpu failed: {cpu:?}");
+    assert!(String::from_utf8_lossy(&cpu.stdout).contains("backend cpu"));
+    let scalar = bnnkc(&[&base[..], &["--backend", "scalar"]].concat());
+    assert!(
+        scalar.status.success(),
+        "run --backend scalar failed: {scalar:?}"
+    );
+    assert!(String::from_utf8_lossy(&scalar.stdout).contains("backend scalar"));
+    assert_eq!(digest_of(&cpu), digest_of(&scalar));
+
+    // verify accepts the flag and reports the resolved backend.
+    let v = bnnkc(&[
+        "verify",
+        "--in",
+        path,
+        "--scale",
+        "0.125",
+        "--backend",
+        "scalar",
+    ]);
+    assert!(v.status.success(), "verify --backend failed: {v:?}");
+    assert!(String::from_utf8_lossy(&v.stdout).contains("execution backend: scalar"));
+
+    // Unknown backends are rejected with the valid set named.
+    let bad = bnnkc(&[&base[..], &["--backend", "gpu"]].concat());
+    assert!(!bad.status.success(), "--backend gpu must be rejected");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("scalar"),
+        "error must list valid backends: {stderr}"
+    );
+}
+
+#[test]
 fn run_threads_auto_resolves_and_zero_is_rejected() {
     let out = TempFile(tmp_file("threads.bkcm"));
     let path = out.0.to_str().unwrap();

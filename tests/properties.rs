@@ -99,34 +99,9 @@ proptest! {
         prop_assert!(mr.mean_kernel_ratio >= 1.0);
     }
 
-    /// The graph executor is bit-exact against the scalar oracle for
-    /// every built-in architecture across image sizes, batch sizes, and
-    /// thread counts — strides and shortcut forms vary per architecture
-    /// (identity, stride-2 pool, channel duplication), so this sweeps all
-    /// fused paths.
-    #[test]
-    fn graph_executor_matches_scalar_across_architectures(
-        arch_idx in 0usize..3,
-        image in 12usize..24,
-        batch in 1usize..4,
-        threads in 1usize..5,
-        seed in any::<u64>()
-    ) {
-        let arch = Arch::ALL[arch_idx];
-        let model = build_model(arch, 0.0625, image, seed).unwrap();
-        let inputs = synthetic_batch(batch, 3, image, seed ^ 0x6A17);
-        let engine = Engine::with_threads(threads);
-        let batched = model.forward_batch(&inputs, &engine).unwrap();
-        let mut scratch = bitnn::engine::Scratch::default();
-        for (x, via_batch) in inputs.iter().zip(&batched) {
-            let scalar = model.forward_scalar(x).unwrap();
-            let with = model.forward_with(x, &engine, &mut scratch).unwrap();
-            prop_assert_eq!(scalar.data(), via_batch.data(),
-                "{} batch path diverged", arch);
-            prop_assert_eq!(scalar.data(), with.data(),
-                "{} engine path diverged", arch);
-        }
-    }
+    // The graph-executor-vs-scalar-oracle sweep now lives in
+    // tests/backend_conformance.rs, parameterized over every registered
+    // execution backend.
 
     /// For the ReActNet family the graph executor must also agree with
     /// the frozen block-walking scalar oracle (`ReActNet::forward_scalar`)
