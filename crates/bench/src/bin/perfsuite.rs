@@ -16,7 +16,13 @@
 //! 5. **Arch e2e** — every built-in graph-IR architecture
 //!    (`reactnet`/`vggsmall`/`resnetlite`) through the graph executor,
 //!    each asserted bit-exact against its scalar walk before timing.
-//! 6. **Parallel scaling** — the engine against *itself*: representative
+//! 6. **Integrity** — `read_model_container` (verifies the v3 record,
+//!    graph, and container digests) vs `read_model_container_unverified`
+//!    on the same bytes, plus the raw `bkh128` digest throughput for
+//!    attribution. The derived criterion is enforced: a verified load
+//!    may cost at most 1.10x the unverified load, which is what makes
+//!    mandatory-by-default verification tenable.
+//! 7. **Parallel scaling** — the engine against *itself*: representative
 //!    GEMM / conv / batched-forward workloads timed at every ladder
 //!    thread count against the same engine at 1 thread. The persistent
 //!    worker pool plus the `min_work` inline fallback must make
@@ -60,6 +66,7 @@ use bench::{arg_flag, arg_u64, perfjson, TablePrinter};
 use bitnn::engine::Engine;
 use bitnn::exec::{ExecPolicy, Lowering, IM2COL_MAX_CHANNELS};
 use bitnn::graph::arch::{build_model, Arch};
+use bitnn::graph::arch::{build_spec, sample_conv3_kernels};
 use bitnn::infer::synthetic_batch;
 use bitnn::model::ReActNet;
 use bitnn::ops::conv::{conv2d_binary, Conv2dParams};
@@ -70,7 +77,11 @@ use bitnn::pack::{PackedActivations, PackedKernel};
 use bitnn::simd;
 use bitnn::tensor::BitTensor;
 use kc_core::codec::KernelCodec;
-use kc_core::container::{read_model_container, write_model_container, Container};
+use kc_core::container::{
+    read_model_container, read_model_container_unverified, write_model_container,
+    write_model_container_v3, Container,
+};
+use kc_core::digest::Digest;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -82,6 +93,12 @@ const DEFAULT_LADDER: [usize; 4] = [1, 2, 4, 8];
 /// 1.0 absorbs timer noise on identical code paths (the 1-core inline
 /// fallback), not real regressions.
 const SCALING_FLOOR: f64 = 0.9;
+
+/// Floor for the enforced integrity criterion: a digest-verified v3 load
+/// may cost at most 1.10x the unverified load of the same bytes, i.e.
+/// `unverified_ns / verified_ns` must stay at or above `1/1.10`. This is
+/// the budget that keeps verification on by default.
+const INTEGRITY_FLOOR: f64 = 1.0 / 1.10;
 
 /// One timed configuration. `backend`/`kernel` record which execution
 /// backend and which dispatched kernel variant produced the number —
@@ -535,6 +552,68 @@ fn bench_arch_e2e(smoke: bool, seed: u64) -> Section {
     }
 }
 
+/// Verified vs unverified v3 container loads on the same byte image,
+/// plus the raw `bkh128` throughput over those bytes so a regression can
+/// be attributed to the hash itself vs the read path around it. The
+/// derived `integrity_verified_load` criterion is enforced on full runs:
+/// verification may cost at most 1.10x the unverified load.
+fn bench_integrity(smoke: bool, seed: u64) -> Section {
+    let (scale, image, iters) = if smoke {
+        (0.0625, 16usize, 50usize)
+    } else {
+        (0.25, 32, 200)
+    };
+    let codec = KernelCodec::paper_clustered();
+    let spec = build_spec(Arch::ReActNet, scale, image).expect("build spec");
+    let compressed: Vec<_> = sample_conv3_kernels(&spec, seed ^ 0xD16E)
+        .expect("sample kernels")
+        .iter()
+        .map(|k| codec.compress(k).expect("compress"))
+        .collect();
+    let bytes = write_model_container_v3(&spec, &compressed).expect("write v3");
+
+    // The two paths must agree on the model before either is timed.
+    let verified = read_model_container(&bytes).expect("verified load");
+    let unverified = read_model_container_unverified(&bytes).expect("unverified load");
+    assert_eq!(verified.spec, unverified.spec, "load paths disagree");
+    assert_eq!(
+        verified.record_digests(),
+        unverified.record_digests(),
+        "load paths disagree on records"
+    );
+
+    let baseline_ns = time_ns(iters, || {
+        black_box(read_model_container_unverified(black_box(&bytes)).unwrap());
+    });
+    let entries = vec![
+        Entry {
+            name: "verified_read",
+            threads: 1,
+            ns: time_ns(iters, || {
+                black_box(read_model_container(black_box(&bytes)).unwrap());
+            }),
+            backend: "cpu",
+            kernel: "container-read/bkh128".into(),
+        },
+        Entry {
+            name: "digest_only",
+            threads: 1,
+            ns: time_ns(iters, || {
+                black_box(Digest::of(black_box(&bytes)));
+            }),
+            backend: "cpu",
+            kernel: "bkh128".into(),
+        },
+    ];
+    Section {
+        name: "integrity",
+        config: format!("reactnet scale={scale} image={image}, {} B v3", bytes.len()),
+        baseline_name: "unverified_read",
+        baseline_ns,
+        entries,
+    }
+}
+
 /// Engine-vs-itself thread scaling on workloads big enough to cross the
 /// `min_work` threshold: the persistent worker pool (or, on hosts with
 /// fewer cores than requested threads, the inline fallback) must keep
@@ -654,7 +733,8 @@ fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
     let e2e = &sections[2];
     let comp = &sections[3];
     let archs = &sections[4];
-    let scaling = &sections[5];
+    let integrity = &sections[5];
+    let scaling = &sections[6];
     let c = |name, target, measured| Criterion {
         name,
         target,
@@ -713,6 +793,17 @@ fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
             1.5,
             archs.baseline_ns / arch_e2e_total_4t(archs),
         ),
+        // Enforced: digest verification on load must stay within its
+        // 1.10x budget of the unverified read — the cost of making v3
+        // integrity checks mandatory by default. Smoke containers are a
+        // few KB, where fixed parse overhead hides the hash; only full
+        // runs measure a container big enough to gate on.
+        Criterion {
+            name: "integrity_verified_load",
+            target: INTEGRITY_FLOOR,
+            measured: integrity.baseline_ns / integrity.entry_ns("verified_read", 1),
+            enforced: !smoke,
+        },
         // Enforced: N threads may never lose to 1 thread. The persistent
         // pool earns the wins on multi-core hosts; the min_work inline
         // fallback and the hardware clamp keep 1-core hosts at parity.
@@ -836,8 +927,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("sections")
         .and_then(|v| v.as_arr())
         .ok_or("sections must be an array")?;
-    if sections.len() != 6 {
-        return Err(format!("expected 6 sections, found {}", sections.len()));
+    if sections.len() != 7 {
+        return Err(format!("expected 7 sections, found {}", sections.len()));
     }
     for sec in sections {
         let name = sec
@@ -886,8 +977,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("criteria")
         .and_then(|v| v.as_arr())
         .ok_or("criteria must be an array")?;
-    if criteria.len() != 9 {
-        return Err(format!("expected 9 criteria, found {}", criteria.len()));
+    if criteria.len() != 10 {
+        return Err(format!("expected 10 criteria, found {}", criteria.len()));
     }
     Ok(())
 }
@@ -943,6 +1034,7 @@ fn main() {
         bench_e2e(smoke, seed, &ladder),
         bench_compressed(smoke, seed, &ladder),
         bench_arch_e2e(smoke, seed),
+        bench_integrity(smoke, seed),
         bench_parallel_scaling(smoke, seed, &ladder),
     ];
     let crits = criteria(&sections, smoke);

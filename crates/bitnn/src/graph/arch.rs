@@ -454,28 +454,29 @@ fn resnetlite_spec(scale: f64, image: usize) -> GraphSpec {
 ///
 /// # Errors
 ///
-/// Returns a description when the kernel list cannot be a ReActNet
-/// schedule (wrong count, non-square kernels, broken channel chain).
+/// Returns [`BitnnError::InvalidConfig`] when the kernel list cannot be
+/// a ReActNet schedule (wrong count, non-square kernels, broken channel
+/// chain).
 pub fn reactnet_config_from_kernels(
     dims: &[(usize, usize)],
     image: usize,
-) -> std::result::Result<ReActNetConfig, String> {
+) -> Result<ReActNetConfig> {
     let full = ReActNetConfig::full();
     if dims.len() != full.blocks.len() {
-        return Err(format!(
+        return Err(BitnnError::InvalidConfig(format!(
             "container holds {} kernels; the ReActNet schedule needs {}",
             dims.len(),
             full.blocks.len()
-        ));
+        )));
     }
     let mut cfg = full;
     cfg.image_size = image;
     for (i, &(filters, channels)) in dims.iter().enumerate() {
         if filters != channels {
-            return Err(format!(
+            return Err(BitnnError::InvalidConfig(format!(
                 "kernel {}: {filters}x{channels} is not square; 3x3 block kernels are CxC",
                 i + 1
-            ));
+            )));
         }
         cfg.blocks[i].in_ch = filters;
         cfg.blocks[i].out_ch = if i + 1 < dims.len() {
@@ -485,8 +486,11 @@ pub fn reactnet_config_from_kernels(
         };
     }
     cfg.stem_channels = dims[0].0;
-    cfg.validate()
-        .map_err(|e| format!("container geometry is not a ReActNet schedule: {e}"))?;
+    cfg.validate().map_err(|e| {
+        BitnnError::InvalidConfig(format!(
+            "container geometry is not a ReActNet schedule: {e}"
+        ))
+    })?;
     Ok(cfg)
 }
 

@@ -1,0 +1,209 @@
+//! Content digests for the container integrity layer.
+//!
+//! The v3 container format (and the `.bkcp` delta format) attach a
+//! 128-bit digest to every kernel record, to the graph section, and to
+//! the container as a whole, so a flipped bit anywhere in a shipped file
+//! is *detected* at load time instead of silently decoding to a
+//! different model.
+//!
+//! The algorithm — `bkh128` — is a fixed-key multiply-folding hash in
+//! the wyhash/mum family: the input is consumed as little-endian 64-bit
+//! words, pairs of words are mixed through a 64×64→128-bit multiply
+//! whose halves are folded together, and the running state plus the
+//! total length feed a final strengthening round. It was chosen over a
+//! cryptographic hash because container loading is on the deployment hot
+//! path (the perfsuite criterion caps verified load at 1.10x of an
+//! unverified load) and a mum-style hash runs at memory speed while
+//! still giving ~2⁻¹²⁸ odds of missing a corruption.
+//!
+//! **Threat model.** The digests detect corruption and accidental
+//! tampering on unreliable channels. They are *not* a cryptographic MAC:
+//! any unkeyed digest — SHA-256 included — can simply be recomputed by
+//! an adversary who rewrites the container, so authenticating against a
+//! deliberate attacker requires a signature over the container digest,
+//! which is out of scope for this layer (the digest here is the value a
+//! future signing layer would sign).
+//!
+//! The byte-level output is frozen by pinned test vectors: changing the
+//! algorithm is a container-format break and must bump the version.
+
+use std::fmt;
+
+/// Size of a serialized digest in bytes.
+pub const DIGEST_LEN: usize = 16;
+
+/// A 128-bit content digest (`bkh128`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Digest of `bytes`.
+    pub fn of(bytes: &[u8]) -> Self {
+        bkh128(bytes)
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Parse a digest back from its serialized form.
+    pub fn from_bytes(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Lowercase hex rendering (what error messages and `bnnkc inspect`
+    /// print).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in self.0 {
+            use fmt::Write;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Fixed keys, nothing-up-my-sleeve style: the first bytes of the magic
+/// strings the formats use, expanded to odd 64-bit constants.
+const K0: u64 = 0x424b_434d_9e37_79b9; // "BKCM" | golden-ratio tail
+const K1: u64 = 0x424b_4350_85eb_ca87; // "BKCP" | murmur3 tail
+const K2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const K3: u64 = 0x1656_67b1_9e37_79f9;
+
+/// 64×64→128 multiply folded to 64 bits (the `mum` primitive).
+#[inline]
+fn mum(a: u64, b: u64) -> u64 {
+    let p = (a as u128).wrapping_mul(b as u128);
+    (p as u64) ^ ((p >> 64) as u64)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Little-endian read of up to 8 trailing bytes, zero-extended.
+#[inline]
+fn read_tail_u64(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+/// The `bkh128` core: two independent 64-bit lanes, each folding a pair
+/// of input words per 32-byte block, strengthened by a final pass that
+/// mixes both lanes with the input length.
+fn bkh128(bytes: &[u8]) -> Digest {
+    let len = bytes.len();
+    let mut a = K0 ^ (len as u64).wrapping_mul(K2);
+    let mut b = K1 ^ (len as u64).rotate_left(32).wrapping_mul(K3);
+
+    let mut off = 0;
+    while off + 32 <= len {
+        let (w0, w1) = (read_u64(bytes, off), read_u64(bytes, off + 8));
+        let (w2, w3) = (read_u64(bytes, off + 16), read_u64(bytes, off + 24));
+        a = mum(w0 ^ K2, w1 ^ a);
+        b = mum(w2 ^ K3, w3 ^ b);
+        off += 32;
+    }
+    // Tail: whole words into alternating lanes, then the ragged end.
+    let mut lane = 0;
+    while off + 8 <= len {
+        let w = read_u64(bytes, off);
+        if lane == 0 {
+            a = mum(w ^ K2, a ^ K1);
+        } else {
+            b = mum(w ^ K3, b ^ K0);
+        }
+        lane ^= 1;
+        off += 8;
+    }
+    if off < len {
+        let w = read_tail_u64(&bytes[off..]);
+        a = mum(w ^ K2, a ^ ((len - off) as u64 | 0x100));
+    }
+
+    // Finalization: three cross-lane rounds so every input bit reaches
+    // every output bit (flipping one payload bit flips ~half the digest).
+    for _ in 0..3 {
+        let na = mum(a ^ K0, b ^ K2);
+        let nb = mum(b ^ K1, a ^ K3);
+        a = na;
+        b = nb;
+    }
+    let mut out = [0u8; DIGEST_LEN];
+    out[..8].copy_from_slice(&a.to_le_bytes());
+    out[8..].copy_from_slice(&b.to_le_bytes());
+    Digest(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The on-disk digest values are frozen: these vectors pin the exact
+    /// output so an accidental algorithm change (which would orphan every
+    /// shipped v3 container) fails loudly here.
+    #[test]
+    fn pinned_vectors_freeze_the_format() {
+        let cases: [(&[u8], &str); 4] = [
+            (b"", "242b8d67906529bf455599fcff8dda1d"),
+            (b"BKCM", "42e278272e64a0a30b6f61a8fe3197f0"),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "0c06aa42da2ffc7a7236ee214d640b80",
+            ),
+            (&[0u8; 64], "eb8ba1141fac1b35c32849c58d7f40cd"),
+        ];
+        for (input, hex) in cases {
+            assert_eq!(Digest::of(input).to_hex(), hex, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_digest() {
+        // The property the tamper harness leans on, checked directly at
+        // the digest level across all block/tail code paths.
+        for len in [1usize, 7, 8, 9, 31, 32, 33, 40, 57, 64, 100] {
+            let base: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let clean = Digest::of(&base);
+            for byte in 0..len {
+                for bit in 0..8 {
+                    let mut m = base.clone();
+                    m[byte] ^= 1 << bit;
+                    assert_ne!(
+                        Digest::of(&m),
+                        clean,
+                        "len {len}: flip at byte {byte} bit {bit} collided"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_is_part_of_the_digest() {
+        // A truncated or zero-extended input never aliases the original,
+        // even when the removed/added bytes are zero.
+        let base = [0u8; 96];
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=96 {
+            assert!(seen.insert(Digest::of(&base[..len])), "len {len} collided");
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_display() {
+        let d = Digest::of(b"roundtrip");
+        assert_eq!(Digest::from_bytes(*d.as_bytes()), d);
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert_eq!(d.to_hex().len(), 32);
+    }
+}

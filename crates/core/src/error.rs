@@ -18,6 +18,21 @@ pub enum KcError {
     CorruptStream(String),
     /// Kernel shape was not `[K, C, 3, 3]`.
     BadKernelShape(Vec<usize>),
+    /// A stored content digest did not match the bytes it covers: the
+    /// file was corrupted or tampered with in transit.
+    IntegrityViolation {
+        /// Which record failed (`"container"`, `"graph"`, `"kernel 3"`,
+        /// `"patch"`, `"base container"`, `"patched container"`, …).
+        record: String,
+        /// The digest the file claims, in hex.
+        expected: String,
+        /// The digest the bytes actually have, in hex.
+        found: String,
+    },
+    /// A structurally valid container cannot be interpreted as the
+    /// requested model (e.g. a v1 kernel list that is not a ReActNet
+    /// schedule, or a patch applied against the wrong base).
+    IncompatibleModel(String),
 }
 
 impl fmt::Display for KcError {
@@ -28,6 +43,15 @@ impl fmt::Display for KcError {
             KcError::Unencodable(s) => write!(f, "bit sequence {s} has no assigned code"),
             KcError::CorruptStream(msg) => write!(f, "corrupt compressed stream: {msg}"),
             KcError::BadKernelShape(s) => write!(f, "kernel must be [K, C, 3, 3], got {s:?}"),
+            KcError::IntegrityViolation {
+                record,
+                expected,
+                found,
+            } => write!(
+                f,
+                "integrity violation in {record}: stored digest {expected}, computed {found}"
+            ),
+            KcError::IncompatibleModel(msg) => write!(f, "incompatible model: {msg}"),
         }
     }
 }
@@ -48,6 +72,12 @@ mod tests {
             KcError::Unencodable(3),
             KcError::CorruptStream("y".into()),
             KcError::BadKernelShape(vec![1]),
+            KcError::IntegrityViolation {
+                record: "kernel 2".into(),
+                expected: "aa".into(),
+                found: "bb".into(),
+            },
+            KcError::IncompatibleModel("z".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

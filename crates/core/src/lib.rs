@@ -50,6 +50,8 @@ pub mod cluster;
 pub mod codec;
 pub mod config;
 pub mod container;
+pub mod delta;
+pub mod digest;
 pub mod error;
 pub mod freq;
 pub mod huffman;

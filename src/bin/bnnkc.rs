@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! bnnkc compress   --out model.bkcm [--arch reactnet] [--seed 1]
-//!                  [--scale 0.25] [--image 224] [--no-cluster]
-//! bnnkc inspect    --in model.bkcm
-//! bnnkc verify     --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
-//!                  [--no-cluster] [--backend auto|cpu|scalar]
+//!                  [--scale 0.25] [--image 224] [--no-cluster] [--v3]
+//! bnnkc inspect    --in model.bkcm|patch.bkcp
+//! bnnkc verify     --in model.bkcm [--integrity] [--arch A] [--seed 1]
+//!                  [--scale 0.25] [--no-cluster] [--backend auto|cpu|scalar]
 //! bnnkc run        --in model.bkcm [--arch A] [--seed 1] [--scale 0.25]
 //!                  [--image 224] [--batch 1] [--threads N|auto] [--offline]
 //!                  [--backend auto|cpu|scalar]
+//! bnnkc diff       base.bkcm new.bkcm -o patch.bkcp
+//! bnnkc patch      base.bkcm patch.bkcp -o new.bkcm
 //! bnnkc simulate   [--arch A] [--scale 1.0] [--image 224]
 //!                  [--ratio 1.33 | --in model.bkcm]
 //! bnnkc features
@@ -45,6 +47,16 @@
 //! `cpu`. All backends produce bit-identical logits; `verify` accepts the
 //! flag for symmetry and reports which backend the choice resolves to.
 //!
+//! `diff` emits a `.bkcp` delta patch between two containers (unchanged
+//! kernels by digest reference, near-identical ones as sparse channel
+//! edits, the rest as full records); `patch` applies it, writing the
+//! target **v3** container atomically (temp + fsync + rename — an
+//! interrupted write never leaves a torn file). `compress --v3` writes
+//! the integrity-checked v3 format directly; `verify --integrity` checks
+//! only the stored digests, and `inspect` prints per-record sizes and
+//! digests for containers and patches alike, exiting nonzero when any
+//! record fails to decode.
+//!
 //! v1 containers (13 anonymous ReActNet kernels) still load everywhere:
 //! their ReActNet schedule is reconstructed from the kernel dimensions.
 //!
@@ -66,7 +78,9 @@ const RUN_INPUT_SALT: u64 = 0x1A7E57;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: bnnkc <compress|inspect|verify|run|simulate|features> [flags]");
+        eprintln!(
+            "usage: bnnkc <compress|inspect|verify|run|diff|patch|simulate|features> [flags]"
+        );
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -74,6 +88,8 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&args),
         "verify" => cmd_verify(&args),
         "run" => cmd_run(&args),
+        "diff" => cmd_diff(&args),
+        "patch" => cmd_patch(&args),
         "simulate" => cmd_simulate(&args),
         "features" => cmd_features(&args),
         other => {
@@ -118,6 +134,37 @@ fn check_flags(cmd: &str, args: &[String], value_flags: &[&str], bool_flags: &[&
         }
     }
     Ok(())
+}
+
+/// Like [`check_flags`] but for commands that also take positional
+/// arguments (`diff`/`patch`): returns the positionals in order, with
+/// the same strictness about unknown flags and missing values.
+fn positional_args<'a>(
+    cmd: &str,
+    args: &'a [String],
+    value_flags: &[&str],
+) -> Result<Vec<&'a str>, Box<dyn std::error::Error>> {
+    let mut positionals = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => return Err(format!("flag {a} requires a value").into()),
+            }
+        } else if a.starts_with('-') {
+            return Err(format!(
+                "unknown flag `{a}` for `{cmd}` (known flags: {})",
+                value_flags.join(", ")
+            )
+            .into());
+        } else {
+            positionals.push(a);
+            i += 1;
+        }
+    }
+    Ok(positionals)
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -244,7 +291,7 @@ fn cmd_compress(args: &[String]) -> CliResult {
         "compress",
         args,
         &["--out", "--seed", "--scale", "--arch", "--image"],
-        &["--no-cluster"],
+        &["--no-cluster", "--v3"],
     )?;
     let out = flag_value(args, "--out").ok_or("--out <file> is required")?;
     let arch = arch_flag(args)?.unwrap_or(Arch::ReActNet);
@@ -269,10 +316,16 @@ fn cmd_compress(args: &[String]) -> CliResult {
         );
         compressed.push(ck);
     }
-    let bytes = write_model_container_v2(&spec, &compressed)?;
-    std::fs::write(out, &bytes)?;
+    let v3 = args.iter().any(|a| a == "--v3");
+    let bytes = if v3 {
+        write_model_container_v3(&spec, &compressed)?
+    } else {
+        write_model_container_v2(&spec, &compressed)?
+    };
+    write_atomic(std::path::Path::new(out), &bytes)?;
     println!(
-        "\nwrote {out}: arch {arch}, {} bytes, aggregate kernel ratio {:.3}x",
+        "\nwrote {out}: arch {arch}, v{} container, {} bytes, aggregate kernel ratio {:.3}x",
+        if v3 { 3 } else { 2 },
         bytes.len(),
         orig_bits as f64 / stream_bits as f64
     );
@@ -283,30 +336,84 @@ fn cmd_inspect(args: &[String]) -> CliResult {
     check_flags("inspect", args, &["--in"], &[])?;
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
     let bytes = std::fs::read(input)?;
+    if bytes.len() >= 4 && &bytes[..4] == bnnkc::kc_core::delta::PATCH_MAGIC {
+        return inspect_patch_file(input, &bytes);
+    }
     let container = read_model_container(&bytes)?;
     let arch = match &container.spec {
         Some(spec) => format!("arch {} ({} graph nodes)", spec.arch, spec.nodes.len()),
-        None => "v1 (no topology; ReActNet assumed)".to_string(),
+        None => "no topology; ReActNet assumed".to_string(),
     };
     println!(
-        "{input}: {} compressed kernels, {} bytes total, {arch}\n",
+        "{input}: v{} container, {} compressed kernels, {} bytes total, {arch}",
+        container.version,
         container.kernels.len(),
         bytes.len()
     );
+    println!(
+        "file digest {} ({})\n",
+        Digest::of(&bytes),
+        if container.version == MODEL_VERSION_V3 {
+            "stored record digests verified on load"
+        } else {
+            "no stored digests in this version"
+        }
+    );
+    // Every record must actually decode; a stream that parses but does
+    // not decode is a warning and the command exits nonzero.
+    let mut warnings = Vec::new();
     for (i, c) in container.kernels.iter().enumerate() {
         let seqs = c.filters * c.channels;
+        let record = c.to_bytes();
         println!(
-            "kernel {:>2}: {}x{}x3x3, stream {:>7} bits ({:.3}x), code lengths {:?}, tables {:?}",
+            "kernel {:>2}: {}x{}x3x3, record {:>6} B, stream {:>7} bits ({:.3}x), \
+             code lengths {:?}, tables {:?}, digest {}",
             i + 1,
             c.filters,
             c.channels,
+            record.len(),
             c.stream_bits,
             (seqs * 9) as f64 / c.stream_bits as f64,
             c.tree.length_table(),
             (0..c.tree.config().nodes())
                 .map(|n| c.tree.table(n).len())
                 .collect::<Vec<_>>(),
+            Digest::of(&record),
         );
+        if let Err(e) = c.decode_kernel() {
+            warnings.push(format!("kernel {}: stream does not decode: {e}", i + 1));
+        }
+    }
+    if container.spec.is_none() {
+        if let Err(e) = container.spec_or_reactnet(224) {
+            warnings.push(format!("v1 kernel list is not a ReActNet schedule: {e}"));
+        }
+    }
+    if !warnings.is_empty() {
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+        return Err(format!("{} parse warning(s)", warnings.len()).into());
+    }
+    Ok(())
+}
+
+/// `inspect` on a `.bkcp` patch: verifies the whole-file checksum, then
+/// prints the base/target digests and the per-entry encoding.
+fn inspect_patch_file(input: &str, bytes: &[u8]) -> CliResult {
+    let info = inspect_patch(bytes)?;
+    println!(
+        "{input}: bkcp patch, {} bytes, {} entries ({} same, {} edits, {} full)",
+        bytes.len(),
+        info.entries.len(),
+        info.stats.same,
+        info.stats.edits,
+        info.stats.full
+    );
+    println!("base container digest:   {}", info.base_digest);
+    println!("target container digest: {}\n", info.target_digest);
+    for (node, kind, payload) in &info.entries {
+        println!("node {node:>3}: {kind:<5} ({payload} payload bytes)");
     }
     Ok(())
 }
@@ -316,7 +423,7 @@ fn cmd_verify(args: &[String]) -> CliResult {
         "verify",
         args,
         &["--in", "--seed", "--scale", "--arch", "--backend"],
-        &["--no-cluster"],
+        &["--no-cluster", "--integrity"],
     )?;
     let backend = parse_backend(args)?.resolve();
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
@@ -324,11 +431,14 @@ fn cmd_verify(args: &[String]) -> CliResult {
     let seed: u64 = parse_flag(args, "--seed", 1)?;
     let scale = parse_scale(args, 0.25)?;
     let bytes = std::fs::read(input)?;
+    if args.iter().any(|a| a == "--integrity") {
+        return verify_integrity(input, &bytes);
+    }
     let container = read_model_container(&bytes)?;
     let arch = resolve_arch(args, &container)?;
     // Geometry first: the container must describe the family/scale the
     // flags claim, reported clearly before any decoding happens.
-    let container_spec = container.spec_or_reactnet(224).map_err(|e| e.to_string())?;
+    let container_spec = container.spec_or_reactnet(224)?;
     let expected_spec = build_spec(arch, scale, 224)?;
     check_container_geometry(&container_spec, &expected_spec, arch, scale)?;
     let kernels = sample_conv3_kernels(&container_spec, seed)?;
@@ -363,6 +473,77 @@ fn cmd_verify(args: &[String]) -> CliResult {
         println!("kernel {:>2}: OK", i + 1);
     }
     println!("\nall kernels verified ({arch}; execution backend: {backend})");
+    Ok(())
+}
+
+/// `verify --integrity`: check the stored digests only — no kernel
+/// regeneration, no model comparison. For a v3 container the verifying
+/// reader proves every record, the graph section, and the container
+/// trailer; for v1/v2 there is nothing stored to verify, so the digests
+/// are computed and printed for pinning elsewhere.
+fn verify_integrity(input: &str, bytes: &[u8]) -> CliResult {
+    let container = read_model_container(bytes)?;
+    for (i, d) in container.record_digests().iter().enumerate() {
+        println!("kernel {:>2}: digest {d}", i + 1);
+    }
+    println!("file digest: {}", Digest::of(bytes));
+    if container.version == MODEL_VERSION_V3 {
+        println!(
+            "\n{input}: v3 integrity verified ({} record digests, graph digest, \
+             container digest all match)",
+            container.kernels.len()
+        );
+    } else {
+        println!(
+            "\n{input}: v{} container carries no stored digests; computed digests \
+             printed above (re-compress with --v3 for mandatory integrity)",
+            container.version
+        );
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> CliResult {
+    let pos = positional_args("diff", args, &["-o", "--out"])?;
+    let [base_path, new_path] = pos.as_slice() else {
+        return Err("usage: bnnkc diff <base.bkcm> <new.bkcm> -o <patch.bkcp>".into());
+    };
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .ok_or("-o <patch.bkcp> is required")?;
+    let base = std::fs::read(base_path)?;
+    let new = std::fs::read(new_path)?;
+    let (patch, stats) = diff_containers(&base, &new)?;
+    write_atomic(std::path::Path::new(out), &patch)?;
+    println!(
+        "wrote {out}: {} bytes ({:.1}% of {new_path}); {} kernels unchanged, \
+         {} as sparse edits, {} full",
+        patch.len(),
+        100.0 * patch.len() as f64 / new.len() as f64,
+        stats.same,
+        stats.edits,
+        stats.full
+    );
+    Ok(())
+}
+
+fn cmd_patch(args: &[String]) -> CliResult {
+    let pos = positional_args("patch", args, &["-o", "--out"])?;
+    let [base_path, patch_path] = pos.as_slice() else {
+        return Err("usage: bnnkc patch <base.bkcm> <patch.bkcp> -o <new.bkcm>".into());
+    };
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .ok_or("-o <new.bkcm> is required")?;
+    let base = std::fs::read(base_path)?;
+    let patch = std::fs::read(patch_path)?;
+    let target = apply_patch(&base, &patch)?;
+    write_atomic(std::path::Path::new(out), &target)?;
+    println!(
+        "wrote {out}: v3 container, {} bytes, digest {} (verified against the patch)",
+        target.len(),
+        Digest::of(&target)
+    );
     Ok(())
 }
 
@@ -413,9 +594,7 @@ fn cmd_run(args: &[String]) -> CliResult {
     let bytes = std::fs::read(input)?;
     let container = read_model_container(&bytes)?;
     let arch = resolve_arch(args, &container)?;
-    let container_spec = container
-        .spec_or_reactnet(image)
-        .map_err(|e| e.to_string())?;
+    let container_spec = container.spec_or_reactnet(image)?;
 
     // Build the weighted model graph and validate the container against
     // it *before* decoding anything: a wrong --scale/--arch is reported
@@ -559,12 +738,7 @@ fn simulate_container(args: &[String], input: &str, image: usize) -> CliResult {
             .into());
         }
     }
-    let spec = spec_with_image(
-        container
-            .spec_or_reactnet(image)
-            .map_err(|e| e.to_string())?,
-        image,
-    );
+    let spec = spec_with_image(container.spec_or_reactnet(image)?, image);
     let wls = spec.workloads();
 
     let streams: Vec<KernelStream> = container

@@ -65,9 +65,12 @@ pub mod prelude {
     pub use kc_core::cluster::{ClusterConfig, ClusterPlan};
     pub use kc_core::codec::{model_compression_ratio, CompressedKernel, KernelCodec};
     pub use kc_core::container::{
-        read_container, read_model_container, write_container, write_model_container,
-        write_model_container_v2, Container, ModelContainer,
+        read_container, read_model_container, read_model_container_unverified, write_atomic,
+        write_container, write_model_container, write_model_container_v2, write_model_container_v3,
+        Container, ModelContainer, MODEL_VERSION_V2, MODEL_VERSION_V3,
     };
+    pub use kc_core::delta::{apply_patch, diff_containers, inspect_patch, PatchInfo, PatchStats};
+    pub use kc_core::digest::{Digest, DIGEST_LEN};
     pub use kc_core::huffman::{FullHuffman, SimplifiedTree, TreeConfig};
     pub use kc_core::stream_decode::GroupDecoder;
     pub use kc_core::{BitSeq, FreqTable};

@@ -334,3 +334,129 @@ fn run_threads_auto_resolves_and_zero_is_rejected() {
     let bad = bnnkc(&[&base[..], &["--threads", "lots"]].concat());
     assert!(!bad.status.success(), "--threads lots must be rejected");
 }
+
+/// The integrity lifecycle end-to-end: `compress --v3` → `verify
+/// --integrity`, tamper detection with a nonzero exit, `diff` → `patch`
+/// byte-identity, patched output runs, and `inspect` understands both
+/// container versions and patches.
+#[test]
+fn integrity_lifecycle_diff_patch_verify() {
+    let base = TempFile(tmp_file("lifecycle-base.bkcm"));
+    let new = TempFile(tmp_file("lifecycle-new.bkcm"));
+    let patch = TempFile(tmp_file("lifecycle.bkcp"));
+    let rebuilt = TempFile(tmp_file("lifecycle-rebuilt.bkcm"));
+    let (base_p, new_p) = (base.0.to_str().unwrap(), new.0.to_str().unwrap());
+    let (patch_p, rebuilt_p) = (patch.0.to_str().unwrap(), rebuilt.0.to_str().unwrap());
+    let flags = ["--arch", "vggsmall", "--scale", "0.0625", "--image", "32"];
+
+    let c = bnnkc(&[&["compress", "--out", base_p][..], &flags].concat());
+    assert!(c.status.success(), "compress base failed: {c:?}");
+    let c = bnnkc(
+        &[
+            &["compress", "--out", new_p, "--seed", "2", "--v3"][..],
+            &flags,
+        ]
+        .concat(),
+    );
+    assert!(c.status.success(), "compress --v3 failed: {c:?}");
+    assert!(
+        String::from_utf8_lossy(&c.stdout).contains("v3 container"),
+        "--v3 must be reported: {c:?}"
+    );
+
+    // verify --integrity: v3 verifies stored digests, v2 reports none.
+    let v = bnnkc(&["verify", "--in", new_p, "--integrity"]);
+    assert!(v.status.success(), "verify --integrity failed: {v:?}");
+    assert!(String::from_utf8_lossy(&v.stdout).contains("v3 integrity verified"));
+    let v = bnnkc(&["verify", "--in", base_p, "--integrity"]);
+    assert!(v.status.success(), "v2 verify --integrity failed: {v:?}");
+    assert!(String::from_utf8_lossy(&v.stdout).contains("no stored digests"));
+
+    // A flipped payload byte must fail with a typed integrity message
+    // and a nonzero exit.
+    let mut tampered = std::fs::read(&new.0).unwrap();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x40;
+    let bad = TempFile(tmp_file("lifecycle-tampered.bkcm"));
+    std::fs::write(&bad.0, &tampered).unwrap();
+    let v = bnnkc(&["verify", "--in", bad.0.to_str().unwrap(), "--integrity"]);
+    assert!(!v.status.success(), "tampered v3 must fail verify");
+    assert!(
+        String::from_utf8_lossy(&v.stderr).contains("integrity violation"),
+        "expected a typed integrity error: {v:?}"
+    );
+
+    // diff → patch reproduces the v3 target byte-for-byte.
+    let d = bnnkc(&["diff", base_p, new_p, "-o", patch_p]);
+    assert!(d.status.success(), "diff failed: {d:?}");
+    let p = bnnkc(&["patch", base_p, patch_p, "-o", rebuilt_p]);
+    assert!(p.status.success(), "patch failed: {p:?}");
+    assert_eq!(
+        std::fs::read(&new.0).unwrap(),
+        std::fs::read(&rebuilt.0).unwrap(),
+        "patched container must be byte-identical to the fresh v3 write"
+    );
+
+    // The patched container is a fully working model file.
+    let r = bnnkc(&[
+        "run", "--in", rebuilt_p, "--arch", "vggsmall", "--scale", "0.0625", "--image", "16",
+    ]);
+    assert!(r.status.success(), "run on patched container failed: {r:?}");
+
+    // inspect prints version, sizes, digests — and reads patches too.
+    let i = bnnkc(&["inspect", "--in", rebuilt_p]);
+    assert!(i.status.success(), "inspect failed: {i:?}");
+    let stdout = String::from_utf8_lossy(&i.stdout);
+    assert!(stdout.contains("v3 container"), "missing version: {stdout}");
+    assert!(stdout.contains("digest"), "missing digests: {stdout}");
+    assert!(stdout.contains("record"), "missing record sizes: {stdout}");
+    let i = bnnkc(&["inspect", "--in", patch_p]);
+    assert!(i.status.success(), "inspect patch failed: {i:?}");
+    let stdout = String::from_utf8_lossy(&i.stdout);
+    assert!(stdout.contains("bkcp patch"), "bad patch header: {stdout}");
+    assert!(
+        stdout.contains("target container digest"),
+        "missing target digest: {stdout}"
+    );
+
+    // Applying the patch to the wrong base is a typed error.
+    let p = bnnkc(&["patch", new_p, patch_p, "-o", rebuilt_p]);
+    assert!(!p.status.success(), "wrong base must be rejected");
+    assert!(
+        String::from_utf8_lossy(&p.stderr).contains("base container"),
+        "unhelpful wrong-base error: {p:?}"
+    );
+
+    // Positional/flag misuse fails cleanly.
+    let d = bnnkc(&["diff", base_p, "-o", patch_p]);
+    assert!(!d.status.success(), "diff with one positional must fail");
+    let d = bnnkc(&["diff", base_p, new_p]);
+    assert!(!d.status.success(), "diff without -o must fail");
+    let d = bnnkc(&["diff", base_p, new_p, "--wat", "-o", patch_p]);
+    assert!(!d.status.success(), "unknown diff flag must fail");
+}
+
+/// `inspect` exits nonzero when the container parses but a record does
+/// not describe a loadable model (v1 kernel list that is no ReActNet
+/// schedule) — printing the warning instead of succeeding silently.
+#[test]
+fn inspect_exits_nonzero_on_parse_warnings() {
+    use bnnkc::prelude::*;
+    let spec = build_spec(Arch::ReActNet, 0.125, 32).unwrap();
+    let codec = KernelCodec::paper();
+    let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 5)
+        .unwrap()
+        .iter()
+        .take(3) // three kernels can never be the 13-block schedule
+        .map(|k| codec.compress(k).unwrap())
+        .collect();
+    let file = TempFile(tmp_file("warnings.bkcm"));
+    std::fs::write(&file.0, write_model_container(&kernels)).unwrap();
+    let i = bnnkc(&["inspect", "--in", file.0.to_str().unwrap()]);
+    assert!(!i.status.success(), "inspect must exit nonzero on warnings");
+    let stderr = String::from_utf8_lossy(&i.stderr);
+    assert!(
+        stderr.contains("warning") && stderr.contains("ReActNet"),
+        "missing warning report: {stderr}"
+    );
+}

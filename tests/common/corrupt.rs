@@ -1,0 +1,154 @@
+//! Fault-injection driver shared by the container robustness suites.
+//!
+//! The driver has two halves: *mutators* that damage a byte image in a
+//! controlled way (bit flips, truncation, record duplication, record
+//! transplants between files), and a *classifier* that runs a format's
+//! reader over the damaged bytes and reports what happened:
+//!
+//! * [`Verdict::Detected`] — the reader returned an error (any typed
+//!   error counts; the caller can assert on the variant separately);
+//! * [`Verdict::Harmless`] — the reader succeeded and the decoded value
+//!   is identical to the clean one (e.g. a flipped padding bit a format
+//!   without digests does not cover);
+//! * [`Verdict::Silent`] — the reader succeeded but decoded something
+//!   *different*: the failure mode integrity-checked formats exist to
+//!   eliminate.
+//!
+//! The tamper suites assert `Detected` for every single-byte mutation of
+//! v3 containers and `.bkcp` patches, and `Detected | Harmless`-with-
+//! consistency for the legacy formats.
+
+#![allow(dead_code)] // each test binary uses the subset it needs
+
+/// Outcome of feeding one damaged byte image to a format reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The reader rejected the bytes with an error.
+    Detected,
+    /// The reader accepted the bytes and decoded the clean value.
+    Harmless,
+    /// The reader accepted the bytes and decoded something else.
+    Silent,
+}
+
+/// Run `read` over `mutated` and classify against the clean decode.
+pub fn classify<T, E, F>(clean_value: &T, read: F, mutated: &[u8]) -> Verdict
+where
+    T: PartialEq,
+    F: Fn(&[u8]) -> Result<T, E>,
+{
+    match read(mutated) {
+        Err(_) => Verdict::Detected,
+        Ok(v) if &v == clean_value => Verdict::Harmless,
+        Ok(_) => Verdict::Silent,
+    }
+}
+
+/// XOR one byte.
+pub fn flip(bytes: &[u8], i: usize, mask: u8) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out[i] ^= mask;
+    out
+}
+
+/// Cut the image to `len` bytes.
+pub fn truncate(bytes: &[u8], len: usize) -> Vec<u8> {
+    bytes[..len.min(bytes.len())].to_vec()
+}
+
+/// Insert a copy of `bytes[start..start + len]` immediately after itself
+/// (a duplicated record, when the range covers one).
+pub fn duplicate(bytes: &[u8], start: usize, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() + len);
+    out.extend_from_slice(&bytes[..start + len]);
+    out.extend_from_slice(&bytes[start..start + len]);
+    out.extend_from_slice(&bytes[start + len..]);
+    out
+}
+
+/// Replace `dst[at]` with `donor` (a record transplanted from another
+/// file when both ranges cover records).
+pub fn transplant(dst: &[u8], at: std::ops::Range<usize>, donor: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(dst.len() - at.len() + donor.len());
+    out.extend_from_slice(&dst[..at.start]);
+    out.extend_from_slice(donor);
+    out.extend_from_slice(&dst[at.end..]);
+    out
+}
+
+/// Locate `needle` inside `haystack` (used to find a record's byte range
+/// in a container image from its canonical serialization).
+pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Exhaustive single-byte mutation sweep: every byte position crossed
+/// with `masks`, classified, with per-verdict counts returned. Panics
+/// with the offending position if `forbidden` is hit.
+pub struct SweepReport {
+    pub mutations: usize,
+    pub detected: usize,
+    pub harmless: usize,
+    pub silent: usize,
+}
+
+pub fn sweep_single_byte<T, E, F>(
+    clean: &[u8],
+    clean_value: &T,
+    read: F,
+    masks: &[u8],
+    forbid_silent: bool,
+    forbid_harmless: bool,
+) -> SweepReport
+where
+    T: PartialEq,
+    F: Fn(&[u8]) -> Result<T, E>,
+{
+    let mut report = SweepReport {
+        mutations: 0,
+        detected: 0,
+        harmless: 0,
+        silent: 0,
+    };
+    for i in 0..clean.len() {
+        for &mask in masks {
+            let mutated = flip(clean, i, mask);
+            report.mutations += 1;
+            match classify(clean_value, &read, &mutated) {
+                Verdict::Detected => report.detected += 1,
+                Verdict::Harmless => {
+                    assert!(
+                        !forbid_harmless,
+                        "byte {i} mask {mask:#04x}: mutation accepted as harmless \
+                         in a format that must detect every byte"
+                    );
+                    report.harmless += 1;
+                }
+                Verdict::Silent => {
+                    assert!(
+                        !forbid_silent,
+                        "byte {i} mask {mask:#04x}: SILENT model change"
+                    );
+                    report.silent += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Every strictly-shorter prefix must be rejected.
+pub fn assert_all_truncations_detected<T, E, F>(clean: &[u8], read: F)
+where
+    F: Fn(&[u8]) -> Result<T, E>,
+{
+    for cut in 0..clean.len() {
+        assert!(
+            read(&truncate(clean, cut)).is_err(),
+            "truncation to {cut} bytes was accepted"
+        );
+    }
+}

@@ -1,5 +1,9 @@
 //! Process-level helpers shared by the CLI integration suites.
 
+#![allow(dead_code)] // each test binary uses the subset it needs
+
+pub mod corrupt;
+
 use std::path::PathBuf;
 use std::process::{Command, Output};
 

@@ -5,7 +5,10 @@
 //! references), both decode paths — offline tensor and streaming packed —
 //! must stay mutually consistent.
 
+mod common;
+
 use bnnkc::prelude::*;
+use common::corrupt::{classify, flip, truncate, Verdict};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use std::sync::OnceLock;
@@ -63,6 +66,34 @@ fn model_v2_fixture() -> &'static Vec<u8> {
     })
 }
 
+/// The same model as an integrity-checked v3 container.
+fn model_v3_fixture() -> &'static Vec<u8> {
+    static FIX: OnceLock<Vec<u8>> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let codec = KernelCodec::paper_clustered();
+        let spec = build_spec(Arch::ResNetLite, 0.0625, 16).unwrap();
+        let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 0xF2)
+            .unwrap()
+            .iter()
+            .map(|k| codec.compress(k).unwrap())
+            .collect();
+        write_model_container_v3(&spec, &kernels).unwrap().to_vec()
+    })
+}
+
+/// Canonical semantic value for the corruption classifier: version,
+/// topology, record bytes.
+type ContainerValue = (u16, Option<GraphSpec>, Vec<Vec<u8>>);
+
+fn container_value(bytes: &[u8]) -> Result<ContainerValue, kc_core::KcError> {
+    let c = read_model_container(bytes)?;
+    Ok((
+        c.version,
+        c.spec,
+        c.kernels.iter().map(|k| k.to_bytes().to_vec()).collect(),
+    ))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -76,8 +107,7 @@ proptest! {
     ) {
         let fix = fixture();
         let idx = idx % fix.clean.len();
-        let mut bytes = fix.clean.clone();
-        bytes[idx] ^= xor;
+        let bytes = flip(&fix.clean, idx, xor);
         match read_container(&bytes) {
             Err(_) => {} // structural damage detected at parse time
             Ok(c) => {
@@ -113,7 +143,7 @@ proptest! {
     fn truncated_containers_always_error(cut in 0usize..4096) {
         let fix = fixture();
         let cut = cut % fix.clean.len(); // strictly shorter than the original
-        let r = read_container(&fix.clean[..cut]);
+        let r = read_container(&truncate(&fix.clean, cut));
         prop_assert!(r.is_err(), "cut at {} must fail", cut);
     }
 
@@ -125,9 +155,8 @@ proptest! {
         cut in 0usize..8192,
     ) {
         let clean = model_fixture();
-        let mut bytes = clean.clone();
-        let idx = idx % bytes.len();
-        bytes[idx] ^= xor;
+        let idx = idx % clean.len();
+        let bytes = flip(clean, idx, xor);
         if let Ok(containers) = read_model_container(&bytes) {
             for c in &containers.kernels {
                 let offline = c.decode_kernel();
@@ -139,7 +168,7 @@ proptest! {
             }
         }
         let cut = cut % clean.len();
-        prop_assert!(read_model_container(&clean[..cut]).is_err(),
+        prop_assert!(read_model_container(&truncate(clean, cut)).is_err(),
             "truncation at {} must fail", cut);
     }
 
@@ -154,9 +183,8 @@ proptest! {
         cut in 0usize..8192,
     ) {
         let clean = model_v2_fixture();
-        let mut bytes = clean.clone();
-        let idx = idx % bytes.len();
-        bytes[idx] ^= xor;
+        let idx = idx % clean.len();
+        let bytes = flip(clean, idx, xor);
         if let Ok(container) = read_model_container(&bytes) {
             if let Some(spec) = &container.spec {
                 prop_assert!(spec.validate().is_ok());
@@ -176,7 +204,28 @@ proptest! {
             }
         }
         let cut = cut % clean.len();
-        prop_assert!(read_model_container(&clean[..cut]).is_err(),
+        prop_assert!(read_model_container(&truncate(clean, cut)).is_err(),
             "v2 truncation at {} must fail", cut);
+    }
+
+    /// v3 model containers: every sampled single-byte mutation is
+    /// *detected* — no harmless survivals, no silent model changes (the
+    /// exhaustive sweep lives in `container_tamper.rs`; this is the
+    /// randomized cross-check through the shared driver).
+    #[test]
+    fn model_container_v3_mutations_always_detected(
+        idx in 0usize..8192,
+        xor in 1u8..=255,
+        cut in 0usize..8192,
+    ) {
+        let clean = model_v3_fixture();
+        let clean_value = container_value(clean).unwrap();
+        let idx = idx % clean.len();
+        let verdict = classify(&clean_value, container_value, &flip(clean, idx, xor));
+        prop_assert_eq!(verdict, Verdict::Detected,
+            "byte {} xor {:#04x} was not detected", idx, xor);
+        let cut = cut % clean.len();
+        prop_assert!(read_model_container(&truncate(clean, cut)).is_err(),
+            "v3 truncation at {} must fail", cut);
     }
 }

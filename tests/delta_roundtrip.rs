@@ -1,0 +1,104 @@
+//! Delta round-trip property: `patch(base, diff(base, new))` is
+//! bit-exact with writing `new` as a fresh v3 container — across random
+//! architectures, scales, seeds, and edit patterns (untouched models,
+//! single-bit nudges, heavy rewrites, and cross-seed full replacement).
+
+mod common;
+
+use bitnn::weightgen::{read_sequence, write_sequence};
+use bnnkc::prelude::*;
+use proptest::prelude::*;
+
+fn arch_from(i: u8) -> Arch {
+    match i % 3 {
+        0 => Arch::ReActNet,
+        1 => Arch::VggSmall,
+        _ => Arch::ResNetLite,
+    }
+}
+
+fn scale_from(i: u8) -> f64 {
+    [0.0625, 0.125][i as usize % 2]
+}
+
+fn compress_all(kernels: &[BitTensor], clustered: bool) -> Vec<CompressedKernel> {
+    let codec = if clustered {
+        KernelCodec::paper_clustered()
+    } else {
+        KernelCodec::paper()
+    };
+    kernels.iter().map(|k| codec.compress(k).unwrap()).collect()
+}
+
+proptest! {
+    // Each case compresses two whole models; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn patch_of_diff_is_bit_exact(
+        arch_i in 0u8..3,
+        scale_i in 0u8..2,
+        seed in 1u64..1000,
+        clustered in any::<bool>(),
+        // Per-kernel mutation intensity: 0 = untouched, small = sparse
+        // channel edits, large = heavy rewrite.
+        edits_per_kernel in proptest::collection::vec(0usize..40, 1..20),
+        reseed in any::<bool>(),
+    ) {
+        let arch = arch_from(arch_i);
+        let scale = scale_from(scale_i);
+        let spec = build_spec(arch, scale, 32).unwrap();
+        let base_kernels = sample_conv3_kernels(&spec, seed).unwrap();
+        let base = write_model_container_v2(&spec, &compress_all(&base_kernels, clustered))
+            .unwrap()
+            .to_vec();
+
+        // Derive the new model: either a fully re-seeded kernel set (all
+        // records change) or targeted channel edits on the base.
+        let mut new_kernels = if reseed {
+            sample_conv3_kernels(&spec, seed + 1).unwrap()
+        } else {
+            base_kernels
+        };
+        if !reseed {
+            for (ki, k) in new_kernels.iter_mut().enumerate() {
+                let n_edits = edits_per_kernel[ki % edits_per_kernel.len()];
+                let shape = k.shape().to_vec();
+                let (filters, channels) = (shape[0], shape[1]);
+                for e in 0..n_edits {
+                    // Deterministic pseudo-positions spread over the kernel.
+                    let flat = (e * 7919 + ki * 104729 + seed as usize) % (filters * channels);
+                    let (f, ch) = (flat / channels, flat % channels);
+                    let seq = read_sequence(k, f, ch);
+                    // Alternate Hamming-1 flips and full replacements.
+                    let new_seq = if e % 2 == 0 {
+                        seq ^ (1 << (e % 9))
+                    } else {
+                        (seq.wrapping_add(37 + e as u16)) & 0x1FF
+                    };
+                    write_sequence(k, f, ch, new_seq);
+                }
+            }
+        }
+
+        let new_compressed = compress_all(&new_kernels, clustered);
+        let fresh_v3 = write_model_container_v3(&spec, &new_compressed).unwrap();
+
+        let (patch, stats) = diff_containers(&base, &fresh_v3).unwrap();
+        prop_assert_eq!(
+            stats.same + stats.edits + stats.full,
+            new_compressed.len(),
+            "every kernel must be accounted for"
+        );
+        let patched = apply_patch(&base, &patch).unwrap();
+        prop_assert_eq!(
+            patched.as_ref(),
+            fresh_v3.as_ref(),
+            "patched container must be byte-identical to the fresh v3 write"
+        );
+        // The result is a verifiable v3 container.
+        let parsed = read_model_container(&patched).unwrap();
+        prop_assert_eq!(parsed.version, MODEL_VERSION_V3);
+        prop_assert_eq!(parsed.spec.as_ref(), Some(&spec));
+    }
+}
