@@ -71,10 +71,7 @@ impl Backend for CpuBackend {
                 let sg = layer!(nodes, sign, NodeOp::Sign);
                 let cv = layer!(nodes, node, NodeOp::BinConv);
                 sg.binarize_into(ctx.a, &mut s.bits);
-                s.packed
-                    .repack(&s.bits)
-                    .expect("4-D input validated by binarize");
-                cv.forward_packed_with(&s.packed, &self.engine, &mut s.conv, dst);
+                cv.forward_binarized_with(&s.bits, &mut s.packed, &self.engine, &mut s.conv, dst);
             }
             Step::Bn { node, .. } => {
                 layer!(nodes, node, NodeOp::BatchNorm).forward_into(ctx.a, dst);
@@ -154,9 +151,12 @@ impl CpuBackend {
         let sg = layer!(nodes, sign, NodeOp::Sign);
         let cv = layer!(nodes, conv, NodeOp::BinConv);
         sg.binarize_into(x, &mut s.bits);
-        s.packed
-            .repack(&s.bits)
-            .expect("4-D input validated by binarize");
-        cv.forward_packed_with(&s.packed, &self.engine, &mut s.conv, &mut s.conv_out);
+        cv.forward_binarized_with(
+            &s.bits,
+            &mut s.packed,
+            &self.engine,
+            &mut s.conv,
+            &mut s.conv_out,
+        );
     }
 }

@@ -1,0 +1,461 @@
+//! Shared deduplicated sequence table (paper §III-B).
+//!
+//! The paper's compression rests on two observations about binary 3×3
+//! kernels: the 512 possible 9-bit sequences are heavily frequency-skewed,
+//! and many filters reuse the same sequence for the same input channel
+//! (Hamming-1 clustering collapses most of the rest). A [`SequenceBank`]
+//! carries that structure into the runtime instead of throwing it away at
+//! decode time: one table of *unique* sequences per record, per-filter
+//! index lists referencing it, and Hamming-1 parent links between table
+//! entries.
+//!
+//! The bank is an alternative weight *representation* — `PackedKernel`
+//! lane words can be derived from it ([`SequenceBank::to_packed`]) and
+//! recovered back ([`SequenceBank::from_packed`]) losslessly — but its
+//! real payoff is the weight-stationary execution path: the engine
+//! memoizes the partial popcount contribution of each unique sequence
+//! once and scales it by the sequence's filter fan-out (see
+//! [`BankPlan`]), so heavily shared sequences are computed once instead
+//! of once per filter.
+
+use crate::error::{BitnnError, Result};
+use crate::pack::PackedKernel;
+use crate::weightgen::{NUM_SEQUENCES, SEQ_BITS};
+use crate::LANE_BITS;
+
+/// Sentinel parent index for Hamming-1 cluster roots.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Per-channel inverted index over a [`SequenceBank`], precomputed for the
+/// weight-stationary kernel.
+///
+/// For each input channel `c`, the plan lists the unique sequences that
+/// appear at that channel across all filters, and for each such *entry*
+/// the list of filters using it. The memoized conv kernel walks entries:
+/// one popcount row per entry, then one vector add per filter in its
+/// fan-out list — total adds are exactly `K` per channel regardless of
+/// how skewed the sharing is, while popcount work shrinks with dedup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankPlan {
+    /// `channels + 1` offsets into `entry_seqs` / `entry_offsets`.
+    chan_offsets: Vec<u32>,
+    /// Sequence value of each entry.
+    entry_seqs: Vec<u16>,
+    /// `entries + 1` offsets into `filter_ids`.
+    entry_offsets: Vec<u32>,
+    /// Flat fan-out lists: filters sharing each entry, ascending.
+    filter_ids: Vec<u32>,
+}
+
+/// One plan entry: a unique sequence at some channel plus the filters
+/// that use it there.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanEntry<'a> {
+    /// The 9-bit sequence value.
+    pub seq: u16,
+    /// Filters whose kernel uses `seq` at this channel (ascending).
+    pub filters: &'a [u32],
+}
+
+impl BankPlan {
+    /// Entries for input channel `c`.
+    #[inline]
+    pub fn entries(&self, c: usize) -> impl Iterator<Item = PlanEntry<'_>> {
+        let lo = self.chan_offsets[c] as usize;
+        let hi = self.chan_offsets[c + 1] as usize;
+        (lo..hi).map(move |e| PlanEntry {
+            seq: self.entry_seqs[e],
+            filters: &self.filter_ids
+                [self.entry_offsets[e] as usize..self.entry_offsets[e + 1] as usize],
+        })
+    }
+
+    /// Total number of (channel, unique sequence) entries.
+    pub fn num_entries(&self) -> usize {
+        self.entry_seqs.len()
+    }
+}
+
+/// A deduplicated table of 9-bit kernel sequences for one `[K, C, 3, 3]`
+/// record, with per-filter index lists and Hamming-1 parent links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceBank {
+    filters: usize,
+    channels: usize,
+    /// Unique sequences in first-appearance order.
+    seqs: Vec<u16>,
+    /// Occurrences of each unique sequence across all `K * C` slots.
+    counts: Vec<u32>,
+    /// Hamming-1 cluster reference per unique sequence: index of an
+    /// earlier bank entry at Hamming distance 1, or [`NO_PARENT`].
+    parents: Vec<u32>,
+    /// `filters * channels` bank indices, row-major `(filter, channel)`.
+    indices: Vec<u32>,
+    plan: BankPlan,
+}
+
+/// Incremental builder fed sequences in `(filter, channel)` row-major
+/// order — exactly the order a streaming decoder produces them.
+#[derive(Debug)]
+pub struct BankBuilder {
+    filters: usize,
+    channels: usize,
+    slot_of: Vec<u32>,
+    seqs: Vec<u16>,
+    counts: Vec<u32>,
+    parents: Vec<u32>,
+    indices: Vec<u32>,
+}
+
+impl BankBuilder {
+    /// Start a bank for a `[filters, channels, 3, 3]` kernel record.
+    pub fn new(filters: usize, channels: usize) -> Self {
+        BankBuilder {
+            filters,
+            channels,
+            slot_of: vec![NO_PARENT; NUM_SEQUENCES],
+            seqs: Vec::new(),
+            counts: Vec::new(),
+            parents: Vec::new(),
+            indices: Vec::with_capacity(filters * channels),
+        }
+    }
+
+    /// Append the next sequence (row-major `(filter, channel)` order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] if `seq >= 512` or more than
+    /// `filters * channels` sequences are pushed.
+    pub fn push(&mut self, seq: u16) -> Result<()> {
+        if seq as usize >= NUM_SEQUENCES {
+            return Err(BitnnError::InvalidConfig(format!(
+                "sequence {seq} out of 9-bit range"
+            )));
+        }
+        if self.indices.len() >= self.filters * self.channels {
+            return Err(BitnnError::InvalidConfig(format!(
+                "bank overfull: more than {} sequences pushed",
+                self.filters * self.channels
+            )));
+        }
+        let mut slot = self.slot_of[seq as usize];
+        if slot == NO_PARENT {
+            slot = self.seqs.len() as u32;
+            self.slot_of[seq as usize] = slot;
+            self.seqs.push(seq);
+            self.counts.push(0);
+            self.parents.push(self.find_parent(seq));
+        }
+        self.counts[slot as usize] += 1;
+        self.indices.push(slot);
+        Ok(())
+    }
+
+    /// Pick the Hamming-1 neighbour already in the bank with the highest
+    /// occupancy so far (ties broken toward the older entry), or
+    /// [`NO_PARENT`] when `seq` starts a new cluster.
+    fn find_parent(&self, seq: u16) -> u32 {
+        let mut best = NO_PARENT;
+        let mut best_count = 0u32;
+        for b in 0..SEQ_BITS {
+            let neigh = seq ^ (1 << b);
+            let slot = self.slot_of[neigh as usize];
+            if slot != NO_PARENT {
+                let count = self.counts[slot as usize];
+                if best == NO_PARENT || count > best_count || (count == best_count && slot < best) {
+                    best = slot;
+                    best_count = count;
+                }
+            }
+        }
+        best
+    }
+
+    /// Finalize, building the per-channel inverted index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] if fewer than
+    /// `filters * channels` sequences were pushed.
+    pub fn finish(self) -> Result<SequenceBank> {
+        let want = self.filters * self.channels;
+        if self.indices.len() != want {
+            return Err(BitnnError::InvalidConfig(format!(
+                "bank underfull: {} of {want} sequences pushed",
+                self.indices.len()
+            )));
+        }
+        let plan = build_plan(self.filters, self.channels, &self.seqs, &self.indices);
+        Ok(SequenceBank {
+            filters: self.filters,
+            channels: self.channels,
+            seqs: self.seqs,
+            counts: self.counts,
+            parents: self.parents,
+            indices: self.indices,
+            plan,
+        })
+    }
+}
+
+fn build_plan(filters: usize, channels: usize, seqs: &[u16], indices: &[u32]) -> BankPlan {
+    let mut chan_offsets = Vec::with_capacity(channels + 1);
+    let mut entry_seqs = Vec::new();
+    let mut entry_offsets = vec![0u32];
+    let mut filter_ids = Vec::with_capacity(indices.len());
+    // Per-channel scratch: bank slot -> entry position this channel, with
+    // an epoch stamp so the table is reused without clearing.
+    let mut entry_at = vec![(0u32, u32::MAX); seqs.len()];
+    let mut lists: Vec<Vec<u32>> = Vec::new();
+    chan_offsets.push(0);
+    for c in 0..channels {
+        let epoch = c as u32;
+        let mut order: Vec<u32> = Vec::new();
+        for f in 0..filters {
+            let slot = indices[f * channels + c] as usize;
+            let (e, stamp) = entry_at[slot];
+            let e = if stamp == epoch {
+                e as usize
+            } else {
+                let e = order.len();
+                entry_at[slot] = (e as u32, epoch);
+                order.push(slot as u32);
+                if lists.len() <= e {
+                    lists.push(Vec::new());
+                } else {
+                    lists[e].clear();
+                }
+                e
+            };
+            lists[e].push(f as u32);
+        }
+        for (e, &slot) in order.iter().enumerate() {
+            entry_seqs.push(seqs[slot as usize]);
+            filter_ids.extend_from_slice(&lists[e]);
+            entry_offsets.push(filter_ids.len() as u32);
+        }
+        chan_offsets.push(entry_seqs.len() as u32);
+    }
+    BankPlan {
+        chan_offsets,
+        entry_seqs,
+        entry_offsets,
+        filter_ids,
+    }
+}
+
+impl SequenceBank {
+    /// Recover the bank from dense channel-packed lane words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] unless the kernel is 3×3.
+    pub fn from_packed(packed: &PackedKernel) -> Result<Self> {
+        if packed.kh() != 3 || packed.kw() != 3 {
+            return Err(BitnnError::ShapeMismatch {
+                expected: "3x3 kernel for sequence bank".into(),
+                got: format!("{}x{}", packed.kh(), packed.kw()),
+            });
+        }
+        let (k, c) = (packed.filters(), packed.channels());
+        let mut b = BankBuilder::new(k, c);
+        for f in 0..k {
+            for ch in 0..c {
+                let mut seq = 0u16;
+                for p in 0..SEQ_BITS {
+                    let bit = (packed.position_lanes(f, p)[ch / LANE_BITS] >> (ch % LANE_BITS)) & 1;
+                    seq |= (bit as u16) << (SEQ_BITS - 1 - p);
+                }
+                b.push(seq)?;
+            }
+        }
+        b.finish()
+    }
+
+    /// Materialize dense channel-packed lane words from the bank.
+    pub fn to_packed(&self) -> PackedKernel {
+        let (k, c) = (self.filters, self.channels);
+        let lanes = crate::lanes_for(c);
+        let mut data = vec![0u64; k * SEQ_BITS * lanes];
+        for f in 0..k {
+            for ch in 0..c {
+                let seq = self.seqs[self.indices[f * c + ch] as usize];
+                for p in 0..SEQ_BITS {
+                    if (seq >> (SEQ_BITS - 1 - p)) & 1 == 1 {
+                        data[(f * SEQ_BITS + p) * lanes + ch / LANE_BITS] |=
+                            1u64 << (ch % LANE_BITS);
+                    }
+                }
+            }
+        }
+        PackedKernel::from_lane_words(k, c, 3, 3, data)
+            .expect("bank geometry is valid by construction")
+    }
+
+    /// Number of output filters `K`.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Number of input channels `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of unique sequences in the table.
+    pub fn unique_count(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Total sequence slots (`filters * channels`).
+    pub fn total_count(&self) -> usize {
+        self.filters * self.channels
+    }
+
+    /// The unique sequence table, first-appearance order.
+    pub fn seqs(&self) -> &[u16] {
+        &self.seqs
+    }
+
+    /// Occurrence count per unique sequence.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Hamming-1 parent link per unique sequence ([`NO_PARENT`] = root).
+    pub fn parents(&self) -> &[u32] {
+        &self.parents
+    }
+
+    /// Bank index of `(filter, channel)`.
+    #[inline]
+    pub fn index(&self, filter: usize, channel: usize) -> u32 {
+        self.indices[filter * self.channels + channel]
+    }
+
+    /// Sequence value of `(filter, channel)`.
+    #[inline]
+    pub fn sequence(&self, filter: usize, channel: usize) -> u16 {
+        self.seqs[self.index(filter, channel) as usize]
+    }
+
+    /// The per-channel inverted index used by the memoized kernel.
+    pub fn plan(&self) -> &BankPlan {
+        &self.plan
+    }
+
+    /// Cross-filter dedup ratio: total slots / unique sequences (≥ 1).
+    pub fn dedup_ratio(&self) -> f64 {
+        self.total_count() as f64 / self.unique_count().max(1) as f64
+    }
+
+    /// Number of Hamming-1 cluster roots in the table.
+    pub fn h1_root_count(&self) -> usize {
+        self.parents.iter().filter(|&&p| p == NO_PARENT).count()
+    }
+
+    /// The `k` most frequent sequences as `(sequence, count)`, count
+    /// descending, ties toward the smaller sequence value.
+    pub fn top_k(&self, k: usize) -> Vec<(u16, u32)> {
+        let mut v: Vec<(u16, u32)> = self
+            .seqs
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Approximate in-memory footprint of the bank (table + indices +
+    /// plan), in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.seqs.len() * 2
+            + self.counts.len() * 4
+            + self.parents.len() * 4
+            + self.indices.len() * 4
+            + self.plan.chan_offsets.len() * 4
+            + self.plan.entry_seqs.len() * 2
+            + self.plan.entry_offsets.len() * 4
+            + self.plan.filter_ids.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weightgen::{random_kernel, read_sequence, SeqDistribution};
+
+    #[test]
+    fn roundtrip_via_packed() {
+        let kernel = random_kernel(&[8, 12, 3, 3], 11);
+        let packed = PackedKernel::pack(&kernel).unwrap();
+        let bank = SequenceBank::from_packed(&packed).unwrap();
+        assert_eq!(bank.to_packed(), packed);
+        for f in 0..8 {
+            for c in 0..12 {
+                assert_eq!(bank.sequence(f, c), read_sequence(&kernel, f, c));
+            }
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_total_and_ratio_at_least_one() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let dist = SeqDistribution::for_block(2, 9);
+        let kernel = dist.sample_kernel(16, 24, &mut rng);
+        let packed = PackedKernel::pack(&kernel).unwrap();
+        let bank = SequenceBank::from_packed(&packed).unwrap();
+        let sum: u64 = bank.counts().iter().map(|&c| c as u64).sum();
+        assert_eq!(sum, bank.total_count() as u64);
+        assert!(bank.dedup_ratio() >= 1.0);
+        assert!(bank.unique_count() <= NUM_SEQUENCES);
+    }
+
+    #[test]
+    fn plan_covers_every_filter_once_per_channel() {
+        let kernel = random_kernel(&[16, 8, 3, 3], 5);
+        let packed = PackedKernel::pack(&kernel).unwrap();
+        let bank = SequenceBank::from_packed(&packed).unwrap();
+        for c in 0..8 {
+            let mut seen = [false; 16];
+            for e in bank.plan().entries(c) {
+                for &f in e.filters {
+                    assert!(!seen[f as usize], "filter listed twice");
+                    seen[f as usize] = true;
+                    assert_eq!(bank.sequence(f as usize, c), e.seq);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "filter missing from plan");
+        }
+    }
+
+    #[test]
+    fn h1_parents_are_at_distance_one() {
+        let kernel = random_kernel(&[32, 16, 3, 3], 7);
+        let packed = PackedKernel::pack(&kernel).unwrap();
+        let bank = SequenceBank::from_packed(&packed).unwrap();
+        for (i, &p) in bank.parents().iter().enumerate() {
+            if p != NO_PARENT {
+                assert!((p as usize) < i, "parent must be an earlier entry");
+                let d = (bank.seqs()[i] ^ bank.seqs()[p as usize]).count_ones();
+                assert_eq!(d, 1);
+            }
+        }
+        assert!(bank.h1_root_count() >= 1);
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = BankBuilder::new(2, 2);
+        assert!(b.push(512).is_err());
+        b.push(1).unwrap();
+        assert!(b.finish().is_err());
+        let mut b = BankBuilder::new(1, 1);
+        b.push(3).unwrap();
+        assert!(b.push(4).is_err());
+    }
+}

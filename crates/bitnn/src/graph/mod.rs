@@ -47,6 +47,11 @@ use crate::pack::PackedKernel;
 use crate::tensor::{BitTensor, Tensor};
 
 /// A weighted graph operator: the layer object behind one [`OpSpec`].
+// `BinConv2d` carries three lazily-derived weight forms (flat / packed /
+// bank), which dwarfs the other variants; graphs hold tens of nodes, so
+// the per-node slack is irrelevant and boxing would only add indirection
+// on the hot dispatch path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum NodeOp {
     /// The network input placeholder.
@@ -476,6 +481,33 @@ impl ModelGraph {
             )));
         }
         conv.set_packed(packed);
+        Ok(())
+    }
+
+    /// Replace compressible conv `i`'s kernel with a deduplicated
+    /// sequence bank (the skew-aware decode path — neither a flat tensor
+    /// nor dense lane words are materialized unless a dense lowering
+    /// later asks for them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidConfig`] if `i` is out of range or
+    /// the bank geometry changes.
+    pub fn set_conv3_bank(&mut self, i: usize, bank: crate::bank::SequenceBank) -> Result<()> {
+        let conv = self.conv3_mut(i)?;
+        let want = (
+            conv.filters(),
+            conv.in_channels(),
+            conv.kernel_size().0,
+            conv.kernel_size().1,
+        );
+        let got = (bank.filters(), bank.channels(), 3, 3);
+        if got != want {
+            return Err(BitnnError::InvalidConfig(format!(
+                "conv {i}: replacement sequence bank is {got:?}, the graph needs {want:?}"
+            )));
+        }
+        conv.set_bank(bank);
         Ok(())
     }
 

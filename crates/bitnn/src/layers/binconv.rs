@@ -1,10 +1,12 @@
 //! Binary convolution layer (the paper's "1-bit 3×3 Conv" / "1-bit 1×1
 //! Conv" stages).
 //!
-//! Owns both the flat binary weights (harvested by the compression crate as
-//! bit sequences) and the channel-packed form used by the fast path.
+//! The layer owns the kernel in whichever representation it was deployed
+//! with — flat bits, channel-packed lane words, or a deduplicated
+//! [`SequenceBank`] — and derives every other form lazily on first use.
 
-use crate::engine::{ConvScratch, Engine, KernelForms};
+use crate::bank::SequenceBank;
+use crate::engine::{ConvPath, ConvScratch, Engine, KernelForms};
 use crate::layers::sign::RSign;
 use crate::layers::Layer;
 use crate::ops::conv::{conv2d_binary, kernel_position_ones, Conv2dParams};
@@ -16,28 +18,39 @@ use std::sync::OnceLock;
 
 /// A 1-bit convolution: binarize input (plain sign), run xnor-popcount conv.
 ///
-/// The channel-packed kernel is the source of truth; besides it the layer
-/// caches its im2col-lowered weight matrix and per-position ones counts,
-/// so the execution engine's lowerings never rebuild either on the hot
-/// path (see [`Self::forms`]). The flat `[K, C, KH, KW]` tensor is
-/// derived lazily and only on cold paths (compression harvest, tests):
-/// a layer built from a compressed stream via [`Self::from_packed`] never
-/// materializes it unless asked.
+/// Exactly one representation is populated at construction (flat weights
+/// via [`Self::new`], lane words via [`Self::from_packed`], a sequence
+/// bank via [`Self::from_bank`]); the rest — including the engine's
+/// cached lowering forms — are derived lazily through [`OnceLock`]s, so a
+/// forward pass materializes only what its execution path actually reads.
+/// A bank-deployed layer running the memoized path never builds dense
+/// lane words; a packed-deployed layer running the direct path never
+/// builds the flat tensor or the im2col weight matrix.
 #[derive(Debug, Clone)]
 pub struct BinConv2d {
-    /// Lazily unpacked flat view of `packed` (cold paths only).
-    weights: OnceLock<BitTensor>,
-    packed: PackedKernel,
-    lowered: PackedMatrix,
-    pad_ones: Vec<u32>,
+    filters: usize,
+    channels: usize,
+    kh: usize,
+    kw: usize,
     params: Conv2dParams,
+    /// Flat `[K, C, KH, KW]` bits (cold paths: harvest, serialization).
+    weights: OnceLock<BitTensor>,
+    /// Channel-packed lane words (dense lowerings).
+    packed: OnceLock<PackedKernel>,
+    /// Deduplicated sequence table (3×3 only; weight-stationary path).
+    bank: OnceLock<SequenceBank>,
+    /// im2col-lowered weight matrix (GEMM lowerings).
+    lowered: OnceLock<PackedMatrix>,
+    /// Per-filter, per-position ones counts (direct lowering's padding
+    /// closed form).
+    pad_ones: OnceLock<Vec<u32>>,
 }
 
 impl PartialEq for BinConv2d {
     fn eq(&self, other: &Self) -> bool {
-        // The packed form determines the weights bijectively; the lazy
-        // flat view and the derived caches carry no extra information.
-        self.packed == other.packed && self.params == other.params
+        // The packed form determines the weights bijectively; the other
+        // representations and derived caches carry no extra information.
+        self.params == other.params && self.packed() == other.packed()
     }
 }
 
@@ -50,52 +63,158 @@ impl BinConv2d {
     ///
     /// Panics if `weights` is not 4-D.
     pub fn new(weights: BitTensor, params: Conv2dParams) -> Self {
-        let packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
-        let mut conv = Self::from_packed(packed, params);
-        conv.weights = OnceLock::from(weights);
-        conv
+        let shape = weights.shape();
+        assert_eq!(shape.len(), 4, "weights must be 4-D");
+        let (filters, channels, kh, kw) = (shape[0], shape[1], shape[2], shape[3]);
+        BinConv2d {
+            filters,
+            channels,
+            kh,
+            kw,
+            params,
+            weights: OnceLock::from(weights),
+            packed: OnceLock::new(),
+            bank: OnceLock::new(),
+            lowered: OnceLock::new(),
+            pad_ones: OnceLock::new(),
+        }
     }
 
     /// Build from an already channel-packed kernel — the
-    /// compressed-container hot path: the stream decoder emits packed lane
-    /// words, and this constructor derives the engine's cached forms from
-    /// them without ever materializing the flat `[K, C, KH, KW]` tensor.
+    /// compressed-container deployment path: the stream decoder emits
+    /// packed lane words and no flat `[K, C, KH, KW]` tensor ever exists.
     pub fn from_packed(packed: PackedKernel, params: Conv2dParams) -> Self {
-        let lowered = im2col_kernel_packed(&packed);
-        let pad_ones = kernel_position_ones(&packed);
+        let (filters, channels, kh, kw) = (
+            packed.filters(),
+            packed.channels(),
+            packed.kh(),
+            packed.kw(),
+        );
         BinConv2d {
-            weights: OnceLock::new(),
-            packed,
-            lowered,
-            pad_ones,
+            filters,
+            channels,
+            kh,
+            kw,
             params,
+            weights: OnceLock::new(),
+            packed: OnceLock::from(packed),
+            bank: OnceLock::new(),
+            lowered: OnceLock::new(),
+            pad_ones: OnceLock::new(),
+        }
+    }
+
+    /// Build from a deduplicated sequence bank — the skew-aware
+    /// deployment path (3×3 kernels by construction). Dense lane words
+    /// are derived lazily only if a dense lowering is ever selected.
+    pub fn from_bank(bank: SequenceBank, params: Conv2dParams) -> Self {
+        let (filters, channels) = (bank.filters(), bank.channels());
+        BinConv2d {
+            filters,
+            channels,
+            kh: 3,
+            kw: 3,
+            params,
+            weights: OnceLock::new(),
+            packed: OnceLock::new(),
+            bank: OnceLock::from(bank),
+            lowered: OnceLock::new(),
+            pad_ones: OnceLock::new(),
         }
     }
 
     /// The flat binary weights (unpacked from the packed form on first
-    /// use when the layer was built via [`Self::from_packed`]).
+    /// use when the layer was deployed without them).
     pub fn weights(&self) -> &BitTensor {
-        self.weights.get_or_init(|| self.packed.unpack())
+        self.weights.get_or_init(|| self.packed().unpack())
     }
 
-    /// The channel-packed kernel.
+    /// The channel-packed kernel, deriving it from the bank or flat
+    /// weights on first use.
     pub fn packed(&self) -> &PackedKernel {
-        &self.packed
+        self.packed.get_or_init(|| {
+            if let Some(bank) = self.bank.get() {
+                bank.to_packed()
+            } else {
+                PackedKernel::pack(
+                    self.weights
+                        .get()
+                        .expect("some representation is populated"),
+                )
+                .expect("weights validated 4-D at construction")
+            }
+        })
+    }
+
+    /// The deduplicated sequence bank, built from the packed form on
+    /// first use. `None` for non-3×3 kernels, which have no 9-bit
+    /// sequence representation.
+    pub fn bank(&self) -> Option<&SequenceBank> {
+        if self.kh != 3 || self.kw != 3 {
+            return None;
+        }
+        Some(
+            self.bank.get_or_init(|| {
+                SequenceBank::from_packed(self.packed()).expect("3x3 checked above")
+            }),
+        )
     }
 
     /// The cached im2col-lowered weight matrix (one row per filter,
     /// `KH*KW*C` position-major columns).
     pub fn lowered(&self) -> &PackedMatrix {
-        &self.lowered
+        self.lowered
+            .get_or_init(|| im2col_kernel_packed(self.packed()))
     }
 
-    /// All cached kernel forms, for [`Engine::conv2d`].
+    /// The cached per-filter, per-position ones counts.
+    pub fn pad_ones(&self) -> &[u32] {
+        self.pad_ones
+            .get_or_init(|| kernel_position_ones(self.packed()))
+    }
+
+    /// All cached kernel forms, for [`Engine::conv2d`] callers that do
+    /// not know their lowering in advance (materializes every form).
     pub fn forms(&self) -> KernelForms<'_> {
         KernelForms {
-            packed: &self.packed,
-            lowered: Some(&self.lowered),
-            pad_ones: Some(&self.pad_ones),
+            packed: self.packed(),
+            lowered: Some(self.lowered()),
+            pad_ones: Some(self.pad_ones()),
         }
+    }
+
+    /// The kernel forms the engine's chosen lowering will actually read,
+    /// materializing only those — a direct-path forward never builds the
+    /// im2col matrix and vice versa.
+    pub fn forms_for(&self, engine: &Engine) -> KernelForms<'_> {
+        match engine.conv_path(self.kh, self.kw, self.params, self.channels) {
+            ConvPath::Direct => KernelForms {
+                packed: self.packed(),
+                lowered: None,
+                pad_ones: Some(self.pad_ones()),
+            },
+            ConvPath::Im2col => KernelForms {
+                packed: self.packed(),
+                lowered: Some(self.lowered()),
+                pad_ones: None,
+            },
+            ConvPath::PointwiseGemm => KernelForms {
+                packed: self.packed(),
+                lowered: None,
+                pad_ones: None,
+            },
+        }
+    }
+
+    /// Whether the flat `[K, C, KH, KW]` tensor has been materialized.
+    /// Deployment tests assert it stays cold on the packed/bank paths.
+    pub fn has_dense_weights(&self) -> bool {
+        self.weights.get().is_some()
+    }
+
+    /// Whether the channel-packed lane words have been materialized.
+    pub fn has_packed(&self) -> bool {
+        self.packed.get().is_some()
     }
 
     /// Convolution hyper-parameters.
@@ -105,17 +224,25 @@ impl BinConv2d {
 
     /// Output filter count.
     pub fn filters(&self) -> usize {
-        self.packed.filters()
+        self.filters
     }
 
     /// Input channel count.
     pub fn in_channels(&self) -> usize {
-        self.packed.channels()
+        self.channels
     }
 
     /// Kernel spatial size `(kh, kw)`.
     pub fn kernel_size(&self) -> (usize, usize) {
-        (self.packed.kh(), self.packed.kw())
+        (self.kh, self.kw)
+    }
+
+    fn assert_geometry(&self, filters: usize, channels: usize, kh: usize, kw: usize, what: &str) {
+        assert_eq!(
+            (filters, channels, kh, kw),
+            (self.filters, self.channels, self.kh, self.kw),
+            "replacement {what} must keep the geometry"
+        );
     }
 
     /// Replace the weights (used by the compression pipeline after
@@ -125,20 +252,13 @@ impl BinConv2d {
     ///
     /// Panics if the new weights' shape differs from the old.
     pub fn set_weights(&mut self, weights: BitTensor) {
+        let shape = weights.shape();
         assert_eq!(
-            weights.shape(),
-            [
-                self.packed.filters(),
-                self.packed.channels(),
-                self.packed.kh(),
-                self.packed.kw()
-            ],
+            shape,
+            [self.filters, self.channels, self.kh, self.kw],
             "replacement weights must keep the shape"
         );
-        self.packed = PackedKernel::pack(&weights).expect("weights must be 4-D");
-        self.lowered = im2col_kernel_packed(&self.packed);
-        self.pad_ones = kernel_position_ones(&self.packed);
-        self.weights = OnceLock::from(weights);
+        *self = Self::new(weights, self.params);
     }
 
     /// Replace the weights with an already channel-packed kernel (the
@@ -148,28 +268,32 @@ impl BinConv2d {
     ///
     /// Panics if the packed kernel's geometry differs from the old.
     pub fn set_packed(&mut self, packed: PackedKernel) {
-        assert_eq!(
-            (
-                packed.filters(),
-                packed.channels(),
-                packed.kh(),
-                packed.kw()
-            ),
-            (
-                self.packed.filters(),
-                self.packed.channels(),
-                self.packed.kh(),
-                self.packed.kw()
-            ),
-            "replacement packed kernel must keep the geometry"
+        self.assert_geometry(
+            packed.filters(),
+            packed.channels(),
+            packed.kh(),
+            packed.kw(),
+            "packed kernel",
         );
         *self = Self::from_packed(packed, self.params);
+    }
+
+    /// Replace the weights with a deduplicated sequence bank (the
+    /// skew-aware deployment path) — neither the flat tensor nor dense
+    /// lane words are built unless a dense lowering later asks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank's geometry differs from the old (3×3 only).
+    pub fn set_bank(&mut self, bank: SequenceBank) {
+        self.assert_geometry(bank.filters(), bank.channels(), 3, 3, "sequence bank");
+        *self = Self::from_bank(bank, self.params);
     }
 
     /// Forward over an already-binarized, already-packed input (the seed's
     /// scalar path, kept as the perf-tracking baseline).
     pub fn forward_packed(&self, acts: &PackedActivations) -> Tensor {
-        conv2d_binary(acts, &self.packed, self.params).expect("channel counts validated at build")
+        conv2d_binary(acts, self.packed(), self.params).expect("channel counts validated at build")
     }
 
     /// Forward over packed input through the execution engine, writing into
@@ -182,8 +306,49 @@ impl BinConv2d {
         out: &mut Tensor,
     ) {
         engine
-            .conv2d_into(acts, self.forms(), self.params, scratch, out)
+            .conv2d_into(acts, self.forms_for(engine), self.params, scratch, out)
             .expect("channel counts validated at build");
+    }
+
+    /// Forward over binarized (but not yet packed) input, letting the
+    /// engine's policy pick between the sequence-bank path — which
+    /// consumes the bits directly and skips channel packing — and the
+    /// dense lowerings, for which the bits are repacked into
+    /// `packed_acts`. Bit-exact with [`Self::forward_packed`].
+    ///
+    /// Path selection: `DedupMode::On` forces the bank path for every
+    /// 3×3 layer; `Off` forces the dense lowerings (a bank-only layer
+    /// derives its lane words once); `Auto` follows the deployed
+    /// representation — a layer holding *only* a bank stays in the
+    /// compressed domain (its dense forms are never materialized),
+    /// while a layer with dense forms resident keeps the SIMD kernels,
+    /// which out-run the memoized gather on packed-SIMD hosts.
+    pub fn forward_binarized_with(
+        &self,
+        bits: &BitTensor,
+        packed_acts: &mut PackedActivations,
+        engine: &Engine,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) {
+        let bank_resident = self.kh == 3
+            && self.kw == 3
+            && self.bank.get().is_some()
+            && self.packed.get().is_none();
+        let bank_path = engine.uses_bank(self.kh, self.kw, self.channels)
+            || (engine.policy().dedup == crate::exec::DedupMode::Auto && bank_resident);
+        if bank_path {
+            if let Some(bank) = self.bank() {
+                engine
+                    .conv2d_bank_into(bits, bank, self.params, scratch, out)
+                    .expect("channel counts validated at build");
+                return;
+            }
+        }
+        packed_acts
+            .repack(bits)
+            .expect("4-D input validated by binarize");
+        self.forward_packed_with(packed_acts, engine, scratch, out);
     }
 }
 
@@ -196,19 +361,13 @@ impl Layer for BinConv2d {
 
     fn param_bits(&self) -> usize {
         // One bit per weight (the point of a BNN).
-        self.packed.filters() * self.packed.channels() * self.packed.kh() * self.packed.kw()
+        self.filters * self.channels * self.kh * self.kw
     }
 
     fn describe(&self) -> String {
-        let (kh, kw) = self.kernel_size();
         format!(
             "BinConv2d({}x{}, {}->{} ch, stride {}, pad {})",
-            kh,
-            kw,
-            self.in_channels(),
-            self.filters(),
-            self.params.stride,
-            self.params.pad
+            self.kh, self.kw, self.channels, self.filters, self.params.stride, self.params.pad
         )
     }
 }
@@ -280,11 +439,62 @@ mod tests {
     }
 
     #[test]
+    fn from_bank_matches_tensor_construction() {
+        let w = random_bits(&[6, 20, 3, 3], 17);
+        let params = Conv2dParams { stride: 1, pad: 1 };
+        let via_tensor = BinConv2d::new(w.clone(), params);
+        let packed = PackedKernel::pack(&w).unwrap();
+        let bank = SequenceBank::from_packed(&packed).unwrap();
+        let via_bank = BinConv2d::from_bank(bank, params);
+        assert_eq!(via_tensor, via_bank);
+        let input = Tensor::full(&[1, 20, 8, 8], 1.0);
+        assert_eq!(
+            via_tensor.forward(&input).data(),
+            via_bank.forward(&input).data()
+        );
+        assert_eq!(via_bank.weights(), &w);
+    }
+
+    #[test]
+    fn bank_path_forward_matches_dense() {
+        let w = random_bits(&[7, 12, 3, 3], 23);
+        let params = Conv2dParams { stride: 1, pad: 1 };
+        let conv = BinConv2d::new(w, params);
+        let input = crate::tensor::Tensor::from_vec(
+            &[2, 12, 6, 6],
+            (0..2 * 12 * 36).map(|i| ((i % 7) as f32) - 3.0).collect(),
+        )
+        .unwrap();
+        let want = conv.forward(&input);
+        let bits = RSign::zero(12).binarize(&input);
+        let mut packed_acts = PackedActivations::default();
+        let mut scratch = ConvScratch::default();
+        let mut out = Tensor::default();
+        let engine = Engine::new(crate::ExecPolicy {
+            dedup: crate::DedupMode::On,
+            ..crate::ExecPolicy::single_threaded()
+        });
+        conv.forward_binarized_with(&bits, &mut packed_acts, &engine, &mut scratch, &mut out);
+        assert_eq!(want.data(), out.data());
+    }
+
+    #[test]
     fn set_packed_swaps_weights_without_flat_tensor() {
         let w0 = random_bits(&[2, 8, 3, 3], 4);
         let w1 = random_bits(&[2, 8, 3, 3], 5);
         let mut conv = BinConv2d::new(w0, Conv2dParams::default());
         conv.set_packed(PackedKernel::pack(&w1).unwrap());
+        assert_eq!(conv, BinConv2d::new(w1.clone(), Conv2dParams::default()));
+        assert_eq!(conv.weights(), &w1);
+    }
+
+    #[test]
+    fn set_bank_swaps_weights() {
+        let w0 = random_bits(&[2, 8, 3, 3], 4);
+        let w1 = random_bits(&[2, 8, 3, 3], 6);
+        let mut conv = BinConv2d::new(w0, Conv2dParams::default());
+        let bank = SequenceBank::from_packed(&PackedKernel::pack(&w1).unwrap()).unwrap();
+        conv.set_bank(bank);
         assert_eq!(conv, BinConv2d::new(w1.clone(), Conv2dParams::default()));
         assert_eq!(conv.weights(), &w1);
     }

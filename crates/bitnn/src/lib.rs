@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod bank;
 pub mod bitword;
 pub mod engine;
 pub mod error;
@@ -52,9 +53,10 @@ pub mod tensor;
 pub mod weightgen;
 
 pub use backend::{Backend, BackendKind};
+pub use bank::{BankPlan, SequenceBank};
 pub use engine::{Engine, KernelForms, Scratch};
 pub use error::{BitnnError, Result};
-pub use exec::{ExecPolicy, Lowering};
+pub use exec::{DedupMode, ExecPolicy, Lowering};
 pub use graph::arch::Arch;
 pub use graph::{BatchScratch, GraphBuilder, GraphSpec, ModelGraph};
 pub use pack::{PackedActivations, PackedKernel};

@@ -125,11 +125,13 @@ impl BasicBlock {
         let s = &mut scratch.cpu;
         // --- 3x3 stage ---
         self.sign1.binarize_into(x, &mut s.bits);
-        s.packed
-            .repack(&s.bits)
-            .expect("4-D input validated by binarize");
-        self.conv3
-            .forward_packed_with(&s.packed, engine, &mut s.conv, &mut s.conv_out);
+        self.conv3.forward_binarized_with(
+            &s.bits,
+            &mut s.packed,
+            engine,
+            &mut s.conv,
+            &mut s.conv_out,
+        );
         fuse_spatial_stage(
             &s.conv_out,
             x,
@@ -141,11 +143,13 @@ impl BasicBlock {
 
         // --- 1x1 stage ---
         self.sign2.binarize_into(&s.mid, &mut s.bits);
-        s.packed
-            .repack(&s.bits)
-            .expect("4-D input validated by binarize");
-        self.conv1
-            .forward_packed_with(&s.packed, engine, &mut s.conv, &mut s.conv_out);
+        self.conv1.forward_binarized_with(
+            &s.bits,
+            &mut s.packed,
+            engine,
+            &mut s.conv,
+            &mut s.conv_out,
+        );
         let mut out = Tensor::default();
         fuse_channel_stage(&s.conv_out, &s.mid, &self.bn2, &self.act2, &mut out);
         Ok(out)

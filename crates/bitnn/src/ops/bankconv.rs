@@ -1,0 +1,235 @@
+//! Weight-stationary binary convolution over a deduplicated sequence bank.
+//!
+//! The direct and im2col kernels pay one xnor-popcount per (filter,
+//! position, lane) — identical sequences in different filters are
+//! recomputed from scratch. This kernel inverts the loop order around the
+//! [`crate::bank::BankPlan`]: for each input channel it builds the 9-bit
+//! activation window of every output pixel once, then walks the channel's
+//! *unique* sequences; each unique sequence's popcount row is computed
+//! once ("memoized") and added into the accumulator row of every filter
+//! in its fan-out list. Popcount work scales with the number of unique
+//! sequences per channel instead of with `K`, which is where the paper's
+//! frequency skew pays off at run time.
+//!
+//! The arithmetic is exact: with window bit `8 - p` holding kernel
+//! position `p` (zero when out of bounds, which encodes the `-1` padding)
+//! the ±1-domain inner product is `9C - 2 * Σ_c popcount(seq ^ window)`,
+//! bit-identical to [`crate::ops::conv2d_binary`].
+
+use crate::bank::SequenceBank;
+use crate::error::{BitnnError, Result};
+use crate::ops::conv::Conv2dParams;
+use crate::tensor::{BitTensor, Tensor};
+use crate::weightgen::SEQ_BITS;
+
+/// Reusable buffers for [`conv2d_bank_items`]: per-channel window row,
+/// memoized popcount row, and the per-item `[K, OH*OW]` accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct BankScratch {
+    windows: Vec<u16>,
+    memo: Vec<i32>,
+    acc: Vec<i32>,
+}
+
+impl BankScratch {
+    /// Grow the buffers for `filters` output filters and `pixels` output
+    /// pixels. Never shrinks, so steady-state reuse does not allocate.
+    pub fn ensure(&mut self, filters: usize, pixels: usize) {
+        if self.windows.len() < pixels {
+            self.windows.resize(pixels, 0);
+            self.memo.resize(pixels, 0);
+        }
+        if self.acc.len() < filters * pixels {
+            self.acc.resize(filters * pixels, 0);
+        }
+    }
+}
+
+/// Build the 9-bit windows of channel `c` of image `img` for every output
+/// pixel. Bit `8 - p` of a window is the activation bit under kernel
+/// position `p = ky * 3 + kx`; out-of-bounds bits stay `0` (`-1` padding).
+#[allow(clippy::too_many_arguments)]
+fn build_windows(
+    acts: &BitTensor,
+    img: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    params: Conv2dParams,
+    win: &mut [u16],
+) {
+    let words = acts.words();
+    let base = acts.idx4(img, c, 0, 0);
+    let mut i = 0;
+    for oy in 0..oh {
+        let iy0 = (oy * params.stride) as isize - params.pad as isize;
+        for ox in 0..ow {
+            let ix0 = (ox * params.stride) as isize - params.pad as isize;
+            let mut v = 0u16;
+            for q in 0..SEQ_BITS {
+                let iy = iy0 + (q / 3) as isize;
+                let ix = ix0 + (q % 3) as isize;
+                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                    let bit = base + iy as usize * w + ix as usize;
+                    v |= (((words[bit >> 6] >> (bit & 63)) & 1) as u16) << (SEQ_BITS - 1 - q);
+                }
+            }
+            win[i] = v;
+            i += 1;
+        }
+    }
+}
+
+/// Run the memoized bank convolution for images `item0 .. item0 + items`,
+/// writing `[items, K, OH, OW]` dot products into `out`.
+///
+/// `acts` is the binarized activation tensor `[N, C, H, W]`; geometry must
+/// match `bank` (3×3 kernels only, enforced by bank construction). The
+/// caller hands a scratch sized via [`BankScratch::ensure`] — the kernel
+/// itself never allocates.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_bank_items(
+    acts: &BitTensor,
+    bank: &SequenceBank,
+    params: Conv2dParams,
+    item0: usize,
+    items: usize,
+    scratch: &mut BankScratch,
+    out: &mut [f32],
+) {
+    let shape = acts.shape();
+    let (c, h, w) = (shape[1], shape[2], shape[3]);
+    debug_assert_eq!(c, bank.channels());
+    let kf = bank.filters();
+    let oh = params.out_dim(h, 3);
+    let ow = params.out_dim(w, 3);
+    let pixels = oh * ow;
+    let total_bits = (SEQ_BITS * c) as i32;
+    scratch.ensure(kf, pixels);
+    debug_assert_eq!(out.len(), items * kf * pixels);
+
+    let plan = bank.plan();
+    for rel in 0..items {
+        let img = item0 + rel;
+        let acc = &mut scratch.acc[..kf * pixels];
+        acc.fill(0);
+        for ch in 0..c {
+            let win = &mut scratch.windows[..pixels];
+            build_windows(acts, img, ch, h, w, oh, ow, params, win);
+            let win = &scratch.windows[..pixels];
+            for entry in plan.entries(ch) {
+                let seq = entry.seq as u32;
+                if let [f] = entry.filters {
+                    // Fan-out of one: accumulate directly, skip the memo row.
+                    let row = &mut acc[*f as usize * pixels..][..pixels];
+                    for (r, &wv) in row.iter_mut().zip(win) {
+                        *r += (seq ^ wv as u32).count_ones() as i32;
+                    }
+                } else {
+                    let memo = &mut scratch.memo[..pixels];
+                    for (m, &wv) in memo.iter_mut().zip(win) {
+                        *m = (seq ^ wv as u32).count_ones() as i32;
+                    }
+                    let memo = &scratch.memo[..pixels];
+                    for &f in entry.filters {
+                        let row = &mut acc[f as usize * pixels..][..pixels];
+                        for (r, &m) in row.iter_mut().zip(memo) {
+                            *r += m;
+                        }
+                    }
+                }
+            }
+        }
+        let dst = &mut out[rel * kf * pixels..][..kf * pixels];
+        for (d, &a) in dst.iter_mut().zip(acc.iter()) {
+            *d = (total_bits - 2 * a) as f32;
+        }
+    }
+}
+
+/// One-shot convenience wrapper: binarized activations × bank → dense
+/// `[N, K, OH, OW]` output tensor. Allocates; tests and cold paths only.
+///
+/// # Errors
+///
+/// Returns [`BitnnError::DimMismatch`] when activation channels disagree
+/// with the bank.
+pub fn conv2d_bank(acts: &BitTensor, bank: &SequenceBank, params: Conv2dParams) -> Result<Tensor> {
+    let shape = acts.shape();
+    if shape.len() != 4 || shape[1] != bank.channels() {
+        return Err(BitnnError::DimMismatch {
+            op: "conv2d_bank",
+            lhs: shape.to_vec(),
+            rhs: vec![bank.channels()],
+        });
+    }
+    let (n, h, w) = (shape[0], shape[2], shape[3]);
+    let oh = params.out_dim(h, 3);
+    let ow = params.out_dim(w, 3);
+    let mut out = Tensor::zeros(&[n, bank.filters(), oh, ow]);
+    let mut scratch = BankScratch::default();
+    conv2d_bank_items(acts, bank, params, 0, n, &mut scratch, out.data_mut());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv2d_binary;
+    use crate::pack::{PackedActivations, PackedKernel};
+    use crate::weightgen::{random_kernel, SeqDistribution};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(shape: &[usize], seed: u64) -> BitTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        let bools: Vec<bool> = (0..n).map(|_| rng.random()).collect();
+        BitTensor::from_bools(shape, &bools).unwrap()
+    }
+
+    #[test]
+    fn matches_scalar_oracle_across_geometries() {
+        let mut seed = 100u64;
+        for &(n, c, k, h, w) in &[(1, 3, 4, 7, 7), (2, 8, 8, 9, 6), (3, 65, 5, 8, 8)] {
+            for &(stride, pad) in &[(1, 1), (1, 0), (2, 1), (2, 0), (3, 2)] {
+                if h + 2 * pad < 3 || w + 2 * pad < 3 {
+                    continue;
+                }
+                seed += 1;
+                let kernel = random_kernel(&[k, c, 3, 3], seed);
+                let packed = PackedKernel::pack(&kernel).unwrap();
+                let bank = crate::bank::SequenceBank::from_packed(&packed).unwrap();
+                let acts = random_bits(&[n, c, h, w], seed ^ 0x5a5a);
+                let packed_acts = PackedActivations::pack(&acts).unwrap();
+                let params = Conv2dParams { stride, pad };
+                let want = conv2d_binary(&packed_acts, &packed, params).unwrap();
+                let got = conv2d_bank(&acts, &bank, params).unwrap();
+                assert_eq!(want.shape(), got.shape());
+                assert_eq!(
+                    want.data(),
+                    got.data(),
+                    "n={n} c={c} k={k} s={stride} p={pad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_kernels_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let dist = SeqDistribution::for_block(3, 21);
+        let kernel = dist.sample_kernel(24, 16, &mut rng);
+        let packed = PackedKernel::pack(&kernel).unwrap();
+        let bank = crate::bank::SequenceBank::from_packed(&packed).unwrap();
+        assert!(bank.dedup_ratio() > 1.0, "skewed draw should dedup");
+        let acts = random_bits(&[2, 16, 10, 10], 31);
+        let packed_acts = PackedActivations::pack(&acts).unwrap();
+        let params = Conv2dParams { stride: 1, pad: 1 };
+        let want = conv2d_binary(&packed_acts, &packed, params).unwrap();
+        let got = conv2d_bank(&acts, &bank, params).unwrap();
+        assert_eq!(want.data(), got.data());
+    }
+}

@@ -135,6 +135,20 @@ impl Container {
         crate::stream_decode::GroupDecoder::new(self).collect_packed()
     }
 
+    /// Stream-decode the contained kernel into a deduplicated
+    /// [`bitnn::bank::SequenceBank`]: the table of unique 9-bit sequences
+    /// (with Hamming-1 cluster references) plus per-filter index lists
+    /// that the weight-stationary execution path consumes. Neither lane
+    /// words nor a flat tensor are materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::CorruptStream`] if the stream does not decode
+    /// to exactly `filters * channels` sequences.
+    pub fn decode_bank(&self) -> Result<bitnn::bank::SequenceBank> {
+        crate::stream_decode::GroupDecoder::new(self).collect_bank()
+    }
+
     /// Re-serialize this parsed record to its canonical byte form —
     /// byte-identical to the [`write_container`] output it was parsed
     /// from (the strict reader admits exactly one encoding per record).

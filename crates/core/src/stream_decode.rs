@@ -21,6 +21,7 @@ use crate::bitstream::BitReader;
 use crate::container::Container;
 use crate::error::{KcError, Result};
 use crate::huffman::SimplifiedTree;
+use bitnn::bank::{BankBuilder, SequenceBank};
 use bitnn::pack::PackedKernel;
 use bitnn::{lanes_for, LANE_BITS};
 
@@ -168,6 +169,50 @@ impl<'a> GroupDecoder<'a> {
         PackedKernel::from_lane_words(self.filters, self.channels, 3, 3, data)
             .map_err(|e| KcError::CorruptStream(format!("packing decoded groups: {e}")))
     }
+
+    /// Drain the stream into a deduplicated [`SequenceBank`]: unique
+    /// 9-bit sequences (with Hamming-1 cluster references) plus
+    /// per-filter index lists, instead of fully materialized per-kernel
+    /// lane words.
+    ///
+    /// Stream order is filter-major with lanes ascending, i.e. exactly
+    /// `(filter, channel)` row-major — the order [`BankBuilder`] expects —
+    /// so deduplication happens on the fly during the single forward pass
+    /// and no dense representation exists at any point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcError::CorruptStream`] if the stream is damaged or
+    /// decoding was already past the first group.
+    pub fn collect_bank(mut self) -> Result<SequenceBank> {
+        if self.next != 0 {
+            return Err(KcError::CorruptStream(
+                "collect_bank needs a fresh decoder".into(),
+            ));
+        }
+        let mut builder = BankBuilder::new(self.filters, self.channels);
+        let groups = self.num_groups();
+        while self.next < groups {
+            let lane = self.next % self.lanes;
+            let seqs = (self.channels - lane * LANE_BITS).min(SEQS_PER_GROUP);
+            for _ in 0..seqs {
+                let seq = self.tree.decode(&mut self.reader)?.value();
+                builder
+                    .push(seq)
+                    .map_err(|e| KcError::CorruptStream(format!("building bank: {e}")))?;
+            }
+            self.next += 1;
+        }
+        if self.reader.remaining() != 0 {
+            return Err(KcError::CorruptStream(format!(
+                "{} bits left over after the final group",
+                self.reader.remaining()
+            )));
+        }
+        builder
+            .finish()
+            .map_err(|e| KcError::CorruptStream(format!("building bank: {e}")))
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +322,35 @@ mod tests {
         let mut dec = decoder_for(&ck);
         dec.decode_next().unwrap();
         assert!(dec.collect_packed().is_err());
+    }
+
+    #[test]
+    fn collect_bank_matches_offline_sequences() {
+        use bitnn::weightgen::read_sequence;
+        for (f, c) in [(4usize, 16usize), (2, 70), (5, 130)] {
+            let ck = compressed(f, c);
+            let bank = decoder_for(&ck).collect_bank().unwrap();
+            let offline = ck.decompress().unwrap();
+            assert_eq!((bank.filters(), bank.channels()), (f, c));
+            for fi in 0..f {
+                for ch in 0..c {
+                    assert_eq!(bank.sequence(fi, ch), read_sequence(&offline, fi, ch));
+                }
+            }
+            // The bank's dense materialization equals the offline pack.
+            assert_eq!(
+                bank.to_packed(),
+                bitnn::pack::PackedKernel::pack(&offline).unwrap()
+            );
+            assert!(bank.dedup_ratio() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn collect_bank_rejects_partially_drained_decoder() {
+        let ck = compressed(4, 16);
+        let mut dec = decoder_for(&ck);
+        dec.decode_next().unwrap();
+        assert!(dec.collect_bank().is_err());
     }
 }

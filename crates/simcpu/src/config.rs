@@ -58,6 +58,11 @@ pub struct DecodeUnitConfig {
     /// reproduces the paper's 1.35x (Sec. VI); the paper's Verilog
     /// synthesis results, which would pin this, are not published.
     pub decode_per_cycle: f64,
+    /// Sequences served per cycle when the codeword repeats one already
+    /// resident in the uncompressed table (a table hit skips the Huffman
+    /// walk entirely — only the banked table read and channel-pack
+    /// remain, so hits drain faster than cold decodes).
+    pub table_hits_per_cycle: f64,
     /// Cycles to execute `lddu` (fetch + apply the configuration
     /// structure) before decoding starts.
     pub config_latency: u64,
@@ -127,6 +132,7 @@ impl Default for CpuConfig {
                 register_file_bytes: 256,
                 input_buffer_bytes: 256,
                 decode_per_cycle: 1.55,
+                table_hits_per_cycle: 3.1,
                 config_latency: 40,
             },
             cost: CostModel {

@@ -33,6 +33,9 @@ pub struct UnitStats {
     pub consumer_stall_cycles: u64,
     /// Stream bytes fetched from DRAM.
     pub stream_bytes: u64,
+    /// Sequences served from the uncompressed table without a Huffman
+    /// walk (repeated codewords in a deduplicated stream).
+    pub table_hits: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -42,6 +45,9 @@ struct StreamState {
     /// Stream base address (Table III's compressed-sequences pointer).
     stream_addr: u64,
     num_seqs: u64,
+    /// Distinct sequence values; `num_seqs - unique_seqs` of the decodes
+    /// are table hits.
+    unique_seqs: u64,
     stream_bytes: u64,
     /// Packed channel groups the stream yields (9 words each).
     num_groups: u64,
@@ -80,7 +86,11 @@ impl DecodeUnit {
     /// `lddu`: load a configuration and start decoding a stream of
     /// `num_seqs` sequences occupying `stream_bytes` bytes at
     /// `stream_addr`, packed into `num_groups` channel groups of nine
-    /// words each.
+    /// words each. `unique_seqs` is the number of distinct sequence
+    /// values — the remaining `num_seqs - unique_seqs` decodes repeat a
+    /// value already resident in the uncompressed table and drain at the
+    /// faster table-hit rate. Pass `unique_seqs == num_seqs` for a stream
+    /// with no measured dedup information.
     ///
     /// Any previously armed stream is discarded (the paper requires the
     /// programmer to configure the unit before use).
@@ -94,6 +104,7 @@ impl DecodeUnit {
         stream_addr: u64,
         stream_bytes: u64,
         num_seqs: u64,
+        unique_seqs: u64,
         num_groups: u64,
     ) {
         assert!(num_groups > 0, "a stream must contain at least one group");
@@ -102,6 +113,7 @@ impl DecodeUnit {
             start: cycle + self.cfg.config_latency,
             stream_addr,
             num_seqs,
+            unique_seqs: unique_seqs.min(num_seqs),
             stream_bytes,
             num_groups,
             decoded: 0,
@@ -154,10 +166,24 @@ impl DecodeUnit {
                     self.stats.stream_bytes += bytes;
                     state.chunks_fetched += 1;
                 }
-                // Decode pace: one sequence per 1/decode_per_cycle cycles,
-                // no earlier than the chunk's arrival.
+                // Decode pace: a cold codeword costs 1/decode_per_cycle,
+                // a repeat of a table-resident value drains at the
+                // table-hit rate; neither starts before the chunk lands.
+                // `num_seqs - unique_seqs` hits are spread evenly across
+                // the stream (Bresenham), matching a frequency-skewed
+                // stream where repeats interleave with first sightings.
+                let hits = state.num_seqs - state.unique_seqs;
+                let i = state.decoded;
+                let is_hit =
+                    (i + 1) * hits / state.num_seqs.max(1) > i * hits / state.num_seqs.max(1);
+                let pace = if is_hit {
+                    self.stats.table_hits += 1;
+                    1.0 / cfg.table_hits_per_cycle
+                } else {
+                    1.0 / cfg.decode_per_cycle
+                };
                 let earliest = state.last_chunk_done.max(state.start) as f64;
-                state.decode_clock = state.decode_clock.max(earliest) + 1.0 / cfg.decode_per_cycle;
+                state.decode_clock = state.decode_clock.max(earliest) + pace;
                 state.decoded += 1;
             }
             state.group_ready.push(state.decode_clock.ceil() as u64);
@@ -188,7 +214,7 @@ mod tests {
     #[test]
     fn first_word_waits_for_config_fetch_and_decode() {
         let (mut u, mut mem) = setup();
-        u.lddu(0, 0x4000_0000, 1024, 1024, 16);
+        u.lddu(0, 0x4000_0000, 1024, 1024, 1024, 16);
         let ready = u.ldps(1, &mut mem);
         // config latency (40) + DRAM chunk fetch (~120+) + 64 seqs at
         // 2/cycle (32) — the first word cannot be early.
@@ -198,7 +224,7 @@ mod tests {
     #[test]
     fn later_words_of_same_group_are_free() {
         let (mut u, mut mem) = setup();
-        u.lddu(0, 0x4000_0000, 1024, 1024, 16);
+        u.lddu(0, 0x4000_0000, 1024, 1024, 1024, 16);
         let first = u.ldps(0, &mut mem);
         // Words 2..9 of group 0 are already in the register file.
         for _ in 1..9 {
@@ -210,7 +236,7 @@ mod tests {
     #[test]
     fn consumer_running_behind_never_stalls() {
         let (mut u, mut mem) = setup();
-        u.lddu(0, 0x4000_0000, 1024, 1024, 16);
+        u.lddu(0, 0x4000_0000, 1024, 1024, 1024, 16);
         let mut cycle = 100_000; // consumer arrives very late
         for _ in 0..9 * (1024 / 64) {
             let r = u.ldps(cycle, &mut mem);
@@ -223,7 +249,7 @@ mod tests {
     #[test]
     fn stall_cycles_accumulate_for_eager_consumer() {
         let (mut u, mut mem) = setup();
-        u.lddu(0, 0x4000_0000, 4096, 4096, 64);
+        u.lddu(0, 0x4000_0000, 4096, 4096, 4096, 64);
         let mut cycle = 0;
         for _ in 0..9 * 4 {
             cycle = u.ldps(cycle, &mut mem);
@@ -234,7 +260,7 @@ mod tests {
     #[test]
     fn stream_bytes_fetched_in_chunks() {
         let (mut u, mut mem) = setup();
-        u.lddu(0, 0x4000_0000, 1000, 1024, 16);
+        u.lddu(0, 0x4000_0000, 1000, 1024, 1024, 16);
         // Consume everything.
         let mut cycle = 0;
         for _ in 0..9 * (1024 / 64) {
@@ -256,7 +282,7 @@ mod tests {
     #[should_panic(expected = "past the end")]
     fn ldps_past_stream_panics() {
         let (mut u, mut mem) = setup();
-        u.lddu(0, 0x4000_0000, 72, 64, 1); // one group -> 9 words
+        u.lddu(0, 0x4000_0000, 72, 64, 64, 1); // one group -> 9 words
         for _ in 0..9 {
             u.ldps(0, &mut mem);
         }
@@ -266,16 +292,60 @@ mod tests {
     #[test]
     fn rearming_resets_the_stream() {
         let (mut u, mut mem) = setup();
-        u.lddu(0, 0x4000_0000, 72, 64, 1);
+        u.lddu(0, 0x4000_0000, 72, 64, 64, 1);
         for _ in 0..9 {
             u.ldps(0, &mut mem);
         }
-        u.lddu(1000, 0x4000_0000, 72, 64, 1);
+        u.lddu(1000, 0x4000_0000, 72, 64, 64, 1);
         // A fresh 9 words are available again.
         for _ in 0..9 {
             u.ldps(1000, &mut mem);
         }
         assert_eq!(u.stats().configs, 2);
         assert_eq!(u.stats().words_served, 18);
+    }
+
+    /// Drain a whole stream with an eager consumer and report
+    /// (stall cycles, table hits).
+    fn drain(num_seqs: u64, unique_seqs: u64) -> (u64, u64) {
+        let (mut u, mut mem) = setup();
+        u.lddu(0, 0x4000_0000, 4096, num_seqs, unique_seqs, 64);
+        let mut cycle = 0;
+        for _ in 0..9 * 64 {
+            cycle = u.ldps(cycle, &mut mem);
+        }
+        (u.stats().consumer_stall_cycles, u.stats().table_hits)
+    }
+
+    #[test]
+    fn no_dedup_means_no_table_hits() {
+        let (_, hits) = drain(4096, 4096);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn table_hits_count_the_repeats() {
+        let (_, hits) = drain(4096, 1000);
+        assert_eq!(hits, 4096 - 1000);
+    }
+
+    #[test]
+    fn dedup_reduces_consumer_stalls() {
+        let (stall_cold, _) = drain(4096, 4096);
+        let (stall_dedup, _) = drain(4096, 512);
+        assert!(
+            stall_dedup < stall_cold,
+            "dedup {stall_dedup} must stall less than cold {stall_cold}"
+        );
+    }
+
+    #[test]
+    fn unique_seqs_is_clamped_to_num_seqs() {
+        let (mut u, mut mem) = setup();
+        u.lddu(0, 0x4000_0000, 72, 64, 9999, 1);
+        for _ in 0..9 {
+            u.ldps(0, &mut mem);
+        }
+        assert_eq!(u.stats().table_hits, 0);
     }
 }

@@ -151,11 +151,18 @@ impl Machine {
                 stream_addr,
                 stream_bytes,
                 num_seqs,
+                unique_seqs,
                 num_groups,
             } => {
                 self.issue(1);
-                self.unit
-                    .lddu(self.cycle, stream_addr, stream_bytes, num_seqs, num_groups);
+                self.unit.lddu(
+                    self.cycle,
+                    stream_addr,
+                    stream_bytes,
+                    num_seqs,
+                    unique_seqs,
+                    num_groups,
+                );
             }
             TraceOp::Ldps => {
                 self.issue(1);
@@ -271,6 +278,7 @@ mod tests {
                 stream_addr: 0x4000_0000,
                 stream_bytes: 72,
                 num_seqs: 64,
+                unique_seqs: 64,
                 num_groups: 1,
             },
             TraceOp::Ldps,

@@ -115,6 +115,9 @@ pub struct ModelRun {
     pub layers: Vec<LayerStats>,
     /// Total cycles.
     pub total_cycles: u64,
+    /// Decoding-unit statistics accumulated over the whole run (all
+    /// zeros outside `HardwareDecode` mode).
+    pub unit: crate::decode_unit::UnitStats,
 }
 
 impl ModelRun {
@@ -245,6 +248,7 @@ pub fn run_model_streams(
     ModelRun {
         layers,
         total_cycles,
+        unit: machine.unit_stats(),
     }
 }
 
@@ -484,10 +488,12 @@ mod tests {
         let small = KernelStream {
             stream_bytes: seqs * 9 / 8 / 2,
             num_seqs: seqs,
+            unique_seqs: seqs,
         };
         let large = KernelStream {
             stream_bytes: seqs * 9 / 8,
             num_seqs: seqs,
+            unique_seqs: seqs,
         };
         let run_with = |s: KernelStream| {
             let mut machine = crate::exec::Machine::new(cfg);
@@ -495,6 +501,31 @@ mod tests {
         };
         assert!(run_with(small) < run_with(large));
         assert!((small.ratio() - 2.0).abs() < 0.1, "ratio {}", small.ratio());
+    }
+
+    #[test]
+    fn dedup_stream_runs_no_slower_in_hardware_mode() {
+        // A stream carrying a real dedup bank (unique < total) drains the
+        // decode unit faster; end-to-end cycles must not regress, and on a
+        // weight-bound layer they must strictly improve.
+        let cfg = CpuConfig::default();
+        let wl = weight_bound_conv3();
+        let seqs = wl.num_sequences();
+        let cold = KernelStream::from_ratio(seqs, 1.33);
+        let dedup = KernelStream {
+            unique_seqs: seqs / 8,
+            ..cold
+        };
+        let run_with = |s: KernelStream| {
+            let mut machine = crate::exec::Machine::new(cfg);
+            run_workload_stream_salted(&mut machine, &wl, Mode::HardwareDecode, s, 0).cycles
+        };
+        assert!(
+            run_with(dedup) < run_with(cold),
+            "dedup {} vs cold {}",
+            run_with(dedup),
+            run_with(cold)
+        );
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub enum TraceOp {
         stream_bytes: u64,
         /// Number of bit sequences in the stream.
         num_seqs: u64,
+        /// Distinct sequence values in the stream. Repeats hit the unit's
+        /// uncompressed table and bypass the Huffman decoder.
+        unique_seqs: u64,
         /// Packed channel groups the stream yields (9 words each).
         num_groups: u64,
     },
@@ -108,14 +111,20 @@ pub struct KernelStream {
     pub stream_bytes: u64,
     /// Codewords in the stream (one per kernel channel).
     pub num_seqs: u64,
+    /// Distinct sequence values among the codewords. Synthetic streams
+    /// assume the worst case (`unique_seqs == num_seqs`); streams measured
+    /// from a real container carry the record's dedup bank size.
+    pub unique_seqs: u64,
 }
 
 impl KernelStream {
     /// Synthesize a stream for `num_seqs` sequences at a payload ratio.
+    /// Assumes no repeated sequences (`unique_seqs == num_seqs`).
     pub fn from_ratio(num_seqs: u64, compression_ratio: f64) -> Self {
         KernelStream {
             stream_bytes: stream_bytes(num_seqs, compression_ratio),
             num_seqs,
+            unique_seqs: num_seqs,
         }
     }
 
@@ -168,6 +177,7 @@ pub fn conv3x3_ops_stream(
     let tile = cfg.pixel_tile as u64;
     let k_filters = wl.out_ch as u64;
     let num_seqs = stream.num_seqs;
+    let unique_seqs = stream.unique_seqs.min(num_seqs);
     let num_groups = k_filters * lanes;
     let sbytes = stream.stream_bytes;
     let in_w = (wl.ow * 2 + 2) as u64; // generous input row pitch
@@ -208,6 +218,7 @@ pub fn conv3x3_ops_stream(
                 stream_addr: s_base,
                 stream_bytes: sbytes,
                 num_seqs,
+                unique_seqs,
                 num_groups,
             });
         }

@@ -333,8 +333,9 @@ fn cmd_compress(args: &[String]) -> CliResult {
 }
 
 fn cmd_inspect(args: &[String]) -> CliResult {
-    check_flags("inspect", args, &["--in"], &[])?;
+    check_flags("inspect", args, &["--in"], &["--stats"])?;
     let input = flag_value(args, "--in").ok_or("--in <file> is required")?;
+    let stats = args.iter().any(|a| a == "--stats");
     let bytes = std::fs::read(input)?;
     if bytes.len() >= 4 && &bytes[..4] == bnnkc::kc_core::delta::PATCH_MAGIC {
         return inspect_patch_file(input, &bytes);
@@ -382,6 +383,36 @@ fn cmd_inspect(args: &[String]) -> CliResult {
         );
         if let Err(e) = c.decode_kernel() {
             warnings.push(format!("kernel {}: stream does not decode: {e}", i + 1));
+        }
+        // --stats: sequence-skew statistics from the record's dedup bank
+        // (paper Fig. 2: a handful of 9-bit values dominate each kernel).
+        if stats {
+            match c.decode_bank() {
+                Ok(bank) => {
+                    let top: Vec<String> = bank
+                        .top_k(5)
+                        .into_iter()
+                        .map(|(seq, count)| {
+                            format!(
+                                "{seq:#05x}x{count} ({:.1}%)",
+                                100.0 * count as f64 / bank.total_count() as f64
+                            )
+                        })
+                        .collect();
+                    println!(
+                        "           {} unique of {} seqs (dedup {:.2}x), \
+                         {} H1-cluster roots, top-5 [{}]",
+                        bank.unique_count(),
+                        bank.total_count(),
+                        bank.dedup_ratio(),
+                        bank.h1_root_count(),
+                        top.join(", "),
+                    );
+                }
+                Err(e) => {
+                    warnings.push(format!("kernel {}: bank does not decode: {e}", i + 1));
+                }
+            }
         }
     }
     if container.spec.is_none() {
@@ -604,12 +635,20 @@ fn cmd_run(args: &[String]) -> CliResult {
 
     // Deploy the compressed kernels. Streamed path: Huffman stream →
     // channel-packed lane words → engine weight forms, no intermediate
-    // [K, C, 3, 3] tensor. Offline path: decompress to a flat tensor,
-    // then re-pack — the bit-exact reference.
+    // [K, C, 3, 3] tensor; layers the engine's dedup heuristic selects
+    // for compressed-domain execution instead keep the stream's dedup
+    // bank and never materialize dense lane words at all. Offline path:
+    // decompress to a flat tensor, then re-pack — the bit-exact
+    // reference.
+    let engine = Engine::with_threads(threads);
     let t0 = Instant::now();
+    let mut bank_deploys = 0usize;
     for (i, c) in container.kernels.iter().enumerate() {
         if offline {
             model.set_conv3_weights(i, c.decode_kernel()?)?;
+        } else if engine.uses_bank(3, 3, c.channels) {
+            model.set_conv3_bank(i, c.decode_bank()?)?;
+            bank_deploys += 1;
         } else {
             model.set_conv3_packed(i, c.decode_packed()?)?;
         }
@@ -621,7 +660,6 @@ fn cmd_run(args: &[String]) -> CliResult {
         _ => 3,
     };
     let inputs = synthetic_batch(batch, input_channels, image, seed ^ RUN_INPUT_SALT);
-    let engine = Engine::with_threads(threads);
     let t1 = Instant::now();
     let outputs = match backend {
         // The engine path keeps its batch-level parallel entry point.
@@ -646,9 +684,14 @@ fn cmd_run(args: &[String]) -> CliResult {
         "{input}: arch {arch}, {} kernels deployed via {} in {decode_ms:.1} ms",
         container.kernels.len(),
         if offline {
-            "offline decompress+pack"
+            "offline decompress+pack".to_string()
+        } else if bank_deploys > 0 {
+            format!(
+                "streaming decode ({bank_deploys} as dedup banks for \
+                 compressed-domain execution, rest as lane words)"
+            )
         } else {
-            "streaming decode (stream -> lane words -> engine)"
+            "streaming decode (stream -> lane words -> engine)".to_string()
         }
     );
     println!(
@@ -741,12 +784,32 @@ fn simulate_container(args: &[String], input: &str, image: usize) -> CliResult {
     let spec = spec_with_image(container.spec_or_reactnet(image)?, image);
     let wls = spec.workloads();
 
+    // Each record's dedup bank gives the unique-sequence count the
+    // decode unit's uncompressed table exploits: `streams` models a unit
+    // with no dedup information, `dedup_streams` the skew-aware unit.
+    let banks = container
+        .kernels
+        .iter()
+        .map(|c| c.decode_bank())
+        .collect::<Result<Vec<_>, _>>()?;
     let streams: Vec<KernelStream> = container
         .kernels
         .iter()
-        .map(|c| KernelStream {
-            stream_bytes: c.stream.len() as u64,
-            num_seqs: (c.filters * c.channels) as u64,
+        .map(|c| {
+            let num_seqs = (c.filters * c.channels) as u64;
+            KernelStream {
+                stream_bytes: c.stream.len() as u64,
+                num_seqs,
+                unique_seqs: num_seqs,
+            }
+        })
+        .collect();
+    let dedup_streams: Vec<KernelStream> = streams
+        .iter()
+        .zip(&banks)
+        .map(|(s, bank)| KernelStream {
+            unique_seqs: bank.unique_count() as u64,
+            ..*s
         })
         .collect();
 
@@ -757,12 +820,14 @@ fn simulate_container(args: &[String], input: &str, image: usize) -> CliResult {
         orig_bits += dc.num_sequences * 9;
         comp_bits += c.stream_bits as u64;
         println!(
-            "kernel {:>2}: {:>4}x{:<4} {:>6} seqs, stream {:>7} B, ratio {:.3}x, \
-             code lengths {:?}",
+            "kernel {:>2}: {:>4}x{:<4} {:>6} seqs ({:>3} unique, dedup {:.2}x), \
+             stream {:>7} B, ratio {:.3}x, code lengths {:?}",
             i + 1,
             c.filters,
             c.channels,
             dc.num_sequences,
+            banks[i].unique_count(),
+            banks[i].dedup_ratio(),
             dc.stream_len_bytes,
             streams[i].ratio(),
             dc.node_code_lengths,
@@ -777,8 +842,18 @@ fn simulate_container(args: &[String], input: &str, image: usize) -> CliResult {
     let base = run_model(&cpu, &wls, Mode::Baseline, &[1.0]);
     let sw = run_spec_streams(&cpu, &spec, Mode::SoftwareDecode, &streams)?;
     let hw = run_spec_streams(&cpu, &spec, Mode::HardwareDecode, &streams)?;
+    let hw_dedup = run_spec_streams(&cpu, &spec, Mode::HardwareDecode, &dedup_streams)?;
     println!("image {image}x{image}, streams from {input}:");
     print_mode_cycles(&base, &sw, &hw);
+    println!(
+        "  hw+dedup: {:>12} cycles ({:.3}x faster; {} table hits, \
+         consumer stalls {} -> {})",
+        hw_dedup.total_cycles,
+        base.total_cycles as f64 / hw_dedup.total_cycles as f64,
+        hw_dedup.unit.table_hits,
+        hw.unit.consumer_stall_cycles,
+        hw_dedup.unit.consumer_stall_cycles,
+    );
 
     // First-order energy (decoding-unit sequences: each 3×3 layer
     // re-streams its kernel once per pixel tile).

@@ -15,7 +15,7 @@ use bnnkc::prelude::*;
 use proptest::prelude::*;
 
 use bitnn::backend::all_backends;
-use bitnn::exec::Lowering;
+use bitnn::exec::{DedupMode, Lowering};
 use bitnn::layers::{BatchNorm, BinConv2d, QuantConv2d, QuantLinear, RPReLU, RSign};
 use bitnn::ops::conv::Conv2dParams;
 use bitnn::pack::PackedActivations;
@@ -184,6 +184,48 @@ proptest! {
         }
     }
 
+    /// The compressed-domain (sequence-bank memoized) conv path is
+    /// bit-exact with the scalar oracle across architecture families,
+    /// image sizes, batches, and thread counts. `DedupMode::On` forces
+    /// the bank path onto every 3×3 layer regardless of width;
+    /// `DedupMode::Off` pins the dense path — both must agree with the
+    /// oracle, and hence with each other, on every architecture's mix of
+    /// strides and shortcut forms.
+    #[test]
+    fn dedup_paths_match_scalar_across_architectures(
+        arch_idx in 0usize..3,
+        image in 12usize..20,
+        batch in 1usize..3,
+        threads in 1usize..5,
+        dedup_on in any::<bool>(),
+        seed in any::<u64>()
+    ) {
+        let arch = Arch::ALL[arch_idx];
+        let model = build_model(arch, 0.0625, image, seed).unwrap();
+        let inputs = synthetic_batch(batch, 3, image, seed ^ 0xD3D0);
+        let engine = Engine::new(ExecPolicy {
+            threads,
+            dedup: if dedup_on { DedupMode::On } else { DedupMode::Off },
+            ..ExecPolicy::default()
+        });
+        let backend = CpuBackend::new(engine.clone());
+        let mut state = model.state_for(&backend);
+        for x in &inputs {
+            let mut y = Tensor::default();
+            model.forward_on(&backend, &mut state, x, &mut y).unwrap();
+            let e = model.forward_scalar(x).unwrap();
+            prop_assert_eq!(y.data(), e.data(),
+                "{} dedup={} diverged from scalar oracle", arch, dedup_on);
+        }
+        // The batch-parallel entry point must take the same path.
+        let batched = model.forward_batch(&inputs, &engine).unwrap();
+        for (x, via_batch) in inputs.iter().zip(&batched) {
+            let scalar = model.forward_scalar(x).unwrap();
+            prop_assert_eq!(scalar.data(), via_batch.data(),
+                "{} dedup={} batch path diverged", arch, dedup_on);
+        }
+    }
+
     /// Op-level floor under the graph sweep: the engine conv is bit-exact
     /// vs `ops::reference` across random shapes, strides, pads, thread
     /// counts, and every lowering — through whatever SIMD path the host
@@ -216,6 +258,7 @@ proptest! {
             lowering,
             // Exercise the parallel path even on tiny shapes.
             min_work: 0,
+            ..ExecPolicy::default()
         });
         let mut scratch = ConvScratch::default();
         let got = engine.conv2d(&pa, (&pk).into(), params, &mut scratch).unwrap();

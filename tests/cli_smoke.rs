@@ -459,4 +459,44 @@ fn inspect_exits_nonzero_on_parse_warnings() {
         stderr.contains("warning") && stderr.contains("ReActNet"),
         "missing warning report: {stderr}"
     );
+    // --stats keeps the nonzero exit: statistics never mask warnings.
+    let i = bnnkc(&["inspect", "--in", file.0.to_str().unwrap(), "--stats"]);
+    assert!(
+        !i.status.success(),
+        "inspect --stats must exit nonzero on warnings too"
+    );
+}
+
+/// `inspect --stats` reports per-record sequence-skew statistics: unique
+/// counts, dedup ratio, Hamming-1 roots, and a top-k frequency histogram.
+#[test]
+fn inspect_stats_reports_sequence_skew() {
+    let out = TempFile(tmp_file("stats.bkcm"));
+    let path = out.0.to_str().unwrap();
+    let c = bnnkc(&["compress", "--out", path, "--scale", "0.125"]);
+    assert!(c.status.success(), "compress failed: {c:?}");
+
+    let i = bnnkc(&["inspect", "--in", path, "--stats"]);
+    assert!(i.status.success(), "inspect --stats failed: {i:?}");
+    let stdout = String::from_utf8_lossy(&i.stdout);
+    assert!(
+        stdout.contains("unique of") && stdout.contains("dedup"),
+        "missing dedup statistics: {stdout}"
+    );
+    assert!(
+        stdout.contains("H1-cluster roots") && stdout.contains("top-5"),
+        "missing histogram line: {stdout}"
+    );
+    // Skewed paper-like kernels always repeat sequences, so at least one
+    // record must report a dedup ratio above 1.
+    assert!(
+        stdout.lines().filter(|l| l.contains("unique of")).count() == 13,
+        "one stats line per kernel: {stdout}"
+    );
+
+    // Without --stats the lines are absent (the default output is the
+    // stable machine-parsed surface).
+    let i = bnnkc(&["inspect", "--in", path]);
+    assert!(i.status.success());
+    assert!(!String::from_utf8_lossy(&i.stdout).contains("unique of"));
 }

@@ -18,6 +18,7 @@ fn engine(threads: usize) -> Engine {
         // pool sees concurrent jobs wherever the hardware allows.
         min_work: 0,
         lowering: Lowering::Auto,
+        ..ExecPolicy::default()
     })
 }
 

@@ -28,10 +28,13 @@ fn decoder_config_drives_the_unit_end_to_end() {
     // Arm the unit exactly from the Table III structure.
     let lanes = (128usize).div_ceil(64) as u64;
     let num_groups = ck.filters() as u64 * lanes;
+    // No dedup information from the config alone: worst case, every
+    // sequence is unique and the table never hits.
     unit.lddu(
         0,
         cfg.stream_ptr,
         cfg.stream_len_bytes,
+        cfg.num_sequences,
         cfg.num_sequences,
         num_groups,
     );
