@@ -1,0 +1,404 @@
+//! `loadgen` — wire-protocol load generator for `bnnkc serve`.
+//!
+//! Drives a running daemon with concurrent connections and reports the
+//! serving metrics the perfsuite and CI gate on: request throughput,
+//! client-observed p50/p99 latency, the daemon's batch-size histogram
+//! (how well coalescing is working), and per-code rejection counts
+//! (whether backpressure engaged).
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:PORT [--model default] [--conns 16]
+//!         [--requests 100] [--rate 0] [--seed 1] [--warmup 10]
+//!         [--json] [--check N] [--shutdown]
+//! ```
+//!
+//! * Closed loop by default: each connection keeps one request in
+//!   flight. `--rate R` switches to **open-loop** arrivals: requests are
+//!   scheduled at a fixed aggregate rate of `R` req/s regardless of
+//!   completions, which is what makes queue buildup (and backpressure)
+//!   observable.
+//! * Inputs are the same deterministic synthetic batch `bnnkc run`
+//!   uses (seed XOR the shared input salt), so served logits are
+//!   comparable bit-for-bit with the offline path.
+//! * `--check N` sends items `0..N` sequentially on one connection and
+//!   prints exactly the per-item lines `bnnkc run --batch N` prints
+//!   (argmax, logit head, FNV digest) — CI diffs the two outputs.
+
+use bench::{arg_flag, arg_u64};
+use bitnn::infer::{logits_digest, synthetic_batch, RUN_INPUT_SALT};
+use bnnkc_serve::Client;
+use kc_core::wire::{InferRequest, ModelInfo, Request, Response, StatsReport};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn arg_str<'a>(args: &'a [String], flag: &str, default: &'a str) -> &'a str {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map_or(default, String::as_str)
+}
+
+/// One connection's share of the run.
+struct ConnResult {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    rejected: BTreeMap<&'static str, u64>,
+    /// Hard failures (transport errors, unexpected responses).
+    errors: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+/// Fetch the daemon's stats (for model discovery and histogram deltas).
+fn fetch_stats(addr: &str) -> Result<StatsReport, String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match c.call(&Request::Stats) {
+        Ok(Response::Stats(s)) => Ok(s),
+        Ok(other) => Err(format!("unexpected response to Stats: {other:?}")),
+        Err(e) => Err(format!("stats call failed: {e}")),
+    }
+}
+
+fn find_model<'a>(stats: &'a StatsReport, name: &str) -> Result<&'a ModelInfo, String> {
+    stats.models.iter().find(|m| m.name == name).ok_or_else(|| {
+        let known: Vec<&str> = stats.models.iter().map(|m| m.name.as_str()).collect();
+        format!("daemon has no model `{name}` (registered: {known:?})")
+    })
+}
+
+/// One connection's arrival schedule: it owns every `conns`-th slot of
+/// the global sequence starting at `conn_idx`, and in open-loop mode
+/// (`interval` set) each slot is due at `start_at + slot * interval`.
+#[derive(Clone, Copy)]
+struct Schedule {
+    conn_idx: u64,
+    conns: u64,
+    interval: Option<Duration>,
+    start_at: Instant,
+}
+
+fn run_conn(
+    addr: &str,
+    model: &str,
+    inputs: &[InferRequest],
+    requests: u64,
+    sched: Schedule,
+) -> ConnResult {
+    let mut res = ConnResult {
+        latencies_ns: Vec::with_capacity(requests as usize),
+        ok: 0,
+        rejected: BTreeMap::new(),
+        errors: 0,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            res.errors = requests;
+            return res;
+        }
+    };
+    for i in 0..requests {
+        // Interleaved slots keep open-loop arrivals at the aggregate
+        // rate across connections.
+        let slot = sched.conn_idx + i * sched.conns;
+        if let Some(step) = sched.interval {
+            // Open loop: arrivals are scheduled by wall clock no matter
+            // how long earlier replies took.
+            let due = sched.start_at + step * slot as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let mut req = inputs[slot as usize % inputs.len()].clone();
+        req.model = model.to_string();
+        req.seq = slot;
+        let t0 = Instant::now();
+        match client.call(&Request::Infer(req)) {
+            Ok(Response::Logits { .. }) => {
+                res.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                res.ok += 1;
+            }
+            Ok(Response::Err { code, .. }) => {
+                *res.rejected.entry(code.as_str()).or_insert(0) += 1;
+            }
+            Ok(_) | Err(_) => res.errors += 1,
+        }
+    }
+    res
+}
+
+/// `--check N`: replicate `bnnkc run --batch N`'s per-item output from
+/// served responses. Returns false on any mismatch-level failure
+/// (non-logits response).
+fn run_check(addr: &str, model: &str, n: usize, seed: u64, info: &ModelInfo) -> bool {
+    let inputs = synthetic_batch(
+        n,
+        info.channels as usize,
+        info.image as usize,
+        seed ^ RUN_INPUT_SALT,
+    );
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return false;
+        }
+    };
+    for (i, x) in inputs.iter().enumerate() {
+        let req = Request::Infer(InferRequest {
+            model: model.to_string(),
+            seq: i as u64,
+            shape: [info.channels, info.image, info.image],
+            data: x.data().to_vec(),
+        });
+        match client.call(&req) {
+            Ok(Response::Logits { data, .. }) => {
+                let argmax = data
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                let head: Vec<String> = data
+                    .iter()
+                    .take(4)
+                    .map(|v| format!("{:08x}", v.to_bits()))
+                    .collect();
+                println!(
+                    "item {i}: argmax {argmax}, logits[0..{}] = [{}], digest {:016x}",
+                    head.len(),
+                    head.join(" "),
+                    logits_digest(&data)
+                );
+            }
+            Ok(other) => {
+                eprintln!("item {i}: unexpected response {other:?}");
+                return false;
+            }
+            Err(e) => {
+                eprintln!("item {i}: {e}");
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = arg_str(&args, "--addr", "");
+    if addr.is_empty() {
+        eprintln!(
+            "usage: loadgen --addr HOST:PORT [--model default] [--conns 16] [--requests 100] \
+             [--rate 0] [--seed 1] [--warmup 10] [--json] [--check N]"
+        );
+        return ExitCode::FAILURE;
+    }
+    let model = arg_str(&args, "--model", "default");
+    let conns = arg_u64(&args, "--conns", 16).max(1);
+    let requests = arg_u64(&args, "--requests", 100);
+    let rate = arg_u64(&args, "--rate", 0);
+    let seed = arg_u64(&args, "--seed", 1);
+    let warmup = arg_u64(&args, "--warmup", 10);
+    let json = arg_flag(&args, "--json");
+
+    if arg_flag(&args, "--shutdown") {
+        let resp = Client::connect(addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.call(&Request::Shutdown).map_err(|e| e.to_string()));
+        return match resp {
+            Ok(Response::Closing) => {
+                println!("daemon closing");
+                ExitCode::SUCCESS
+            }
+            Ok(other) => {
+                eprintln!("unexpected response to Shutdown: {other:?}");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let before = match fetch_stats(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let info = match find_model(&before, model) {
+        Ok(m) => m.clone(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return if run_check(addr, model, n, seed, &info) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // The request pool every connection draws from: the same synthetic
+    // inputs `bnnkc run` would use with this seed.
+    let pool = 64usize;
+    let tensors = synthetic_batch(
+        pool,
+        info.channels as usize,
+        info.image as usize,
+        seed ^ RUN_INPUT_SALT,
+    );
+    let inputs: Vec<InferRequest> = tensors
+        .iter()
+        .map(|t| InferRequest {
+            model: model.to_string(),
+            seq: 0,
+            shape: [info.channels, info.image, info.image],
+            data: t.data().to_vec(),
+        })
+        .collect();
+
+    // Warm the daemon (sizes its scratch/buffers) outside the timed run.
+    if warmup > 0 {
+        let sched = Schedule {
+            conn_idx: 0,
+            conns: 1,
+            interval: None,
+            start_at: Instant::now(),
+        };
+        let _ = run_conn(addr, model, &inputs, warmup, sched);
+    }
+
+    let interval = (rate > 0).then(|| Duration::from_secs_f64(1.0 / rate as f64));
+    let t0 = Instant::now();
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let inputs = &inputs;
+                let sched = Schedule {
+                    conn_idx: c,
+                    conns,
+                    interval,
+                    start_at: t0,
+                };
+                scope.spawn(move || run_conn(addr, model, inputs, requests, sched))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let after = match fetch_stats(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let mut rejected: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in &results {
+        for (code, n) in &r.rejected {
+            *rejected.entry(code).or_insert(0) += n;
+        }
+    }
+    let rejected_total: u64 = rejected.values().sum();
+    let rps = ok as f64 / wall.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    // Batch-size histogram over exactly this run: the daemon counter
+    // delta.
+    let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(size, count) in &after.batch_hist {
+        let prior = before
+            .batch_hist
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map_or(0, |(_, c)| *c);
+        if count > prior {
+            hist.insert(size, count - prior);
+        }
+    }
+
+    if json {
+        let hist_json: Vec<String> = hist.iter().map(|(s, c)| format!("[{s}, {c}]")).collect();
+        let rej_json: Vec<String> = rejected
+            .iter()
+            .map(|(code, n)| format!("\"{code}\": {n}"))
+            .collect();
+        println!("{{");
+        println!("  \"model\": \"{model}\",");
+        println!("  \"conns\": {conns},");
+        println!("  \"requests_per_conn\": {requests},");
+        println!("  \"rate_rps\": {rate},");
+        println!("  \"open_loop\": {},", rate > 0);
+        println!("  \"ok\": {ok},");
+        println!("  \"rejected\": {rejected_total},");
+        println!("  \"rejected_by_code\": {{{}}},", rej_json.join(", "));
+        println!("  \"errors\": {errors},");
+        println!("  \"wall_s\": {:.6},", wall.as_secs_f64());
+        println!("  \"req_per_s\": {rps:.2},");
+        println!("  \"p50_us\": {:.1},", p50 as f64 / 1e3);
+        println!("  \"p99_us\": {:.1},", p99 as f64 / 1e3);
+        println!("  \"batch_hist\": [{}],", hist_json.join(", "));
+        println!("  \"served_version\": {},", info.version);
+        println!("  \"max_batch\": {},", info.max_batch);
+        println!("  \"queue_depth\": {}", info.queue_depth);
+        println!("}}");
+    } else {
+        println!(
+            "loadgen: model `{model}`, {conns} conns x {requests} reqs, {}",
+            if rate > 0 {
+                format!("open loop at {rate} req/s")
+            } else {
+                "closed loop".to_string()
+            }
+        );
+        println!(
+            "  {ok} ok, {rejected_total} rejected, {errors} errors in {:.3} s -> {rps:.1} req/s",
+            wall.as_secs_f64()
+        );
+        println!(
+            "  latency p50 {:.1} us, p99 {:.1} us",
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3
+        );
+        for (code, n) in &rejected {
+            println!("  rejected[{code}]: {n}");
+        }
+        println!("  batch-size histogram (this run):");
+        for (size, count) in &hist {
+            println!("    {size:>3}: {count}");
+        }
+    }
+    if errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

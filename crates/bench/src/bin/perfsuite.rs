@@ -38,6 +38,17 @@
 //!    `parallel_scaling` criteria gate on exactly that: if any
 //!    multi-thread ratio falls below its floor, perfsuite exits nonzero,
 //!    failing CI.
+//! 8. **Serving** — the `bnnkc serve` daemon core (in process, no
+//!    socket): closed-loop client threads calling `infer_blocking`
+//!    against the coalescing batch queue, versus the same server forced
+//!    to batch 1. Served logits are asserted bit-exact against the
+//!    offline oracle before timing. The derived criteria are enforced:
+//!    coalescing must win at the top concurrency when the resolved
+//!    batch capacity is ≥ 2 (on a host whose capacity clamps to 1 the
+//!    two configurations run byte-identical code, so the measurement is
+//!    reused and the gate is the parity floor, exactly like the
+//!    thread-ladder reuse), and the p99/p50 latency tail must stay
+//!    under its ceiling — coalescing may not starve single requests.
 //!
 //! Every engine configuration is asserted bit-exact against its baseline
 //! before being timed. Thread-ladder entries whose *effective* thread
@@ -48,13 +59,18 @@
 //! scheduler drift as a phantom thread-scaling difference. On a host with
 //! at least 8 cores every ladder entry is a genuine measurement.
 //! Results are printed as a table and written to
-//! `BENCH_perf.json` (schema `bnnkc-perfsuite/v4`; override the path with
+//! `BENCH_perf.json` (schema `bnnkc-perfsuite/v5`; override the path with
 //! `--out PATH`), then the file is re-read through [`bench::perfjson`] and
 //! structurally validated, so CI's `--smoke` run proves the tracked
 //! artifact stays parseable.
 //!
-//! `bnnkc-perfsuite/v4` adds the `dedup` object on `compressed_e2e`
-//! (`ratio`, `table_hit_rate`), the bank deploy/exec entries, and raises
+//! `bnnkc-perfsuite/v5` adds the `serving` section (the `thr` column
+//! there counts closed-loop client connections, not engine threads), its
+//! `serving` stats object (`batch_capacity`, `concurrency`, `p50_ns`,
+//! `p99_ns`), and the two enforced serving criteria.
+//!
+//! `bnnkc-perfsuite/v4` added the `dedup` object on `compressed_e2e`
+//! (`ratio`, `table_hit_rate`), the bank deploy/exec entries, and raised
 //! the enforced `compressed_stream_1t_speedup` floor to 1.15.
 //!
 //! Since `bnnkc-perfsuite/v3` every measurement records *which* backend
@@ -76,7 +92,7 @@
 use bench::{arg_flag, arg_u64, perfjson, TablePrinter};
 use bitnn::engine::Engine;
 use bitnn::exec::{DedupMode, ExecPolicy, Lowering, IM2COL_MAX_CHANNELS};
-use bitnn::graph::arch::{build_model, Arch};
+use bitnn::graph::arch::{attach_weights, build_model, Arch};
 use bitnn::graph::arch::{build_spec, sample_conv3_kernels};
 use bitnn::infer::synthetic_batch;
 use bitnn::model::ReActNet;
@@ -86,7 +102,8 @@ use bitnn::ops::gemm::{
 };
 use bitnn::pack::{PackedActivations, PackedKernel};
 use bitnn::simd;
-use bitnn::tensor::BitTensor;
+use bitnn::tensor::{BitTensor, Tensor};
+use bnnkc_serve::{InferSlot, ServeConfig, Server};
 use kc_core::codec::KernelCodec;
 use kc_core::container::{
     read_model_container, read_model_container_unverified, write_model_container_v3, Container,
@@ -109,6 +126,20 @@ const SCALING_FLOOR: f64 = 0.9;
 /// `unverified_ns / verified_ns` must stay at or above `1/1.10`. This is
 /// the budget that keeps verification on by default.
 const INTEGRITY_FLOOR: f64 = 1.0 / 1.10;
+
+/// Ceiling for the enforced serving tail criterion: at the top client
+/// concurrency, coalescing may stretch p99 latency to at most this
+/// multiple of p50. Closed-loop queueing on a saturated host already
+/// costs every request one batch of head-of-line wait, so the ceiling
+/// bounds *starvation* (a request stranded across many flushes), not
+/// ordinary queueing.
+const TAIL_CEILING: f64 = 8.0;
+
+/// Smoke-mode serving tail ceiling: smoke forwards are microseconds, so
+/// a single scheduler preemption is many multiples of p50. The gate
+/// still catches a stranded request (hundreds of multiples) without
+/// tracking timer noise.
+const TAIL_CEILING_SMOKE: f64 = 40.0;
 
 /// One timed configuration. `backend`/`kernel` record which execution
 /// backend and which dispatched kernel variant produced the number —
@@ -161,6 +192,16 @@ struct DedupStats {
     table_hit_rate: f64,
 }
 
+/// Serving-tier statistics (schema v5): the server's resolved coalescing
+/// batch capacity and the per-request latency distribution tail at the
+/// top client concurrency, which the enforced tail criterion gates on.
+struct ServingStats {
+    capacity: usize,
+    concurrency: usize,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
 /// One benchmark tier.
 struct Section {
     name: &'static str,
@@ -170,6 +211,8 @@ struct Section {
     entries: Vec<Entry>,
     /// Dedup statistics, recorded by `compressed_e2e` only.
     dedup: Option<DedupStats>,
+    /// Serving statistics, recorded by `serving` only.
+    serving: Option<ServingStats>,
 }
 
 impl Section {
@@ -324,6 +367,7 @@ fn bench_gemm(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         baseline_ns,
         entries,
         dedup: None,
+        serving: None,
     }
 }
 
@@ -391,6 +435,7 @@ fn bench_conv(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         baseline_ns,
         entries,
         dedup: None,
+        serving: None,
     }
 }
 
@@ -429,6 +474,7 @@ fn bench_e2e(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         baseline_ns,
         entries,
         dedup: None,
+        serving: None,
     }
 }
 
@@ -606,6 +652,7 @@ fn bench_compressed(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         baseline_ns,
         entries,
         dedup: Some(dedup),
+        serving: None,
     }
 }
 
@@ -657,6 +704,7 @@ fn bench_arch_e2e(smoke: bool, seed: u64) -> Section {
         baseline_ns,
         entries,
         dedup: None,
+        serving: None,
     }
 }
 
@@ -720,6 +768,7 @@ fn bench_integrity(smoke: bool, seed: u64) -> Section {
         baseline_ns,
         entries,
         dedup: None,
+        serving: None,
     }
 }
 
@@ -824,6 +873,187 @@ fn bench_parallel_scaling(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         baseline_ns,
         entries,
         dedup: None,
+        serving: None,
+    }
+}
+
+/// One closed-loop serving measurement: throughput as wall-clock
+/// ns/request over every request issued, plus the merged per-request
+/// latency percentiles the tail criterion gates on.
+#[derive(Clone, Copy)]
+struct ServeRun {
+    ns_per_req: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+/// Drive `server` with `conns` closed-loop client threads, each issuing
+/// `per_conn` blocking requests (after a one-request-per-connection
+/// warmup that sizes the request cells, queue storage, and worker batch
+/// scratch). Inputs are striped across connections so concurrent
+/// batches mix images, the way real traffic would.
+fn run_serve_load(server: &Server, conns: usize, per_conn: usize, inputs: &[Tensor]) -> ServeRun {
+    std::thread::scope(|s| {
+        for c in 0..conns {
+            let x = &inputs[c % inputs.len()];
+            s.spawn(move || {
+                let mut slot = InferSlot::new();
+                let mut out = Tensor::default();
+                server
+                    .infer_blocking("m", &mut slot, x, &mut out)
+                    .expect("warmup infer");
+            });
+        }
+    });
+    let t0 = Instant::now();
+    let mut lats: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut slot = InferSlot::new();
+                    let mut out = Tensor::default();
+                    let mut lats = Vec::with_capacity(per_conn);
+                    for i in 0..per_conn {
+                        let x = &inputs[(c + i * conns) % inputs.len()];
+                        let t = Instant::now();
+                        server
+                            .infer_blocking("m", &mut slot, x, &mut out)
+                            .expect("timed infer");
+                        lats.push(t.elapsed().as_nanos() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_nanos() as f64;
+    lats.sort_unstable();
+    let pct = |p: f64| lats[((lats.len() - 1) as f64 * p) as usize] as f64;
+    ServeRun {
+        ns_per_req: wall / (conns * per_conn) as f64,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+    }
+}
+
+/// The serving tier: the daemon core under closed-loop concurrent load —
+/// the coalescing batch queue versus the same server forced to batch 1,
+/// both asserted bit-exact against the offline decode oracle before any
+/// timing. The `threads` column of these entries counts client
+/// connections, not engine threads (the engine runs the default policy
+/// in both configurations). When the server's resolved batch capacity is
+/// 1 — a 1-core host, where `preferred_batch` clamps to the hardware —
+/// the coalesced top-concurrency configuration runs byte-identical code
+/// to the forced-batch-1 baseline, so its measurement is reused exactly
+/// like the thread-ladder entries reuse theirs.
+fn bench_serving(smoke: bool, seed: u64) -> Section {
+    let (image, per_conn) = if smoke { (16usize, 8usize) } else { (32, 48) };
+    const TOP_CONCURRENCY: usize = 16;
+    let scale = 0.0625;
+    let codec = KernelCodec::paper_clustered();
+    let spec = build_spec(Arch::VggSmall, scale, image).expect("build spec");
+    let compressed: Vec<_> = sample_conv3_kernels(&spec, seed ^ 0x5E12)
+        .expect("sample kernels")
+        .iter()
+        .map(|k| codec.compress(k).expect("compress"))
+        .collect();
+    let bytes = write_model_container_v3(&spec, &compressed).expect("write v3");
+    let inputs = synthetic_batch(16, 3, image, seed ^ 0x10AD);
+
+    // The independent oracle: offline decompress-and-pack deployment,
+    // forwarded on a single-threaded engine (the `bnnkc run --offline`
+    // reference path).
+    let expect: Vec<Vec<u32>> = {
+        let parsed = read_model_container(&bytes).expect("parse container");
+        let mut graph = attach_weights(&spec, seed).expect("attach weights");
+        for (i, c) in parsed.kernels.iter().enumerate() {
+            graph
+                .set_conv3_weights(i, c.decode_kernel().expect("decode kernel"))
+                .expect("container matches spec");
+        }
+        graph
+            .forward_batch(&inputs, &Engine::single_threaded())
+            .expect("oracle forward")
+            .iter()
+            .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+            .collect()
+    };
+
+    // Both configurations must serve bit-exact logits before timing.
+    let mk_server = |max_batch: usize| {
+        let server = Server::new(ServeConfig {
+            policy: ExecPolicy::default(),
+            max_batch,
+            seed,
+            image,
+            ..Default::default()
+        });
+        server.register_bytes("m", &bytes).expect("register model");
+        let mut slot = InferSlot::new();
+        let mut out = Tensor::default();
+        for (x, want) in inputs.iter().zip(&expect) {
+            server
+                .infer_blocking("m", &mut slot, x, &mut out)
+                .expect("serve infer");
+            let got: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(&got, want, "served logits diverge from the oracle");
+        }
+        server
+    };
+    let coalesced = mk_server(0); // auto: the per-plan preferred batch
+    let batch1 = mk_server(1);
+    let capacity = coalesced.stats_report().models[0].max_batch as usize;
+    let serve_kernel = || format!("{}/fused-graph+coalesce", simd::level());
+
+    let base = run_serve_load(&batch1, TOP_CONCURRENCY, per_conn, &inputs);
+    let mut entries = Vec::new();
+    for conns in [1usize, 4] {
+        let run = run_serve_load(&coalesced, conns, per_conn, &inputs);
+        entries.push(Entry {
+            name: "serve_coalesced",
+            threads: conns,
+            ns: run.ns_per_req,
+            backend: "cpu",
+            kernel: serve_kernel(),
+        });
+    }
+    let top = if capacity == 1 {
+        // Byte-identical to the baseline at capacity 1: reuse it rather
+        // than recording scheduler drift as a phantom coalescing delta.
+        base
+    } else {
+        run_serve_load(&coalesced, TOP_CONCURRENCY, per_conn, &inputs)
+    };
+    entries.push(Entry {
+        name: "serve_coalesced",
+        threads: TOP_CONCURRENCY,
+        ns: top.ns_per_req,
+        backend: "cpu",
+        kernel: serve_kernel(),
+    });
+    coalesced.shutdown();
+    batch1.shutdown();
+
+    Section {
+        name: "serving",
+        config: format!(
+            "vggsmall scale={scale} image={image}, {per_conn} reqs/conn, \
+             batch capacity {capacity}, thr = client connections"
+        ),
+        baseline_name: "serve_batch1_c16",
+        baseline_ns: base.ns_per_req,
+        entries,
+        dedup: None,
+        serving: Some(ServingStats {
+            capacity,
+            concurrency: TOP_CONCURRENCY,
+            p50_ns: top.p50_ns,
+            p99_ns: top.p99_ns,
+        }),
     }
 }
 
@@ -845,6 +1075,11 @@ fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
     let archs = &sections[4];
     let integrity = &sections[5];
     let scaling = &sections[6];
+    let serving = &sections[7];
+    let sv = serving
+        .serving
+        .as_ref()
+        .expect("serving section records its stats");
     let c = |name, target, measured| Criterion {
         name,
         target,
@@ -933,13 +1168,49 @@ fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
             scaling.scaling_floor_of("conv3x3"),
         ),
         gate("parallel_scaling_e2e", scaling.scaling_floor_of("e2e")),
+        // Enforced: batch coalescing must pay for itself under
+        // concurrent load. The 1.5x floor applies when the server's
+        // resolved batch capacity is ≥ 2 (smoke shapes are too small to
+        // demand the full factor); on a host whose capacity clamps to 1
+        // the coalesced and forced-batch-1 configurations run
+        // byte-identical code and the measurement is reused, so the
+        // gate is the parity floor, same as the parallel-scaling gates.
+        Criterion {
+            name: "serving_batch_throughput_gain",
+            target: if sv.capacity >= 2 {
+                if smoke {
+                    1.2
+                } else {
+                    1.5
+                }
+            } else {
+                SCALING_FLOOR
+            },
+            measured: serving.baseline_ns / serving.entry_ns("serve_coalesced", 16),
+            enforced: true,
+        },
+        // Enforced: the latency tail at the top client concurrency.
+        // Floor-style like the integrity budget: p50/p99 must stay at
+        // or above 1/ceiling, i.e. coalescing may not strand a request
+        // across many flush windows.
+        Criterion {
+            name: "serving_tail_ratio",
+            target: 1.0
+                / if smoke {
+                    TAIL_CEILING_SMOKE
+                } else {
+                    TAIL_CEILING
+                },
+            measured: sv.p50_ns / sv.p99_ns,
+            enforced: true,
+        },
     ]
 }
 
 fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"bnnkc-perfsuite/v4\",\n");
+    s.push_str("  \"schema\": \"bnnkc-perfsuite/v5\",\n");
     s.push_str(&format!("  \"mode\": \"{}\",\n", perfjson::escape(mode)));
     s.push_str(&format!(
         "  \"threads_available\": {},\n",
@@ -993,6 +1264,14 @@ fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &s
                 d.ratio, d.table_hit_rate
             ));
         }
+        // v5: the serving section records its resolved batch capacity
+        // and the latency tail the enforced criteria gate on.
+        if let Some(sv) = &sec.serving {
+            s.push_str(&format!(
+                "      \"serving\": {{\"batch_capacity\": {}, \"concurrency\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}}},\n",
+                sv.capacity, sv.concurrency, sv.p50_ns, sv.p99_ns
+            ));
+        }
         s.push_str("      \"entries\": [\n");
         for (j, e) in sec.entries.iter().enumerate() {
             s.push_str(&format!(
@@ -1031,7 +1310,7 @@ fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &s
 
 /// Structural validation of the emitted document (CI's `--smoke` gate).
 fn validate(doc: &perfjson::Value) -> Result<(), String> {
-    if doc.get("schema").and_then(|v| v.as_str()) != Some("bnnkc-perfsuite/v4") {
+    if doc.get("schema").and_then(|v| v.as_str()) != Some("bnnkc-perfsuite/v5") {
         return Err("missing or wrong schema tag".into());
     }
     if doc
@@ -1055,8 +1334,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("sections")
         .and_then(|v| v.as_arr())
         .ok_or("sections must be an array")?;
-    if sections.len() != 7 {
-        return Err(format!("expected 7 sections, found {}", sections.len()));
+    if sections.len() != 8 {
+        return Err(format!("expected 8 sections, found {}", sections.len()));
     }
     for sec in sections {
         let name = sec
@@ -1078,6 +1357,25 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
             }
             if !(0.0..=1.0).contains(&hit) {
                 return Err(format!("compressed_e2e: bad table_hit_rate {hit}"));
+            }
+        }
+        // v5: the serving section must carry its stats, and the tail
+        // must be ordered (0 < p50 <= p99) with a real batch capacity.
+        if name == "serving" {
+            let sv = sec
+                .get("serving")
+                .ok_or("serving: missing serving stats (v5)")?;
+            let cap = sv
+                .get("batch_capacity")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(-1.0);
+            if cap < 1.0 {
+                return Err(format!("serving: bad batch_capacity {cap}"));
+            }
+            let p50 = sv.get("p50_ns").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+            let p99 = sv.get("p99_ns").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+            if !(p50.is_finite() && p50 > 0.0 && p99 >= p50) {
+                return Err(format!("serving: bad latency tail p50={p50} p99={p99}"));
             }
         }
         let base = sec
@@ -1122,8 +1420,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("criteria")
         .and_then(|v| v.as_arr())
         .ok_or("criteria must be an array")?;
-    if criteria.len() != 11 {
-        return Err(format!("expected 11 criteria, found {}", criteria.len()));
+    if criteria.len() != 13 {
+        return Err(format!("expected 13 criteria, found {}", criteria.len()));
     }
     Ok(())
 }
@@ -1181,6 +1479,7 @@ fn main() {
         bench_arch_e2e(smoke, seed),
         bench_integrity(smoke, seed),
         bench_parallel_scaling(smoke, seed, &ladder),
+        bench_serving(smoke, seed),
     ];
     let crits = criteria(&sections, smoke);
 
@@ -1224,7 +1523,7 @@ fn main() {
         eprintln!("FAIL: emitted {out_path} is malformed: {e}");
         std::process::exit(1);
     }
-    println!("wrote {out_path} (validated, schema bnnkc-perfsuite/v4)");
+    println!("wrote {out_path} (validated, schema bnnkc-perfsuite/v5)");
 
     let mut failed = false;
     for c in &crits {

@@ -41,6 +41,7 @@ pub use spec::{ConvGeometry, GraphSpec, NodeSpec, OpSpec, ShapeInfo};
 use crate::backend::{Backend, CpuBackend};
 use crate::engine::{Engine, Scratch};
 use crate::error::{BitnnError, Result};
+use crate::exec::ExecPolicy;
 use crate::layers::{BatchNorm, BinConv2d, QuantConv2d, QuantLinear, RPReLU, RSign};
 use crate::model::workload::LayerWorkload;
 use crate::pack::PackedKernel;
@@ -625,6 +626,31 @@ impl ModelGraph {
     /// Estimated lane-word operations for one forward of `input`.
     fn item_work(&self, input: &Tensor) -> u64 {
         (input.len() as u64).saturating_mul(self.work_per_elem)
+    }
+
+    /// The batch size a serving-style request coalescer should flush at
+    /// under `policy` — the per-plan workload model applied in reverse:
+    /// enough items for [`Self::forward_batch_into`]'s batch-level split
+    /// to hand every effective worker a chunk whose estimated work
+    /// clears the `min_work` inline threshold, capped at 64 so queueing
+    /// latency stays bounded.
+    ///
+    /// On a host (or policy) without usable parallelism this is 1:
+    /// coalescing cannot beat per-item dispatch there, and a larger
+    /// batch would only add queueing latency.
+    pub fn preferred_batch(&self, policy: &ExecPolicy) -> usize {
+        const MAX_COALESCE: usize = 64;
+        let elems = match self.spec.shapes().ok().and_then(|s| s.first().copied()) {
+            Some(ShapeInfo::Map { ch, h, w }) => (ch * h * w) as u64,
+            _ => 1,
+        };
+        let item_work = elems.saturating_mul(self.work_per_elem).max(1);
+        let ways = policy.effective_threads(u64::MAX);
+        if ways <= 1 {
+            return 1;
+        }
+        let per_worker = (policy.min_work.div_ceil(item_work).max(1) as usize).min(MAX_COALESCE);
+        (ways.saturating_mul(per_worker)).min(MAX_COALESCE)
     }
 
     /// Forward a batch of independent inputs. Results are in input order

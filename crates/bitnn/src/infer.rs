@@ -23,6 +23,28 @@ pub struct Agreement {
     pub inputs: usize,
 }
 
+/// Salt mixed into a user-facing seed for synthetic input batches, so
+/// inputs are deterministic per seed but uncorrelated with the weight
+/// streams. Shared by `bnnkc run`, `bnnkc serve`, and `loadgen` so their
+/// logits are comparable bit-for-bit.
+pub const RUN_INPUT_SALT: u64 = 0x1A7E57;
+
+/// FNV-1a over the raw bit patterns of the logits: a stable, bit-exact
+/// digest two executions of the same model on the same input must share.
+/// `bnnkc run` prints it per item and `loadgen --check` recomputes it
+/// over served responses, so CI can diff served logits against the
+/// offline path.
+pub fn logits_digest(logits: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in logits {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Generate a deterministic batch of synthetic input images.
 pub fn synthetic_batch(n: usize, channels: usize, size: usize, seed: u64) -> Vec<Tensor> {
     (0..n)

@@ -56,6 +56,7 @@ pub mod error;
 pub mod freq;
 pub mod huffman;
 pub mod stream_decode;
+pub mod wire;
 
 pub use bitseq::BitSeq;
 pub use error::{KcError, Result};

@@ -1,0 +1,101 @@
+//! Typed errors for the serving layer. The serve path never panics on
+//! request data: every rejection is one of these variants, and the hot
+//! ones ([`ServeError::QueueFull`], [`ServeError::ShuttingDown`]) are
+//! allocation-free unit variants so backpressure rejection stays off the
+//! heap.
+
+use bitnn::BitnnError;
+use kc_core::wire::ErrorCode;
+use kc_core::KcError;
+use std::fmt;
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Everything that can go wrong registering, swapping, or serving a
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The model's queue is at its configured depth (backpressure). The
+    /// request was rejected immediately; nothing was enqueued.
+    QueueFull,
+    /// The server is draining; no new requests are accepted.
+    ShuttingDown,
+    /// No registry entry has this name.
+    UnknownModel(String),
+    /// A registry entry with this name already exists.
+    DuplicateModel(String),
+    /// The request input does not have the model's `[1, c, h, w]` shape.
+    ShapeMismatch {
+        /// The shape the model expects.
+        expected: [usize; 4],
+        /// The shape the request carried.
+        got: Vec<usize>,
+    },
+    /// Container decode/validation failed (including
+    /// [`KcError::IncompatibleModel`] for arch/scale-incompatible
+    /// hot-swaps and [`KcError::IntegrityViolation`] for tampered
+    /// containers).
+    Container(KcError),
+    /// Model construction or execution failed.
+    Model(BitnnError),
+    /// Filesystem access for a registration or swap failed.
+    Io(String),
+    /// The batch worker failed the forward this request rode in.
+    Internal(&'static str),
+}
+
+impl ServeError {
+    /// The wire rejection code this error maps to.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::QueueFull => ErrorCode::QueueFull,
+            ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::UnknownModel(_) => ErrorCode::UnknownModel,
+            ServeError::ShapeMismatch { .. } => ErrorCode::BadInput,
+            ServeError::Container(KcError::IncompatibleModel(_)) => ErrorCode::Incompatible,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "queue full: request rejected by backpressure"),
+            ServeError::ShuttingDown => write!(f, "server is draining; request rejected"),
+            ServeError::UnknownModel(name) => write!(f, "no registered model named `{name}`"),
+            ServeError::DuplicateModel(name) => {
+                write!(f, "a model named `{name}` is already registered")
+            }
+            ServeError::ShapeMismatch { expected, got } => write!(
+                f,
+                "input shape {got:?} does not match the model's {expected:?}"
+            ),
+            ServeError::Container(e) => write!(f, "container: {e}"),
+            ServeError::Model(e) => write!(f, "model: {e}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Internal(what) => write!(f, "internal serving failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<KcError> for ServeError {
+    fn from(e: KcError) -> Self {
+        ServeError::Container(e)
+    }
+}
+
+impl From<BitnnError> for ServeError {
+    fn from(e: BitnnError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,39 @@
+//! `bnnkc serve`: a batch-coalescing inference daemon for compressed
+//! BNN containers.
+//!
+//! The paper's kernel-compression pipeline makes single-image inference
+//! cheap enough that *serving overhead* — one thread pool wakeup, one
+//! scratch allocation, one dispatch per request — starts to matter. This
+//! crate amortises it the same way the batch API does: a per-model
+//! **batch worker** coalesces concurrently arriving requests into one
+//! [`bitnn::ModelGraph::forward_batch_into`] call, sized by the same
+//! workload model that picks the batch parallelism split
+//! ([`bitnn::ModelGraph::preferred_batch`]). On a multicore host a
+//! coalesced batch splits across cores while isolated requests would
+//! each run single-threaded below the `min_work` floor; on a single
+//! core the coalesced and batch-1 paths run the same code and serving
+//! stays at parity (the perfsuite encodes exactly this clamp).
+//!
+//! The moving parts:
+//!
+//! * [`Server`] — registry of named models (integrity-verified `.bkcm`
+//!   containers, v1–v3), one batching queue + worker per entry,
+//!   backpressure past a configured queue depth, atomic hot-swap, and a
+//!   graceful drain that never drops an accepted request.
+//! * [`net`] — the TCP daemon loop speaking the length-prefixed
+//!   [`kc_core::wire`] protocol, and the blocking [`Client`] used by
+//!   `loadgen`, the tests, and CI.
+//! * [`ServeError`] — the typed rejection vocabulary; the serve path
+//!   has no panicking branches on request data.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod net;
+pub mod registry;
+pub mod server;
+
+pub use error::{Result, ServeError};
+pub use net::{serve_listener, Client};
+pub use registry::{ModelEntry, ModelShape};
+pub use server::{InferSlot, ServeConfig, Server, MAX_BATCH};

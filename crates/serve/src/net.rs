@@ -1,0 +1,238 @@
+//! TCP front end for the serving core, speaking the
+//! [`kc_core::wire`] frame protocol, plus the blocking [`Client`] the
+//! load generator and the test suite use.
+//!
+//! The daemon loop is deliberately simple: one accept loop, one thread
+//! per connection (scoped, so everything borrows the [`Server`]
+//! directly), one in-flight request per connection. Concurrency comes
+//! from concurrent *connections* — which is exactly what the batch
+//! coalescer wants to see. A malformed frame gets a typed
+//! [`Response::Err`] answer and the connection is closed; the daemon
+//! itself never goes down on bad bytes.
+
+use crate::error::ServeError;
+use crate::server::{InferSlot, Server};
+use bitnn::Tensor;
+use kc_core::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, FrameError, Request, Response, WireError, HEADER_LEN,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How often a blocked connection read wakes up to check the shutdown
+/// flag.
+const POLL: Duration = Duration::from_millis(200);
+
+/// A [`Read`] adapter that turns read timeouts into retries — and into
+/// a clean EOF once the daemon-wide stop flag is set — so connection
+/// handlers always notice a shutdown within one [`POLL`] interval.
+struct StopAwareReader<'a> {
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for StopAwareReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn error_response(e: &ServeError) -> Response {
+    Response::Err {
+        code: e.code(),
+        message: e.to_string(),
+    }
+}
+
+/// Serve one connection until the peer closes, a frame is malformed, or
+/// the daemon stops. Returns `true` if the peer asked for a daemon
+/// shutdown.
+fn handle_connection(server: &Server, stream: &TcpStream, stop: &AtomicBool) -> bool {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = StopAwareReader { stream, stop };
+    let mut writer = stream;
+    let mut in_buf: Vec<u8> = Vec::new();
+    let mut out_buf: Vec<u8> = Vec::new();
+    // Per-connection reusable inference state: one request slot, one
+    // input tensor, one output tensor, one logits vector.
+    let mut slot = InferSlot::new();
+    let mut input = Tensor::default();
+    let mut output = Tensor::default();
+    let mut resp_data: Vec<f32> = Vec::new();
+    loop {
+        match read_frame(&mut reader, &mut in_buf) {
+            Ok(false) => return false, // peer closed (or daemon stopped)
+            Ok(true) => {}
+            Err(FrameError::Io(_)) => return false,
+            Err(FrameError::Wire(e)) => {
+                // Typed rejection, then drop the connection: after a
+                // malformed frame the stream offset can no longer be
+                // trusted.
+                let resp = Response::Err {
+                    code: ErrorCode::BadInput,
+                    message: e.to_string(),
+                };
+                encode_response(&resp, &mut out_buf);
+                let _ = write_frame(&mut writer, &out_buf);
+                return false;
+            }
+        }
+        let req = match decode_request(&in_buf) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Err {
+                    code: ErrorCode::BadInput,
+                    message: e.to_string(),
+                };
+                encode_response(&resp, &mut out_buf);
+                let _ = write_frame(&mut writer, &out_buf);
+                return false;
+            }
+        };
+        let (resp, shutdown) = match req {
+            Request::Ping => (Response::Pong, false),
+            Request::Stats => (Response::Stats(server.stats_report()), false),
+            Request::Swap { model, path } => {
+                match server.swap_path(&model, std::path::Path::new(&path)) {
+                    Ok(version) => (Response::Swapped { version }, false),
+                    Err(e) => (error_response(&e), false),
+                }
+            }
+            Request::Shutdown => (Response::Closing, true),
+            Request::Infer(r) => {
+                let shape = [
+                    1,
+                    r.shape[0] as usize,
+                    r.shape[1] as usize,
+                    r.shape[2] as usize,
+                ];
+                if input.shape() != shape {
+                    input = Tensor::zeros(&shape);
+                }
+                input.data_mut().copy_from_slice(&r.data);
+                match server.infer_blocking(&r.model, &mut slot, &input, &mut output) {
+                    Ok(version) => {
+                        resp_data.clear();
+                        resp_data.extend_from_slice(output.data());
+                        (
+                            Response::Logits {
+                                seq: r.seq,
+                                version,
+                                data: std::mem::take(&mut resp_data),
+                            },
+                            false,
+                        )
+                    }
+                    Err(e) => (error_response(&e), false),
+                }
+            }
+        };
+        encode_response(&resp, &mut out_buf);
+        // Reclaim the logits vector for the next request on this
+        // connection.
+        if let Response::Logits { data, .. } = resp {
+            resp_data = data;
+        }
+        if write_frame(&mut writer, &out_buf).is_err() {
+            return false;
+        }
+        let _ = writer.flush();
+        if shutdown {
+            return true;
+        }
+    }
+}
+
+/// Run the daemon on `listener` until a client sends
+/// [`Request::Shutdown`]. Connections are handled on scoped threads; on
+/// shutdown the accept loop stops, every open connection winds down
+/// within one poll interval, and the server drains gracefully (all
+/// queued requests still get answers).
+///
+/// # Errors
+///
+/// Propagates accept-loop I/O failures. Per-connection I/O errors only
+/// close that connection.
+pub fn serve_listener(server: &Server, listener: &TcpListener) -> std::io::Result<()> {
+    let stop = AtomicBool::new(false);
+    let local = listener.local_addr()?;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        loop {
+            let (stream, _peer) = listener.accept()?;
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                if handle_connection(server, &stream, stop_ref) {
+                    stop_ref.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it can observe the
+                    // stop flag.
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        }
+        Ok(())
+    })?;
+    server.begin_drain();
+    Ok(())
+}
+
+/// A blocking wire-protocol client: one request in flight at a time,
+/// buffers reused across calls.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    out_buf: Vec<u8>,
+    in_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            out_buf: Vec::new(),
+            in_buf: Vec::new(),
+        })
+    }
+
+    /// Send one request and block for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Io`] for transport failures (including the daemon
+    /// closing the connection), [`FrameError::Wire`] for malformed
+    /// response frames.
+    pub fn call(&mut self, req: &Request) -> Result<Response, FrameError> {
+        encode_request(req, &mut self.out_buf);
+        write_frame(&mut self.stream, &self.out_buf)?;
+        self.stream.flush()?;
+        if !read_frame(&mut self.stream, &mut self.in_buf)? {
+            return Err(FrameError::Wire(WireError::Truncated {
+                needed: HEADER_LEN,
+                have: 0,
+            }));
+        }
+        Ok(decode_response(&self.in_buf)?)
+    }
+}

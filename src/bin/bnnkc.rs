@@ -13,7 +13,11 @@
 //! bnnkc patch      base.bkcm patch.bkcp -o new.bkcm
 //! bnnkc simulate   [--arch A] [--scale 1.0] [--image 224]
 //!                  [--ratio 1.33 | --in model.bkcm]
-//! bnnkc features
+//! bnnkc serve      [--in model.bkcm] [--model name=model.bkcm]...
+//!                  [--addr 127.0.0.1:0] [--threads N|auto]
+//!                  [--queue-depth 256] [--max-batch auto] [--flush-us 200]
+//!                  [--seed 1] [--image 32]
+//! bnnkc features   [--json]
 //! ```
 //!
 //! Every command speaks the model-graph IR (`bitnn::graph`), so the whole
@@ -36,10 +40,13 @@
 //! logits). `simulate` runs the timing model — with `--in` the per-layer
 //! stream sizes, sequence counts, and decoder configurations come from
 //! the actual container (any architecture), not a synthetic ratio.
-//! `features` reports what this host offers the execution backends:
-//! detected CPU features, the selected SIMD level, hardware parallelism,
-//! the backend `auto` resolves to, and the GEMM kernel variant the
-//! micro-autotuner picks per shape class.
+//! `serve` runs the batch-coalescing inference daemon: a model registry
+//! with per-entry batching queues, backpressure, and wire-protocol
+//! hot-swap (see `crates/serve`). `features` reports what this host
+//! offers the execution backends: detected CPU features, the selected
+//! SIMD level, hardware parallelism, the backend `auto` resolves to, and
+//! the GEMM kernel variant the micro-autotuner picks per shape class —
+//! `--json` emits the same facts machine-readably.
 //!
 //! `run` executes through the selected execution backend (`--backend`):
 //! `cpu` is the fused engine path, `scalar` the naive reference oracle,
@@ -71,15 +78,11 @@ use simcpu::trace::STREAM_BASE;
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// Salt mixed into `--seed` for `run`'s synthetic input batch, so inputs
-/// are deterministic per seed but uncorrelated with the weight streams.
-const RUN_INPUT_SALT: u64 = 0x1A7E57;
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: bnnkc <compress|inspect|verify|run|diff|patch|simulate|features> [flags]"
+            "usage: bnnkc <compress|inspect|verify|run|diff|patch|simulate|serve|features> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -91,6 +94,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(&args),
         "patch" => cmd_patch(&args),
         "simulate" => cmd_simulate(&args),
+        "serve" => cmd_serve(&args),
         "features" => cmd_features(&args),
         other => {
             eprintln!("unknown command `{other}`");
@@ -172,6 +176,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Every occurrence of a repeatable value flag, in order.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
 }
 
 /// Parse `flag`'s value, or use `default` when the flag is absent.
@@ -578,19 +592,6 @@ fn cmd_patch(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// FNV-1a over the raw bit patterns of the logits: a stable, bit-exact
-/// digest two `run` invocations (streamed vs `--offline`) must share.
-fn logits_digest(logits: &[f32]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for v in logits {
-        for b in v.to_bits().to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
 fn cmd_run(args: &[String]) -> CliResult {
     check_flags(
         "run",
@@ -888,22 +889,186 @@ fn simulate_container(args: &[String], input: &str, image: usize) -> CliResult {
     Ok(())
 }
 
+/// `bnnkc serve`: run the batch-coalescing inference daemon on a TCP
+/// socket until a client sends a shutdown request. Models come from
+/// `--in <file>` (registered as `default`) and any number of
+/// `--model <name>=<file>` flags; each gets its own batching queue and
+/// worker. `--addr 127.0.0.1:0` binds an ephemeral port — the resolved
+/// address is printed on the first line so scripts can parse it.
+fn cmd_serve(args: &[String]) -> CliResult {
+    check_flags(
+        "serve",
+        args,
+        &[
+            "--in",
+            "--model",
+            "--addr",
+            "--threads",
+            "--queue-depth",
+            "--max-batch",
+            "--flush-us",
+            "--seed",
+            "--image",
+        ],
+        &[],
+    )?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+    let threads = parse_threads(args)?;
+    let queue_depth: usize = parse_flag(args, "--queue-depth", 256)?;
+    let max_batch: usize = parse_flag(args, "--max-batch", 0)?;
+    let flush_us: u64 = parse_flag(args, "--flush-us", 200)?;
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    let image: usize = parse_flag(args, "--image", 32)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    if image == 0 {
+        return Err("--image must be at least 1".into());
+    }
+
+    let mut models: Vec<(String, &str)> = Vec::new();
+    if let Some(path) = flag_value(args, "--in") {
+        models.push(("default".to_string(), path));
+    }
+    for spec in flag_values(args, "--model") {
+        let Some((name, path)) = spec.split_once('=') else {
+            return Err(format!("--model takes <name>=<file>, got `{spec}`").into());
+        };
+        if name.is_empty() || path.is_empty() {
+            return Err(format!("--model takes <name>=<file>, got `{spec}`").into());
+        }
+        models.push((name.to_string(), path));
+    }
+    if models.is_empty() {
+        return Err("at least one of --in <file> or --model <name>=<file> is required".into());
+    }
+
+    let cfg = ServeConfig {
+        policy: ExecPolicy::with_threads(threads),
+        queue_depth,
+        max_batch,
+        flush: std::time::Duration::from_micros(flush_us),
+        seed,
+        image,
+    };
+    let server = Server::new(cfg);
+    let listener = std::net::TcpListener::bind(addr)?;
+    // First line, machine-parseable: the resolved address.
+    println!("bnnkc serve: listening on {}", listener.local_addr()?);
+    for (name, path) in &models {
+        let shape = server.register_path(name, std::path::Path::new(path))?;
+        println!(
+            "registered `{name}` from {path}: input {}x{}x{}, {} classes, \
+             max batch {}, queue depth {queue_depth}",
+            shape.channels,
+            shape.image,
+            shape.image,
+            shape.classes,
+            server
+                .stats_report()
+                .models
+                .iter()
+                .find(|m| &m.name == name)
+                .map_or(0, |m| m.max_batch),
+        );
+    }
+    println!("serving with {threads} threads (shutdown via the wire protocol)");
+    serve_listener(&server, &listener)?;
+    let s = server.stats_report();
+    println!(
+        "drained: {} served in {} batches, {} rejected, {} swaps",
+        s.served, s.batches, s.rejected, s.swaps
+    );
+    Ok(())
+}
+
+/// Minimal JSON string escaping for `features --json` (keys and values
+/// here are ASCII identifiers, but stay safe on principle).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// `bnnkc features`: what this host offers the execution backends —
 /// detected CPU features, the SIMD level the kernels dispatch at (after
 /// any `BITNN_SIMD` cap), hardware parallelism, which backend `auto`
 /// resolves to, and the GEMM microkernel variant the autotuner picks per
 /// kernel shape class.
 fn cmd_features(args: &[String]) -> CliResult {
-    check_flags("features", args, &[], &[])?;
+    check_flags("features", args, &[], &["--json"])?;
     use bnnkc::bitnn::{exec, ops::gemm, simd};
 
     let f = simd::detect();
+    let cap = std::env::var("BITNN_SIMD").ok();
+    let backend_env = std::env::var("BITNN_BACKEND").ok();
+    let kind = parse_backend(args)?; // always Auto: features takes no value flags
+    let choices = gemm::warm_gemm_tables();
+
+    if args.iter().any(|a| a == "--json") {
+        // Hand-written JSON (this workspace builds offline, without a
+        // serde implementation) — same convention as the perfsuite
+        // emitter.
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"cpu_features\": {{\"popcnt\": {}, \"avx2\": {}, \"avx512_vpopcntdq\": {}}},\n",
+            f.popcnt, f.avx2, f.avx512
+        ));
+        out.push_str(&format!(
+            "  \"simd_level\": \"{}\",\n",
+            json_escape(simd::level().name())
+        ));
+        out.push_str(&format!(
+            "  \"simd_env\": {},\n",
+            cap.as_deref()
+                .map_or("null".to_string(), |v| format!("\"{}\"", json_escape(v)))
+        ));
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n",
+            exec::hardware_threads()
+        ));
+        out.push_str(&format!(
+            "  \"pool_workers\": {},\n",
+            exec::hardware_threads().saturating_sub(1)
+        ));
+        out.push_str(&format!("  \"backend\": \"{}\",\n", kind.resolve()));
+        out.push_str(&format!(
+            "  \"backend_env\": {},\n",
+            backend_env
+                .as_deref()
+                .map_or("null".to_string(), |v| format!("\"{}\"", json_escape(v)))
+        ));
+        out.push_str("  \"gemm_autotuner\": [\n");
+        for (i, choice) in choices.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"class\": \"{}\", \"lanes\": {}, \"variant\": \"{}\", \"source\": \"{}\"}}{}\n",
+                json_escape(choice.class.name()),
+                choice.class.representative_lanes(),
+                json_escape(choice.variant.name()),
+                match choice.source {
+                    simd::ChoiceSource::Autotuned => "autotuned",
+                    simd::ChoiceSource::Forced => "forced",
+                },
+                if i + 1 < choices.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+        return Ok(());
+    }
+
     let yn = |b: bool| if b { "yes" } else { "no" };
     println!("cpu features:");
     println!("  popcnt:            {}", yn(f.popcnt));
     println!("  avx2:              {}", yn(f.avx2));
     println!("  avx512-vpopcntdq:  {}", yn(f.avx512));
-    let cap = std::env::var("BITNN_SIMD").ok();
     println!(
         "simd level: {} (BITNN_SIMD {})",
         simd::level().name(),
@@ -912,18 +1077,17 @@ fn cmd_features(args: &[String]) -> CliResult {
     );
     println!("hardware threads: {}", exec::hardware_threads());
 
-    let kind = parse_backend(args)?; // always Auto: features takes no flags
     println!(
         "backend: {} (auto; BITNN_BACKEND {})",
         kind.resolve(),
-        std::env::var("BITNN_BACKEND")
-            .ok()
+        backend_env
+            .as_deref()
             .map_or("unset".to_string(), |v| format!("= {v}")),
     );
 
     println!("gemm microkernel selection ({}):", simd::level().name());
     println!("  <=2 lanes (<=128 ch): short-row path (fixed)");
-    for choice in gemm::warm_gemm_tables() {
+    for choice in choices {
         let lanes = choice.class.representative_lanes();
         println!(
             "  {:>6} (~{} lanes): {} ({})",

@@ -11,7 +11,7 @@
 //! kernels also run *faster* (loads stream and overlap) instead of slower
 //! (software decoding overhead).
 //!
-//! This crate re-exports the three building blocks:
+//! This crate re-exports the building blocks:
 //!
 //! * [`bitnn`] — the BNN inference substrate (bit-packed tensors, channel
 //!   packing, xnor-popcount kernels, the ReActNet model, calibrated
@@ -19,7 +19,9 @@
 //! * [`kc_core`] — the compression scheme itself (frequency analysis,
 //!   simplified + full Huffman coding, clustering, codecs);
 //! * [`simcpu`] — a cycle-approximate CPU model with the paper's decoding
-//!   unit (`lddu` / `ldps`).
+//!   unit (`lddu` / `ldps`);
+//! * [`serve`] — the batch-coalescing inference daemon (`bnnkc serve`):
+//!   model registry, backpressure, hot-swap, wire protocol.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use bitnn;
+pub use bnnkc_serve as serve;
 pub use kc_core;
 pub use simcpu;
 
@@ -57,11 +60,16 @@ pub mod prelude {
     pub use bitnn::graph::{
         ConvGeometry, GraphBuilder, GraphNode, GraphSpec, ModelGraph, NodeOp, NodeSpec, OpSpec,
     };
-    pub use bitnn::infer::{compare_models, synthetic_batch, Agreement};
+    pub use bitnn::infer::{
+        compare_models, logits_digest, synthetic_batch, Agreement, RUN_INPUT_SALT,
+    };
     pub use bitnn::model::{BlockSpec, OpCategory, ReActNet, ReActNetConfig};
     pub use bitnn::pack::PackedKernel;
     pub use bitnn::tensor::{BitTensor, Tensor};
     pub use bitnn::weightgen::SeqDistribution;
+    pub use bnnkc_serve::{
+        serve_listener, Client, InferSlot, ModelShape, ServeConfig, ServeError, Server,
+    };
     pub use kc_core::cluster::{ClusterConfig, ClusterPlan};
     pub use kc_core::codec::{model_compression_ratio, CompressedKernel, KernelCodec};
     pub use kc_core::container::{
@@ -73,6 +81,7 @@ pub mod prelude {
     pub use kc_core::digest::{Digest, DIGEST_LEN};
     pub use kc_core::huffman::{FullHuffman, SimplifiedTree, TreeConfig};
     pub use kc_core::stream_decode::GroupDecoder;
+    pub use kc_core::wire::{ErrorCode, Request, Response};
     pub use kc_core::{BitSeq, FreqTable};
     pub use simcpu::config::CpuConfig;
     pub use simcpu::run::{

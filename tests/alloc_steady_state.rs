@@ -173,4 +173,54 @@ fn steady_state_forward_batch_performs_zero_allocations() {
             );
         }
     }
+
+    // Serving-path gate (same allocator, same test): a warmed
+    // `Server::infer_blocking` round trip — submit, coalesce, batch
+    // forward, respond — performs zero heap allocations. The request
+    // cell, queue storage, worker batch buffers, and batch scratch are
+    // all reused; only the client-side submit path runs on this thread,
+    // the rest is proven by the worker thread making progress without
+    // bumping the shared counter.
+    let container = {
+        let codec = KernelCodec::paper();
+        let spec = build_spec(Arch::VggSmall, 0.0625, 32).unwrap();
+        let kernels: Vec<CompressedKernel> = sample_conv3_kernels(&spec, 7)
+            .unwrap()
+            .iter()
+            .map(|k| codec.compress(k).unwrap())
+            .collect();
+        write_model_container_v2(&spec, &kernels).unwrap().to_vec()
+    };
+    let server = Server::new(ServeConfig {
+        policy: ExecPolicy::single_threaded(),
+        image: 32,
+        ..Default::default()
+    });
+    server.register_bytes("m", &container).unwrap();
+    let x = synthetic_batch(1, 3, 32, 13).remove(0);
+    let mut slot = InferSlot::new();
+    let mut served = Tensor::default();
+    for _ in 0..4 {
+        server
+            .infer_blocking("m", &mut slot, &x, &mut served)
+            .unwrap();
+    }
+    let warmed: Vec<f32> = served.data().to_vec();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..6 {
+        server
+            .infer_blocking("m", &mut slot, &x, &mut served)
+            .unwrap();
+    }
+    let allocated = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocated, 0,
+        "warmed serve path allocated {allocated} times per 6 requests"
+    );
+    assert_eq!(
+        served.data(),
+        &warmed[..],
+        "serve path diverged after warmup"
+    );
+    server.shutdown();
 }
