@@ -6,7 +6,11 @@
 //! 1. **GEMM** — `gemm_binary_naive` (seed scalar) vs the register-blocked
 //!    tiled kernel vs the parallel [`Engine`] across the thread ladder.
 //! 2. **Conv 3×3** — `conv2d_binary` (seed direct scalar) vs the engine's
-//!    lowerings (direct / im2col / auto) and thread counts.
+//!    lowerings (direct / im2col / streaming / auto) and thread counts.
+//!    The `engine` ladder rows are labeled with the lowering the conv
+//!    autotuner actually chose for the geometry, and the pinned
+//!    `engine_stream` row feeds the enforced `conv_stream_1t_speedup`
+//!    criterion.
 //! 3. **End-to-end** — `ReActNet::tiny` forward over a batch:
 //!    `forward_scalar` per image vs `forward_batch` across the ladder.
 //! 4. **Compressed e2e** — deploy a wide graph-IR ReActNet container
@@ -59,10 +63,20 @@
 //! scheduler drift as a phantom thread-scaling difference. On a host with
 //! at least 8 cores every ladder entry is a genuine measurement.
 //! Results are printed as a table and written to
-//! `BENCH_perf.json` (schema `bnnkc-perfsuite/v5`; override the path with
+//! `BENCH_perf.json` (schema `bnnkc-perfsuite/v6`; override the path with
 //! `--out PATH`), then the file is re-read through [`bench::perfjson`] and
 //! structurally validated, so CI's `--smoke` run proves the tracked
 //! artifact stays parseable.
+//!
+//! `bnnkc-perfsuite/v6` adds the streaming direct-conv lowering to the
+//! conv section (`engine_stream`, pinned via `ConvMode::Stream`), labels
+//! the auto `engine` rows with the lowering the conv autotuner chose,
+//! records every conv selection in a top-level `conv_selection` array
+//! (geometry → stream/im2col, autotuned or forced), and adds two
+//! enforced criteria: `conv_stream_1t_speedup` (streaming ≥ 1.0x im2col
+//! on the gated 28×28/c64/k64 shape) and `e2e_1t_speedup` (the 1-thread
+//! batch-32 floor the packed binary-domain edges and the stacked
+//! weight-stationary batch schedule raised).
 //!
 //! `bnnkc-perfsuite/v5` adds the `serving` section (the `thr` column
 //! there counts closed-loop client connections, not engine threads), its
@@ -91,7 +105,7 @@
 
 use bench::{arg_flag, arg_u64, perfjson, TablePrinter};
 use bitnn::engine::Engine;
-use bitnn::exec::{DedupMode, ExecPolicy, Lowering, IM2COL_MAX_CHANNELS};
+use bitnn::exec::{ConvMode, DedupMode, ExecPolicy, Lowering, IM2COL_MAX_CHANNELS};
 use bitnn::graph::arch::{attach_weights, build_model, Arch};
 use bitnn::graph::arch::{build_spec, sample_conv3_kernels};
 use bitnn::infer::synthetic_batch;
@@ -126,6 +140,16 @@ const SCALING_FLOOR: f64 = 0.9;
 /// `unverified_ns / verified_ns` must stay at or above `1/1.10`. This is
 /// the budget that keeps verification on by default.
 const INTEGRITY_FLOOR: f64 = 1.0 / 1.10;
+
+/// Floor for the enforced 1-thread end-to-end criterion: the batch-32
+/// `forward_batch` speedup over the scalar walk at one thread. Raised
+/// past the pre-v6 5.861x figure by the packed binary-domain edges (sign
+/// writes lane words directly, no flat bit tensor and no per-conv
+/// re-pack) and the blocked weight-stationary batch schedule (one plan
+/// walk per cache-sized image block instead of one per image). Measured
+/// 6.19x at the bump; the floor leaves ~5% headroom for host frequency
+/// drift between full runs.
+const E2E_1T_FLOOR: f64 = 5.9;
 
 /// Ceiling for the enforced serving tail criterion: at the top client
 /// concurrency, coalescing may stretch p99 latency to at most this
@@ -181,6 +205,32 @@ fn conv_kernel(c: usize, lowering: Lowering) -> String {
 /// fused plan (mixed conv/GEMM/fusion kernels under one SIMD level).
 fn fused_graph_kernel() -> String {
     format!("{}/fused-graph", simd::level())
+}
+
+/// Kernel label for the streaming shifted-window direct lowering.
+fn stream_conv_kernel() -> String {
+    format!("{}/conv-stream", simd::level())
+}
+
+/// Kernel label for the lowering the conv autotuner *actually chose* for
+/// a benched stride-1 pad-1 3×3 geometry (v6: the `engine` rows name the
+/// path that ran, not the static heuristic). Falls back to the legacy
+/// heuristic label when no decision has been recorded yet.
+fn chosen_conv_kernel(c: usize, hw: usize, kf: usize) -> String {
+    let choice = simd::conv_choices().into_iter().find(|ch| {
+        ch.source == simd::ChoiceSource::Autotuned
+            && ch.geom.channels == c
+            && ch.geom.filters == kf
+            && ch.geom.h == hw
+            && ch.geom.w == hw
+            && ch.geom.stride == 1
+            && ch.geom.pad == 1
+    });
+    match choice.map(|ch| ch.lowering) {
+        Some(simd::ConvLowering::Stream) => stream_conv_kernel(),
+        Some(simd::ConvLowering::Im2col) => gemm_kernel(c * 9),
+        None => conv_kernel(c, Lowering::Auto),
+    }
 }
 
 /// Sequence-skew statistics of a deployed container (schema v4): the
@@ -319,6 +369,9 @@ fn engine(threads: usize, lowering: Lowering) -> Engine {
     Engine::new(ExecPolicy {
         threads,
         lowering,
+        // Pinned so the tracked entries name the path they ran under,
+        // regardless of any ambient BITNN_CONV override.
+        conv: ConvMode::Auto,
         ..Default::default()
     })
 }
@@ -387,8 +440,7 @@ fn bench_conv(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
     });
 
     let mut entries: Vec<Entry> = Vec::new();
-    let measure = |name: &'static str, threads: usize, lowering: Lowering| {
-        let eng = engine(threads, lowering);
+    let measure = |name: &'static str, eng: &Engine| {
         let mut scratch = bitnn::engine::ConvScratch::default();
         let got = eng
             .conv2d(&acts, (&kernel).into(), params, &mut scratch)
@@ -413,19 +465,41 @@ fn bench_conv(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         entries.push(Entry {
             name,
             threads: 1,
-            ns: measure(name, 1, lowering),
+            ns: measure(name, &engine(1, lowering)),
             backend: "cpu",
             kernel: conv_kernel(c, lowering),
         });
     }
+    // v6: the streaming shifted-window lowering, pinned via
+    // `ConvMode::Stream` — the enforced `conv_stream_1t_speedup`
+    // criterion compares this row against `engine_im2col`.
+    let stream_engine = Engine::new(ExecPolicy {
+        threads: 1,
+        lowering: Lowering::Auto,
+        conv: ConvMode::Stream,
+        ..Default::default()
+    });
+    entries.push(Entry {
+        name: "engine_stream",
+        threads: 1,
+        ns: measure("engine_stream", &stream_engine),
+        backend: "cpu",
+        kernel: stream_conv_kernel(),
+    });
+    // Tune the auto decision before the ladder is timed so every
+    // `engine` row is labeled with the lowering that actually ran.
+    {
+        let eng = engine(1, Lowering::Auto);
+        let mut scratch = bitnn::engine::ConvScratch::default();
+        let _ = eng
+            .conv2d(&acts, (&kernel).into(), params, &mut scratch)
+            .unwrap();
+    }
+    let auto_kernel = chosen_conv_kernel(c, hw, kf);
     for &t in ladder {
-        let entry = entry_reusing(
-            &entries,
-            "engine",
-            t,
-            conv_kernel(c, Lowering::Auto),
-            || measure("engine", t, Lowering::Auto),
-        );
+        let entry = entry_reusing(&entries, "engine", t, auto_kernel.clone(), || {
+            measure("engine", &engine(t, Lowering::Auto))
+        });
         entries.push(entry);
     }
     Section {
@@ -522,6 +596,7 @@ fn bench_compressed(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
         Engine::new(ExecPolicy {
             threads,
             lowering: Lowering::Auto,
+            conv: ConvMode::Auto,
             dedup,
             ..Default::default()
         })
@@ -831,7 +906,9 @@ fn bench_parallel_scaling(smoke: bool, seed: u64, ladder: &[usize]) -> Section {
             &entries,
             "conv3x3",
             t,
-            conv_kernel(cc, Lowering::Auto),
+            // The oracle dispatch above already tuned this geometry, so
+            // the label names the lowering the timed runs actually use.
+            chosen_conv_kernel(cc, chw, ckf),
             || {
                 time_ns(citers, || {
                     black_box(
@@ -986,7 +1063,12 @@ fn bench_serving(smoke: bool, seed: u64) -> Section {
     // Both configurations must serve bit-exact logits before timing.
     let mk_server = |max_batch: usize| {
         let server = Server::new(ServeConfig {
-            policy: ExecPolicy::default(),
+            // Conv lowering pinned to the autotuner so an ambient
+            // `BITNN_CONV` can't skew the tracked serving numbers.
+            policy: ExecPolicy {
+                conv: ConvMode::Auto,
+                ..Default::default()
+            },
             max_batch,
             seed,
             image,
@@ -1070,6 +1152,7 @@ fn arch_e2e_total_4t(archs: &Section) -> f64 {
 /// gating them there would track noise, not dispatch quality.
 fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
     let gemm = &sections[0];
+    let conv = &sections[1];
     let e2e = &sections[2];
     let comp = &sections[3];
     let archs = &sections[4];
@@ -1110,12 +1193,33 @@ fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
             measured: gemm.baseline_ns / gemm.entry_ns("engine", 1),
             enforced: !smoke,
         },
+        // Enforced: the streaming shifted-window lowering must at least
+        // match im2col on the gated 28×28/c64→k64 geometry — the shape
+        // the conv autotuner's default decision is anchored on. Smoke
+        // conv shapes are too small for the window reuse to show.
+        Criterion {
+            name: "conv_stream_1t_speedup",
+            target: 1.0,
+            measured: conv.entry_ns("engine_im2col", 1) / conv.entry_ns("engine_stream", 1),
+            enforced: !smoke,
+        },
         // Best-ladder engine batch forward vs the scalar walk.
         c(
             "e2e_max_threads_speedup",
             4.0,
             e2e.baseline_ns / e2e.entry_ns("engine_batch", e2e_top),
         ),
+        // Enforced: the single-thread batch forward (per-sample
+        // quantization + packed binary edges + the weight-stationary
+        // stacked schedule) must hold the floor the streaming PR
+        // raised it past. Full runs only: smoke models are too small
+        // for the packed-edge savings to dominate dispatch overhead.
+        Criterion {
+            name: "e2e_1t_speedup",
+            target: E2E_1T_FLOOR,
+            measured: e2e.baseline_ns / e2e.entry_ns("engine_batch", 1),
+            enforced: !smoke,
+        },
         // Enforced: compression must pay for itself end-to-end. On the
         // wide container the streamed deploy+forward beats the offline
         // decompress-then-pack deployment by well over the 1.15 floor;
@@ -1210,7 +1314,7 @@ fn criteria(sections: &[Section], smoke: bool) -> Vec<Criterion> {
 fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"bnnkc-perfsuite/v5\",\n");
+    s.push_str("  \"schema\": \"bnnkc-perfsuite/v6\",\n");
     s.push_str(&format!("  \"mode\": \"{}\",\n", perfjson::escape(mode)));
     s.push_str(&format!(
         "  \"threads_available\": {},\n",
@@ -1237,6 +1341,30 @@ fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &s
                 "autotuned"
             },
             if i + 1 == choices.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    // v6: the conv autotuner's per-geometry lowering decisions made
+    // while the sections above ran (the conv section tunes the gated
+    // geometry before its ladder, so this is never empty).
+    s.push_str("  \"conv_selection\": [\n");
+    let conv_choices = simd::conv_choices();
+    for (i, ch) in conv_choices.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"channels\": {}, \"filters\": {}, \"h\": {}, \"w\": {}, \"stride\": {}, \"pad\": {}, \"lowering\": \"{}\", \"source\": \"{}\"}}{}\n",
+            ch.geom.channels,
+            ch.geom.filters,
+            ch.geom.h,
+            ch.geom.w,
+            ch.geom.stride,
+            ch.geom.pad,
+            perfjson::escape(ch.lowering.name()),
+            if ch.source == simd::ChoiceSource::Forced {
+                "forced"
+            } else {
+                "autotuned"
+            },
+            if i + 1 == conv_choices.len() { "" } else { "," }
         ));
     }
     s.push_str("  ],\n");
@@ -1310,7 +1438,7 @@ fn emit_json(sections: &[Section], crits: &[Criterion], mode: &str, out_path: &s
 
 /// Structural validation of the emitted document (CI's `--smoke` gate).
 fn validate(doc: &perfjson::Value) -> Result<(), String> {
-    if doc.get("schema").and_then(|v| v.as_str()) != Some("bnnkc-perfsuite/v5") {
+    if doc.get("schema").and_then(|v| v.as_str()) != Some("bnnkc-perfsuite/v6") {
         return Err("missing or wrong schema tag".into());
     }
     if doc
@@ -1329,6 +1457,22 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
             "expected 3 gemm_selection entries (one per shape class), found {}",
             selection.len()
         ));
+    }
+    // v6: the conv autotuner's lowering decisions must be recorded, and
+    // the conv section's pinned `engine_stream` run guarantees at least
+    // the gated geometry appears.
+    let conv_selection = doc
+        .get("conv_selection")
+        .and_then(|v| v.as_arr())
+        .ok_or("conv_selection must be an array (v6)")?;
+    if conv_selection.is_empty() {
+        return Err("conv_selection must record at least one geometry".into());
+    }
+    for ch in conv_selection {
+        let lowering = ch.get("lowering").and_then(|v| v.as_str()).unwrap_or("");
+        if !matches!(lowering, "stream" | "im2col") {
+            return Err(format!("conv_selection: bad lowering {lowering:?}"));
+        }
     }
     let sections = doc
         .get("sections")
@@ -1420,8 +1564,8 @@ fn validate(doc: &perfjson::Value) -> Result<(), String> {
         .get("criteria")
         .and_then(|v| v.as_arr())
         .ok_or("criteria must be an array")?;
-    if criteria.len() != 13 {
-        return Err(format!("expected 13 criteria, found {}", criteria.len()));
+    if criteria.len() != 15 {
+        return Err(format!("expected 15 criteria, found {}", criteria.len()));
     }
     Ok(())
 }
@@ -1523,7 +1667,7 @@ fn main() {
         eprintln!("FAIL: emitted {out_path} is malformed: {e}");
         std::process::exit(1);
     }
-    println!("wrote {out_path} (validated, schema bnnkc-perfsuite/v5)");
+    println!("wrote {out_path} (validated, schema bnnkc-perfsuite/v6)");
 
     let mut failed = false;
     for c in &crits {

@@ -6,15 +6,16 @@
 use std::any::Any;
 
 use super::{layer, Backend, StepCtx};
-use crate::engine::{CpuScratch, Engine};
+use crate::engine::{ConvScratch, CpuScratch, Engine};
 use crate::error::Result;
 use crate::exec::ExecPolicy;
 use crate::graph::{fused_steps, CompiledPlan, GraphNode, NodeOp, Step};
-use crate::layers::{avg_pool_2x2_into, global_avg_pool_into};
+use crate::layers::{avg_pool_2x2_into, global_avg_pool_into, BinConv2d, RSign};
 use crate::model::block::{
     add_into, fuse_channel_stage, fuse_spatial_stage, shortcut_channels_into,
 };
-use crate::tensor::Tensor;
+use crate::pack::PackedActivations;
+use crate::tensor::{BitTensor, Tensor};
 
 /// The engine-accelerated backend. Compiles the *fused* step list —
 /// sign folded into conv, every single-use `conv → bn → (+shortcut) →
@@ -70,8 +71,16 @@ impl Backend for CpuBackend {
             Step::Conv { node, sign, .. } => {
                 let sg = layer!(nodes, sign, NodeOp::Sign);
                 let cv = layer!(nodes, node, NodeOp::BinConv);
-                sg.binarize_into(ctx.a, &mut s.bits);
-                cv.forward_binarized_with(&s.bits, &mut s.packed, &self.engine, &mut s.conv, dst);
+                self.sign_conv_stage(
+                    sg,
+                    cv,
+                    ctx.binary_edge,
+                    ctx.a,
+                    &mut s.bits,
+                    &mut s.packed,
+                    &mut s.conv,
+                    dst,
+                );
             }
             Step::Bn { node, .. } => {
                 layer!(nodes, node, NodeOp::BatchNorm).forward_into(ctx.a, dst);
@@ -102,7 +111,7 @@ impl Backend for CpuBackend {
                 bn,
                 ..
             } => {
-                self.conv_chain_into(nodes, sign, conv, ctx.a, s);
+                self.conv_chain_into(nodes, sign, conv, ctx.binary_edge, ctx.a, s);
                 return fuse_spatial_stage(
                     &s.conv_out,
                     ctx.a,
@@ -119,7 +128,7 @@ impl Backend for CpuBackend {
                 bn,
                 ..
             } => {
-                self.conv_chain_into(nodes, sign, conv, ctx.a, s);
+                self.conv_chain_into(nodes, sign, conv, ctx.binary_edge, ctx.a, s);
                 fuse_channel_stage(
                     &s.conv_out,
                     ctx.a,
@@ -138,25 +147,57 @@ impl Backend for CpuBackend {
 }
 
 impl CpuBackend {
-    /// The staged `sign → pack → binary conv` prefix of a fused step,
-    /// landing in `scratch.conv_out`.
+    /// The staged `sign → binary conv` prefix shared by every
+    /// conv-bearing step.
+    ///
+    /// On a binary-domain edge feeding a dense-path conv, the sign
+    /// writes channel-packed lane words straight into `packed` and the
+    /// conv consumes them — the flat bit tensor is never materialized
+    /// and the per-conv re-pack (64 strided single-bit gathers per lane
+    /// word) disappears. The sequence-bank kernel is the one consumer
+    /// that wants raw bits, so bank-path layers keep the
+    /// binarize-then-repack staging.
+    #[allow(clippy::too_many_arguments)]
+    fn sign_conv_stage(
+        &self,
+        sg: &RSign,
+        cv: &BinConv2d,
+        binary_edge: bool,
+        x: &Tensor,
+        bits: &mut BitTensor,
+        packed: &mut PackedActivations,
+        conv: &mut ConvScratch,
+        dst: &mut Tensor,
+    ) {
+        if binary_edge && !cv.wants_bank_path(&self.engine) {
+            sg.binarize_packed_into(x, packed);
+            cv.forward_packed_with(packed, &self.engine, conv, dst);
+        } else {
+            sg.binarize_into(x, bits);
+            cv.forward_binarized_with(bits, packed, &self.engine, conv, dst);
+        }
+    }
+
+    /// The staged `sign → binary conv` prefix of a fused step, landing
+    /// in `scratch.conv_out`.
     fn conv_chain_into(
         &self,
         nodes: &[GraphNode],
         sign: usize,
         conv: usize,
+        binary_edge: bool,
         x: &Tensor,
         s: &mut CpuScratch,
     ) {
         let sg = layer!(nodes, sign, NodeOp::Sign);
         let cv = layer!(nodes, conv, NodeOp::BinConv);
-        sg.binarize_into(x, &mut s.bits);
-        cv.forward_binarized_with(
-            &s.bits,
-            &mut s.packed,
-            &self.engine,
-            &mut s.conv,
-            &mut s.conv_out,
-        );
+        let CpuScratch {
+            bits,
+            packed,
+            conv: conv_scratch,
+            conv_out,
+            ..
+        } = s;
+        self.sign_conv_stage(sg, cv, binary_edge, x, bits, packed, conv_scratch, conv_out);
     }
 }

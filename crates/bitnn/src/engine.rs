@@ -40,15 +40,18 @@ use crate::ops::bankconv::{conv2d_bank_items, BankScratch};
 use crate::ops::conv::{conv2d_direct_rows, kernel_position_ones, Conv2dParams};
 use crate::ops::gemm::{gemm_rows_into, PackedMatrix};
 use crate::ops::im2col::{im2col_kernel_packed, im2col_rows};
+use crate::ops::streamconv::conv2d_stream_items;
 use crate::pack::{PackedActivations, PackedKernel};
 use crate::pool::WorkerPool;
+use crate::simd::{conv_choice_cached, record_conv_choice, record_forced_conv};
+use crate::simd::{ConvChoice, ConvGeom, ConvLowering};
 use crate::tensor::{BitTensor, Tensor};
 
 // The policy/lowering knobs used to live here; they moved to the neutral
 // [`crate::exec`] module so the CLI and bench crates stop importing engine
 // internals. Re-exported for path compatibility.
 pub use crate::exec::{
-    parse_thread_count, ExecPolicy, Lowering, DEFAULT_MIN_WORK, IM2COL_MAX_CHANNELS,
+    parse_thread_count, ConvMode, ExecPolicy, Lowering, DEFAULT_MIN_WORK, IM2COL_MAX_CHANNELS,
 };
 
 /// Set a buffer's length without zero-filling retained elements — for
@@ -122,6 +125,9 @@ pub enum ConvPath {
     Direct,
     /// im2col lowering + GEMM; wants the `lowered` weight matrix.
     Im2col,
+    /// Im2col-free streaming shifted-window convolution
+    /// ([`crate::ops::streamconv`]); wants `pad_ones`, allocates nothing.
+    Stream,
 }
 
 /// The CPU backend's per-step staging buffers — everything a step of the
@@ -163,6 +169,15 @@ pub struct Scratch {
     /// liveness-assigned slot of the compiled plan (see
     /// [`crate::graph`]'s executor).
     pub(crate) arena: Vec<Tensor>,
+    /// Batch weight-stationary staging: uniform-shape batch items stacked
+    /// into one `[B*N, C, H, W]` tensor so the whole plan runs once per
+    /// batch — every layer's row packing and window state builds once per
+    /// image set instead of once per image (see
+    /// [`crate::graph::ModelGraph::forward_batch_into`]).
+    pub(crate) stacked_in: Tensor,
+    /// The stacked plan output before it is split back into per-item
+    /// logits tensors.
+    pub(crate) stacked_out: Tensor,
 }
 
 /// The parallel tiled executor. Cheap to construct, [`Clone`], and
@@ -317,6 +332,110 @@ impl Engine {
                 rhs: vec![packed.channels()],
             });
         }
+        let c = acts.channels();
+        let (kh, kw) = (packed.kh(), packed.kw());
+        let path = match self.conv_path(kh, kw, params, c) {
+            Some(p) => {
+                // A pinned `ConvMode` deciding a live auto-lowered 3×3
+                // dispatch is recorded (reporting only) so `bnnkc
+                // features` and the perfsuite can label what actually ran.
+                if self.policy.lowering == Lowering::Auto && kh == 3 && kw == 3 {
+                    let forced = match (self.policy.conv, p) {
+                        (ConvMode::Stream, ConvPath::Stream) => Some(ConvLowering::Stream),
+                        (ConvMode::Im2col, ConvPath::Im2col) => Some(ConvLowering::Im2col),
+                        _ => None,
+                    };
+                    if let Some(lowering) = forced {
+                        record_forced_conv(conv_geom(acts, packed, params), lowering);
+                    }
+                }
+                p
+            }
+            // `None` means "autotune this 3×3 geometry": consult the
+            // process-wide decision cache, measuring stream-vs-im2col on
+            // the live operands the first time the geometry is seen.
+            None => {
+                let geom = conv_geom(acts, packed, params);
+                let lowering = match conv_choice_cached(geom) {
+                    Some(l) => l,
+                    None => {
+                        let l = self.tune_conv(acts, kernel, params, scratch, out);
+                        record_conv_choice(geom, l);
+                        l
+                    }
+                };
+                match lowering {
+                    ConvLowering::Stream => ConvPath::Stream,
+                    ConvLowering::Im2col => ConvPath::Im2col,
+                }
+            }
+        };
+        self.conv2d_with_path(path, acts, kernel, params, scratch, out);
+        Ok(())
+    }
+
+    /// Time the streaming path against im2col on the live operands —
+    /// min-of-reps each, every rep a full valid compute (both paths are
+    /// bit-exact, so `out` holds correct results throughout). Runs once
+    /// per conv geometry per process, on the warm-up forward.
+    ///
+    /// The decision is cached process-wide, so a mis-tune is sticky:
+    /// both candidates get an untimed warm-up first (the im2col probe
+    /// must not be charged for sizing its staging buffer), the timed
+    /// reps alternate between the candidates so frequency drift hits
+    /// both equally, and small geometries — where one rep is a handful
+    /// of microseconds and a single timer blip flips the outcome — keep
+    /// racing until each candidate has accumulated a minimum timed
+    /// budget.
+    fn tune_conv(
+        &self,
+        acts: &PackedActivations,
+        kernel: KernelForms<'_>,
+        params: Conv2dParams,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) -> ConvLowering {
+        const MIN_REPS: usize = 3;
+        const MAX_REPS: usize = 32;
+        const BUDGET_NS: u128 = 200_000;
+        let candidates = [ConvPath::Im2col, ConvPath::Stream];
+        for path in candidates {
+            self.conv2d_with_path(path, acts, kernel, params, scratch, out);
+        }
+        let mut best = [u128::MAX; 2];
+        let mut spent = [0u128; 2];
+        let mut reps = 0;
+        while reps < MAX_REPS && (reps < MIN_REPS || spent.iter().any(|&s| s < BUDGET_NS)) {
+            for (slot, path) in candidates.into_iter().enumerate() {
+                let t = std::time::Instant::now();
+                self.conv2d_with_path(path, acts, kernel, params, scratch, out);
+                let d = t.elapsed().as_nanos();
+                best[slot] = best[slot].min(d);
+                spent[slot] += d;
+            }
+            reps += 1;
+        }
+        // Ties go to streaming: same speed with no im2col staging buffer.
+        if best[1] <= best[0] {
+            ConvLowering::Stream
+        } else {
+            ConvLowering::Im2col
+        }
+    }
+
+    /// Execute one already-resolved lowering. Never consults or writes the
+    /// autotune cache — the tuner calls this for its probe runs, and a
+    /// probe must not pollute the recorded decisions.
+    fn conv2d_with_path(
+        &self,
+        path: ConvPath,
+        acts: &PackedActivations,
+        kernel: KernelForms<'_>,
+        params: Conv2dParams,
+        scratch: &mut ConvScratch,
+        out: &mut Tensor,
+    ) {
+        let packed = kernel.packed;
         let (n, c, h, w) = (acts.batch(), acts.channels(), acts.height(), acts.width());
         let (kf, kh, kw) = (packed.filters(), packed.kh(), packed.kw());
         let oh = params.out_dim(h, kh);
@@ -324,8 +443,7 @@ impl Engine {
         // Every lowering writes every output element, so skip the zero-fill.
         out.reset_for_overwrite(&[n, kf, oh, ow]);
 
-        let path = self.conv_path(kh, kw, params, c);
-        if path == ConvPath::Direct {
+        if path == ConvPath::Direct || path == ConvPath::Stream {
             let built;
             let pad_ones = match kernel.pad_ones {
                 Some(p) => p,
@@ -335,10 +453,19 @@ impl Engine {
                 }
             };
             let work = (n * kf * oh * ow * kh * kw * acts.lanes()) as u64;
-            self.parallel_chunks(out.data_mut(), ow, 4, work, |first, band| {
-                conv2d_direct_rows(acts, packed, params, pad_ones, first, band);
-            });
-            return Ok(());
+            if path == ConvPath::Stream {
+                // One item = one (img, filter) output plane; the kernel
+                // blocks up to FILTER_BLOCK filters of one image so each
+                // resident activation word is loaded once per block.
+                self.parallel_chunks(out.data_mut(), oh * ow, 1, work, |first, band| {
+                    conv2d_stream_items(acts, packed, params, pad_ones, first, band);
+                });
+            } else {
+                self.parallel_chunks(out.data_mut(), ow, 4, work, |first, band| {
+                    conv2d_direct_rows(acts, packed, params, pad_ones, first, band);
+                });
+            }
+            return;
         }
 
         let pixels = n * oh * ow;
@@ -396,30 +523,40 @@ impl Engine {
                 }
             }
         }
-        Ok(())
     }
 
     /// The dense lowering [`Engine::conv2d_into`] will run for this
-    /// geometry under the current policy.
+    /// geometry under the current policy, or `None` when the choice is
+    /// autotuned at first dispatch ([`ConvMode::Auto`] on an auto-lowered
+    /// 3×3 layer — the streaming-vs-im2col decision needs live operands).
     pub fn conv_path(
         &self,
         kh: usize,
         kw: usize,
         params: Conv2dParams,
         channels: usize,
-    ) -> ConvPath {
+    ) -> Option<ConvPath> {
         let pointwise = kh == 1 && kw == 1 && params.stride == 1 && params.pad == 0;
-        let use_im2col = match self.policy.lowering {
-            Lowering::Direct => false,
-            Lowering::Im2col => true,
-            Lowering::Auto => pointwise || channels <= IM2COL_MAX_CHANNELS,
-        };
-        if !use_im2col {
-            ConvPath::Direct
-        } else if pointwise && self.policy.lowering != Lowering::Im2col {
-            ConvPath::PointwiseGemm
-        } else {
-            ConvPath::Im2col
+        match self.policy.lowering {
+            Lowering::Direct => Some(ConvPath::Direct),
+            Lowering::Im2col => Some(ConvPath::Im2col),
+            Lowering::Auto => {
+                if pointwise {
+                    return Some(ConvPath::PointwiseGemm);
+                }
+                if kh == 3 && kw == 3 {
+                    match self.policy.conv {
+                        ConvMode::Stream => return Some(ConvPath::Stream),
+                        ConvMode::Auto => return None,
+                        ConvMode::Im2col => {}
+                    }
+                }
+                Some(if channels <= IM2COL_MAX_CHANNELS {
+                    ConvPath::Im2col
+                } else {
+                    ConvPath::Direct
+                })
+            }
         }
     }
 
@@ -480,6 +617,40 @@ impl Engine {
         }
         Ok(())
     }
+}
+
+/// The streaming autotuner's cache key for a live dispatch.
+fn conv_geom(acts: &PackedActivations, kernel: &PackedKernel, params: Conv2dParams) -> ConvGeom {
+    ConvGeom {
+        channels: acts.channels(),
+        filters: kernel.filters(),
+        h: acts.height(),
+        w: acts.width(),
+        stride: params.stride,
+        pad: params.pad,
+    }
+}
+
+/// Warm the streaming-vs-im2col conv decision on the model zoo's hot
+/// geometry (28×28, 64 channels, 64 filters, 3×3 stride-1 pad-1 — the
+/// perfsuite's gated shape) and return every conv selection recorded so
+/// far. `bnnkc features` calls this so the table has something to show
+/// before any real forward has run; under a pinned `BITNN_CONV` the
+/// recorded entry is the forced one.
+pub fn warm_conv_table() -> Vec<ConvChoice> {
+    let engine = Engine::new(ExecPolicy {
+        threads: 1,
+        ..ExecPolicy::default()
+    });
+    let bits = crate::weightgen::random_kernel(&[1, 64, 28, 28], 0xC0DE);
+    let kernel = crate::weightgen::random_kernel(&[64, 64, 3, 3], 0xFACE);
+    if let (Ok(acts), Ok(packed)) = (PackedActivations::pack(&bits), PackedKernel::pack(&kernel)) {
+        let mut scratch = ConvScratch::default();
+        let mut out = Tensor::default();
+        let params = Conv2dParams { stride: 1, pad: 1 };
+        let _ = engine.conv2d_into(&acts, (&packed).into(), params, &mut scratch, &mut out);
+    }
+    crate::simd::conv_choices()
 }
 
 /// Band-dispatch body of [`Engine::parallel_chunks`], parameterized over

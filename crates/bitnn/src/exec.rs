@@ -83,6 +83,45 @@ impl DedupMode {
     }
 }
 
+/// Which 3×3 lowering [`Lowering::Auto`] prefers: the im2col+GEMM path or
+/// the im2col-free streaming direct path
+/// (see [`crate::ops::streamconv`]).
+///
+/// Orthogonal to [`Lowering`]: an explicit `Lowering::Direct`/`Im2col`
+/// still pins that lowering; this knob only steers the automatic choice
+/// (and, for [`ConvMode::Auto`], hands the decision to the first-dispatch
+/// autotuner, which measures both paths on the live operands per conv
+/// geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvMode {
+    /// Autotune per conv geometry: on the first dispatch of each 3×3
+    /// shape, time the streaming path against im2col on the real operands
+    /// and cache the winner (see [`crate::simd::conv_choices`]).
+    #[default]
+    Auto,
+    /// Always use the streaming shifted-window path for 3×3 layers.
+    Stream,
+    /// Keep the legacy channel-count heuristic: im2col at or below
+    /// [`IM2COL_MAX_CHANNELS`] channels, direct above.
+    Im2col,
+}
+
+impl ConvMode {
+    /// Resolve the `BITNN_CONV` environment knob (`stream` / `im2col` /
+    /// `auto`, case-insensitive); unset or unrecognized values mean
+    /// [`ConvMode::Auto`].
+    pub fn from_env() -> Self {
+        match std::env::var("BITNN_CONV") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "stream" => ConvMode::Stream,
+                "im2col" => ConvMode::Im2col,
+                _ => ConvMode::Auto,
+            },
+            Err(_) => ConvMode::Auto,
+        }
+    }
+}
+
 /// Default [`ExecPolicy::min_work`]: roughly 15 µs of lane-word operations
 /// on a current core. Below this, waking even one parked worker costs a
 /// measurable fraction of the op itself, so the dispatch runs inline.
@@ -107,17 +146,21 @@ pub struct ExecPolicy {
     pub lowering: Lowering,
     /// Sequence-bank (dedup) path selection for 3×3 convolutions.
     pub dedup: DedupMode,
+    /// Streaming-vs-im2col steering for [`Lowering::Auto`] 3×3 layers.
+    pub conv: ConvMode,
 }
 
 impl Default for ExecPolicy {
     /// All available hardware parallelism, default inline threshold,
-    /// automatic lowering, `BITNN_DEDUP`-resolved dedup mode.
+    /// automatic lowering, `BITNN_DEDUP`-resolved dedup mode,
+    /// `BITNN_CONV`-resolved conv mode.
     fn default() -> Self {
         ExecPolicy {
             threads: thread::available_parallelism().map_or(1, usize::from),
             min_work: DEFAULT_MIN_WORK,
             lowering: Lowering::Auto,
             dedup: DedupMode::from_env(),
+            conv: ConvMode::from_env(),
         }
     }
 }

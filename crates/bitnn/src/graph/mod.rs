@@ -576,7 +576,7 @@ impl ModelGraph {
     ) -> Result<()> {
         self.check_input(input);
         let backend = CpuBackend::new(engine.clone());
-        let Scratch { cpu, arena } = scratch;
+        let Scratch { cpu, arena, .. } = scratch;
         exec::run_plan(&self.nodes, &self.plan, &backend, input, arena, cpu, out)
     }
 
@@ -664,8 +664,18 @@ impl ModelGraph {
     ///
     /// Panics if any input shape does not match the graph.
     pub fn forward_batch(&self, inputs: &[Tensor], engine: &Engine) -> Result<Vec<Tensor>> {
+        // Thread-local scratch so repeat callers of the convenience
+        // wrapper get the same steady-state (zero-allocation) forward as
+        // `forward_batch_into` with persistent scratch. The buffers are
+        // shape-agnostic and resize on demand, so sharing across graphs
+        // is safe; the cost is scratch memory retained per thread.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<BatchScratch> =
+                std::cell::RefCell::new(BatchScratch::default());
+        }
         let mut outs = Vec::new();
-        self.forward_batch_into(inputs, engine, &mut BatchScratch::default(), &mut outs)?;
+        SCRATCH
+            .with(|s| self.forward_batch_into(inputs, engine, &mut s.borrow_mut(), &mut outs))?;
         Ok(outs)
     }
 
@@ -729,19 +739,102 @@ impl ModelGraph {
                 None => Ok(()),
             }
         } else {
-            // Intra-op parallelism: items sequential, each op parallel
-            // (or everything inline when the workload is too small).
+            // Intra-op parallelism. Uniform-shape batches take the
+            // weight-stationary stacked path: the whole plan runs once
+            // over a `[B*N, C, H, W]` stack, so every layer's packing and
+            // window state is built once per image set instead of once
+            // per image. Mixed shapes fall back to the per-item loop.
             let mut s = scratch.take();
-            let mut result = Ok(());
-            for (input, out) in inputs.iter().zip(outs.iter_mut()) {
-                if let Err(e) = self.forward_into(input, engine, &mut s, out) {
-                    result = Err(e);
-                    break;
+            let uniform = inputs.len() > 1
+                && first_input.shape().len() == 4
+                && inputs.iter().all(|t| t.shape() == first_input.shape());
+            let result = if uniform {
+                self.forward_batch_stacked(inputs, engine, &mut s, outs)
+            } else {
+                let mut result = Ok(());
+                for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+                    if let Err(e) = self.forward_into(input, engine, &mut s, out) {
+                        result = Err(e);
+                        break;
+                    }
                 }
-            }
+                result
+            };
             scratch.put(s);
             result
         }
+    }
+
+    /// Batch weight-stationary scheduling: stack uniform-shape items into
+    /// one `[B*N, C, H, W]` input, run the compiled plan once for the
+    /// whole set, and split the stacked logits back into per-item output
+    /// tensors. Every op in the graph is batch-independent (convolutions
+    /// and pools act per image, elementwise stages per element, the
+    /// classifier per row), so this is bit-exact with per-item forwards
+    /// while amortizing each layer's row packing, im2col/bank window
+    /// state, and kernel dispatch overhead across the batch — composing
+    /// with the weight-stationary bank kernel, which already iterates
+    /// weights-outer over the stacked images. On warmed scratch the whole
+    /// path performs zero heap allocation.
+    fn forward_batch_stacked(
+        &self,
+        inputs: &[Tensor],
+        engine: &Engine,
+        s: &mut Scratch,
+        outs: &mut [Tensor],
+    ) -> Result<()> {
+        // Weight-stationary over cache-sized blocks, not the whole batch:
+        // packed weights are small enough to stay resident regardless, so
+        // the block bounds the *activation* working set — stacking all 32
+        // serving-shaped images at once streams every layer's activations
+        // through the cache and loses the reuse it set out to buy
+        // (measured ~8% slower than per-item at block=32, fastest at 8).
+        const STACK_BLOCK: usize = 8;
+        if inputs.len() > STACK_BLOCK {
+            for (ins, os) in inputs.chunks(STACK_BLOCK).zip(outs.chunks_mut(STACK_BLOCK)) {
+                self.forward_batch_stacked(ins, engine, s, os)?;
+            }
+            return Ok(());
+        }
+        let shape = inputs[0].shape();
+        let mut stacked_shape = [0usize; 4];
+        stacked_shape.copy_from_slice(shape);
+        stacked_shape[0] = shape[0] * inputs.len();
+        let Scratch {
+            cpu,
+            arena,
+            stacked_in,
+            stacked_out,
+        } = s;
+        stacked_in.reset_for_overwrite(&stacked_shape);
+        let item_len = inputs[0].data().len();
+        for (i, input) in inputs.iter().enumerate() {
+            stacked_in.data_mut()[i * item_len..(i + 1) * item_len].copy_from_slice(input.data());
+        }
+        self.check_input(stacked_in);
+        let backend = CpuBackend::new(engine.clone());
+        exec::run_plan(
+            &self.nodes,
+            &self.plan,
+            &backend,
+            stacked_in,
+            arena,
+            cpu,
+            stacked_out,
+        )?;
+        // Split dim 0 of the stacked output back into per-item tensors.
+        // Fixed-size shape staging keeps the warm path allocation-free.
+        let mut item_shape = [0usize; 8];
+        let dims = stacked_out.shape().len();
+        item_shape[..dims].copy_from_slice(stacked_out.shape());
+        item_shape[0] = stacked_out.shape()[0] / inputs.len();
+        let per = stacked_out.data().len() / inputs.len();
+        for (i, out) in outs.iter_mut().enumerate() {
+            out.reset_for_overwrite(&item_shape[..dims]);
+            out.data_mut()
+                .copy_from_slice(&stacked_out.data()[i * per..(i + 1) * per]);
+        }
+        Ok(())
     }
 
     /// The scalar reference walk: naive per-node forwards, fresh

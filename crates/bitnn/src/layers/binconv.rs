@@ -185,24 +185,27 @@ impl BinConv2d {
 
     /// The kernel forms the engine's chosen lowering will actually read,
     /// materializing only those — a direct-path forward never builds the
-    /// im2col matrix and vice versa.
+    /// im2col matrix and vice versa. When the path is autotuned at first
+    /// dispatch (`None`), every form the candidate paths could read is
+    /// provided, so the warmed forward never builds one mid-dispatch.
     pub fn forms_for(&self, engine: &Engine) -> KernelForms<'_> {
         match engine.conv_path(self.kh, self.kw, self.params, self.channels) {
-            ConvPath::Direct => KernelForms {
+            Some(ConvPath::Direct) | Some(ConvPath::Stream) => KernelForms {
                 packed: self.packed(),
                 lowered: None,
                 pad_ones: Some(self.pad_ones()),
             },
-            ConvPath::Im2col => KernelForms {
+            Some(ConvPath::Im2col) => KernelForms {
                 packed: self.packed(),
                 lowered: Some(self.lowered()),
                 pad_ones: None,
             },
-            ConvPath::PointwiseGemm => KernelForms {
+            Some(ConvPath::PointwiseGemm) => KernelForms {
                 packed: self.packed(),
                 lowered: None,
                 pad_ones: None,
             },
+            None => self.forms(),
         }
     }
 
@@ -331,13 +334,7 @@ impl BinConv2d {
         scratch: &mut ConvScratch,
         out: &mut Tensor,
     ) {
-        let bank_resident = self.kh == 3
-            && self.kw == 3
-            && self.bank.get().is_some()
-            && self.packed.get().is_none();
-        let bank_path = engine.uses_bank(self.kh, self.kw, self.channels)
-            || (engine.policy().dedup == crate::exec::DedupMode::Auto && bank_resident);
-        if bank_path {
+        if self.wants_bank_path(engine) {
             if let Some(bank) = self.bank() {
                 engine
                     .conv2d_bank_into(bits, bank, self.params, scratch, out)
@@ -349,6 +346,21 @@ impl BinConv2d {
             .repack(bits)
             .expect("4-D input validated by binarize");
         self.forward_packed_with(packed_acts, engine, scratch, out);
+    }
+
+    /// Whether a forward under `engine` runs on the sequence-bank path
+    /// (consuming raw bits) rather than the dense channel-packed
+    /// lowerings. Exposed to the CPU backend so its sign stages can write
+    /// packed lane words directly for dense-path layers — the binary-
+    /// domain edge of the compiled plan — and raw bits only where the
+    /// bank kernel wants them.
+    pub(crate) fn wants_bank_path(&self, engine: &Engine) -> bool {
+        let bank_resident = self.kh == 3
+            && self.kw == 3
+            && self.bank.get().is_some()
+            && self.packed.get().is_none();
+        engine.uses_bank(self.kh, self.kw, self.channels)
+            || (engine.policy().dedup == crate::exec::DedupMode::Auto && bank_resident)
     }
 }
 

@@ -2,10 +2,18 @@
 //!
 //! ReActNet's input convolution and output fully-connected layer are not
 //! binarized; the paper quantizes both to 8 bits (Sec. II-B, Table I rows
-//! "Input Layer" / "Output Layer"). We implement symmetric per-tensor
-//! quantization: weights are stored as `i8` with one `f32` scale, inputs
-//! are quantized on the fly, accumulation is `i32`, and the result is
+//! "Input Layer" / "Output Layer"). We implement symmetric quantization:
+//! weights are stored as `i8` with one per-tensor `f32` scale fixed at
+//! construction, inputs are quantized on the fly with one scale *per
+//! sample* (per dim-0 row), accumulation is `i32`, and the result is
 //! rescaled to `f32`.
+//!
+//! The per-sample activation scale makes every sample's output depend
+//! only on that sample — batch composition never changes a result. The
+//! batched executors rely on this: stacking K single-image requests into
+//! one `[K, C, H, W]` forward (the weight-stationary batch schedule, the
+//! serving daemon's coalesced batches) is bit-exact with K separate
+//! forwards.
 
 use crate::layers::Layer;
 use crate::ops::conv::Conv2dParams;
@@ -188,9 +196,6 @@ impl QuantConv2d {
         let kf = self.filters;
         let oh = self.params.out_dim(h, self.kh);
         let ow = self.params.out_dim(w, self.kw);
-        let in_scale = quantize_symmetric_into(input.data(), &mut scratch.q);
-        let input_q = &scratch.q;
-        let out_scale = in_scale * self.w_scale;
         let wt = &self.weights_t; // tap-major, cached at construction
                                   // Every (filter, pixel) accumulator cell is dequantized below, so
                                   // neither buffer needs a zero-fill beyond the per-image reset.
@@ -199,7 +204,7 @@ impl QuantConv2d {
             scratch.acc.clear();
             scratch.acc.resize(oh * ow * kf, 0);
         }
-        let acc = &mut scratch.acc;
+        let QuantScratch { q, acc } = scratch;
         // Valid output index range for kernel tap offset `t` along an axis
         // of input extent `extent` and output extent `out_extent`: exactly
         // the `o` with `0 <= o*stride + t - pad < extent`.
@@ -217,9 +222,13 @@ impl QuantConv2d {
             (lo.min(hi), hi)
         };
         for img in 0..n {
+            // One activation scale per sample (batch-invariant results).
+            let in_scale =
+                quantize_symmetric_into(&input.data()[img * c * h * w..][..c * h * w], q);
+            let out_scale = in_scale * self.w_scale;
             acc.fill(0);
             for ch in 0..c {
-                let plane = &input_q[(img * c + ch) * h * w..][..h * w];
+                let plane = &q[ch * h * w..][..h * w];
                 for ky in 0..self.kh {
                     let (oy_lo, oy_hi) = valid(ky, h, oh);
                     for kx in 0..self.kw {
@@ -259,13 +268,14 @@ impl Layer for QuantConv2d {
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let oh = self.params.out_dim(h, self.kh);
         let ow = self.params.out_dim(w, self.kw);
-        let (input_q, in_scale) = quantize_symmetric(input.data());
-        let iq = |img: usize, ch: usize, y: usize, x: usize| -> i32 {
-            input_q[((img * c + ch) * h + y) * w + x] as i32
-        };
-        let out_scale = in_scale * self.w_scale;
         let mut out = Tensor::zeros(&[n, self.filters, oh, ow]);
         for img in 0..n {
+            // One activation scale per sample (batch-invariant results).
+            let (input_q, in_scale) =
+                quantize_symmetric(&input.data()[img * c * h * w..][..c * h * w]);
+            let iq =
+                |ch: usize, y: usize, x: usize| -> i32 { input_q[(ch * h + y) * w + x] as i32 };
+            let out_scale = in_scale * self.w_scale;
             for k in 0..self.filters {
                 for oy in 0..oh {
                     for ox in 0..ow {
@@ -278,7 +288,7 @@ impl Layer for QuantConv2d {
                                     let x = (ox * self.params.stride + kx) as isize
                                         - self.params.pad as isize;
                                     if y >= 0 && y < h as isize && x >= 0 && x < w as isize {
-                                        acc += iq(img, ch, y as usize, x as usize)
+                                        acc += iq(ch, y as usize, x as usize)
                                             * self.w_at(k, ch, ky, kx);
                                     }
                                     // 8-bit layers use conventional zero
@@ -368,17 +378,20 @@ impl QuantLinear {
             "feature mismatch in QuantLinear"
         );
         let n = shape[0];
-        let in_scale = quantize_symmetric_into(input.data(), &mut scratch.q);
-        let input_q = &scratch.q;
-        let out_scale = in_scale * self.w_scale;
         out.reset_for_overwrite(&[n, self.out_features]);
         for img in 0..n {
+            // One activation scale per sample (batch-invariant results).
+            let row = &input.data()[img * self.in_features..][..self.in_features];
+            let in_scale = quantize_symmetric_into(row, &mut scratch.q);
+            let input_q = &scratch.q;
+            let out_scale = in_scale * self.w_scale;
             for o in 0..self.out_features {
-                let mut acc = 0i32;
-                for i in 0..self.in_features {
-                    acc += input_q[img * self.in_features + i] as i32
-                        * self.weights_q[o * self.in_features + i] as i32;
-                }
+                let w_row = &self.weights_q[o * self.in_features..][..self.in_features];
+                let acc: i32 = input_q
+                    .iter()
+                    .zip(w_row)
+                    .map(|(&a, &w)| a as i32 * w as i32)
+                    .sum();
                 out.data_mut()[img * self.out_features + o] = dequantize(acc, out_scale);
             }
         }
@@ -463,6 +476,38 @@ mod tests {
             assert_eq!(a.shape(), b.shape());
             assert_eq!(a.data(), b.data(), "k{kh}x{kw} s{stride} p{pad}");
         }
+    }
+
+    #[test]
+    fn batch_composition_never_changes_a_sample() {
+        use crate::weightgen::random_floats;
+        // The per-sample activation scale makes stacking bit-exact: the
+        // stacked batch schedule and the serving daemon both rely on it.
+        let w = Tensor::from_vec(&[4, 3, 3, 3], random_floats(4 * 3 * 9, 1.0, 21)).unwrap();
+        let conv = QuantConv2d::from_float(&w, Conv2dParams { stride: 1, pad: 1 });
+        let a = Tensor::from_vec(&[1, 3, 5, 5], random_floats(75, 1.0, 1)).unwrap();
+        // A second sample with a very different dynamic range.
+        let b = Tensor::from_vec(&[1, 3, 5, 5], random_floats(75, 40.0, 2)).unwrap();
+        let mut stacked_vals = a.data().to_vec();
+        stacked_vals.extend_from_slice(b.data());
+        let stacked = Tensor::from_vec(&[2, 3, 5, 5], stacked_vals).unwrap();
+        let ya = conv.forward_fast(&a);
+        let yb = conv.forward_fast(&b);
+        let ys = conv.forward_fast(&stacked);
+        assert_eq!(&ys.data()[..ya.data().len()], ya.data());
+        assert_eq!(&ys.data()[ya.data().len()..], yb.data());
+        assert_eq!(conv.forward(&stacked).data(), ys.data());
+
+        let lw: Vec<f32> = random_floats(2 * 75, 1.0, 3);
+        let lin = QuantLinear::from_float(&lw, 2, 75);
+        let ra = Tensor::from_vec(&[1, 75], a.data().to_vec()).unwrap();
+        let rb = Tensor::from_vec(&[1, 75], b.data().to_vec()).unwrap();
+        let rs = Tensor::from_vec(&[2, 75], stacked.data().to_vec()).unwrap();
+        let la = lin.forward_2d(&ra);
+        let lb = lin.forward_2d(&rb);
+        let ls = lin.forward_2d(&rs);
+        assert_eq!(&ls.data()[..2], la.data());
+        assert_eq!(&ls.data()[2..], lb.data());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! reshaping its input"); the same idea applies to the sign function.
 
 use crate::layers::Layer;
+use crate::pack::PackedActivations;
 use crate::tensor::{BitTensor, Tensor};
 
 /// Per-channel shifted sign activation.
@@ -120,6 +121,65 @@ impl RSign {
             }
         }
     }
+
+    /// Binarize a `[N, C, H, W]` tensor straight into channel-packed lane
+    /// words — the writer side of the compiled plan's binary-domain
+    /// edges: where the next consumer is a dense-path convolution, the
+    /// sign output never materializes as a flat bit tensor, skipping both
+    /// that store and the per-conv re-pack (64 strided single-bit gathers
+    /// per lane word). Bit-exact with packing [`Self::binarize`]'s output:
+    /// the predicate per bit is the identical `x >= shift_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel dimension does not match the shift count.
+    pub fn binarize_packed_into(&self, input: &Tensor, out: &mut PackedActivations) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            /// AVX2 instantiation of [`RSign::binarize_packed_into_impl`].
+            #[target_feature(enable = "avx2")]
+            unsafe fn binarize_packed_avx2(
+                layer: &RSign,
+                input: &Tensor,
+                out: &mut PackedActivations,
+            ) {
+                layer.binarize_packed_into_impl(input, out);
+            }
+            if crate::simd::avx2() {
+                // SAFETY: avx2 was detected at runtime.
+                return unsafe { binarize_packed_avx2(self, input, out) };
+            }
+        }
+        self.binarize_packed_into_impl(input, out);
+    }
+
+    /// Portable body of [`Self::binarize_packed_into`]: channel-major —
+    /// each contiguous source channel row is compared against its shift
+    /// once, and every resulting bit lands at one fixed `(lane, bit)`
+    /// slot across the pixel words (a strided OR into the zeroed output).
+    #[inline(always)]
+    fn binarize_packed_into_impl(&self, input: &Tensor, out: &mut PackedActivations) {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "RSign expects a 4-D tensor");
+        assert_eq!(shape[1], self.shifts.len(), "channel mismatch in RSign");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let hw = h * w;
+        out.reset_zeroed(n, c, h, w);
+        let lanes = out.lanes();
+        let data = input.data();
+        let words = out.words_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let a = self.shifts[ch];
+                let (lane, bit) = (ch / 64, ch % 64);
+                let row = &data[(img * c + ch) * hw..][..hw];
+                let base = img * hw * lanes + lane;
+                for (pix, &v) in row.iter().enumerate() {
+                    words[base + pix * lanes] |= u64::from(v >= a) << bit;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for RSign {
@@ -175,5 +235,21 @@ mod tests {
         let rs = RSign::zero(16);
         assert_eq!(rs.param_bits(), 512);
         assert!(rs.describe().contains("16"));
+    }
+
+    #[test]
+    fn packed_binarize_matches_pack_of_binarize() {
+        use crate::weightgen::random_floats;
+        // Channel counts below, at, and above one lane word; odd spatial.
+        for (n, c, h, w) in [(1, 3, 4, 5), (2, 64, 3, 3), (2, 70, 5, 7), (1, 1, 1, 1)] {
+            let vals = random_floats(n * c * h * w, 1.0, (c * h) as u64);
+            let t = Tensor::from_vec(&[n, c, h, w], vals).unwrap();
+            let shifts = random_floats(c, 0.5, c as u64);
+            let rs = RSign::new(shifts);
+            let expect = PackedActivations::pack(&rs.binarize(&t)).unwrap();
+            let mut got = PackedActivations::default();
+            rs.binarize_packed_into(&t, &mut got);
+            assert_eq!(got, expect, "n={n} c={c} h={h} w={w}");
+        }
     }
 }

@@ -56,7 +56,7 @@ pub use backend::{Backend, BackendKind};
 pub use bank::{BankPlan, SequenceBank};
 pub use engine::{Engine, KernelForms, Scratch};
 pub use error::{BitnnError, Result};
-pub use exec::{DedupMode, ExecPolicy, Lowering};
+pub use exec::{ConvMode, DedupMode, ExecPolicy, Lowering};
 pub use graph::arch::Arch;
 pub use graph::{BatchScratch, GraphBuilder, GraphSpec, ModelGraph};
 pub use pack::{PackedActivations, PackedKernel};

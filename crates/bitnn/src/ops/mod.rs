@@ -15,6 +15,7 @@ pub mod dot;
 pub mod gemm;
 pub mod im2col;
 pub mod reference;
+pub mod streamconv;
 
 pub use bankconv::{conv2d_bank, BankScratch};
 pub use conv::{conv2d_binary, Conv2dParams};

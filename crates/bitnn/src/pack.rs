@@ -326,6 +326,28 @@ impl PackedActivations {
         &self.data
     }
 
+    /// Re-shape this container for `[n, c, h, w]` and zero every word,
+    /// reusing the allocation — the direct-write seat for
+    /// [`crate::layers::RSign::binarize_packed_into`], which assembles
+    /// lane words with single-bit ORs and needs a zeroed start (this also
+    /// preserves the clean-tail invariant: bits at and above `c` in the
+    /// last lane stay zero).
+    pub(crate) fn reset_zeroed(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        let lanes = lanes_for(c);
+        self.data.clear();
+        self.data.resize(n * h * w * lanes, 0);
+        self.n = n;
+        self.channels = c;
+        self.h = h;
+        self.w = w;
+        self.lanes = lanes;
+    }
+
+    /// Mutable raw packed words, for the fused sign→pack writer.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
     /// Unpack back to a flat [`BitTensor`] of shape `[N, C, H, W]`.
     pub fn unpack(&self) -> BitTensor {
         let mut t = BitTensor::zeros(&[self.n, self.channels, self.h, self.w]);

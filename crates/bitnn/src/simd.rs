@@ -318,6 +318,138 @@ pub fn gemm_choices() -> Vec<GemmChoice> {
     GEMM_LOG.lock().map(|log| log.clone()).unwrap_or_default()
 }
 
+/// The 3×3 lowering a conv geometry resolved to under the streaming
+/// autotuner: the im2col-free shifted-window path or the im2col+GEMM
+/// lowering (see `ops::streamconv` / `ops::im2col`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvLowering {
+    /// Streaming shifted-window direct path.
+    Stream,
+    /// Materialized im2col + tiled GEMM.
+    Im2col,
+}
+
+impl ConvLowering {
+    /// Stable name, as printed by `bnnkc features` / the perfsuite schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvLowering::Stream => "stream",
+            ConvLowering::Im2col => "im2col",
+        }
+    }
+}
+
+impl std::fmt::Display for ConvLowering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The geometry key a 3×3 conv lowering decision is cached under. The
+/// batch size is deliberately absent: both candidate paths scale linearly
+/// in it, so the per-image winner is the per-batch winner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub channels: usize,
+    /// Output filters.
+    pub filters: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Spatial padding.
+    pub pad: usize,
+}
+
+/// One recorded conv lowering selection: which path serves a geometry,
+/// and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvChoice {
+    /// The conv geometry.
+    pub geom: ConvGeom,
+    /// The selected lowering.
+    pub lowering: ConvLowering,
+    /// Autotuned or forced (`BITNN_CONV` / a pinned policy).
+    pub source: ChoiceSource,
+}
+
+/// Decision caches stop growing past this many distinct geometries — a
+/// graph with more unique conv shapes than this falls back to the static
+/// heuristic for the excess, which costs speed but never correctness or
+/// steady-state allocations.
+const CONV_CACHE_CAP: usize = 256;
+
+/// Per-geometry decision cache. Holds *autotuned* entries only: a pinned
+/// `BITNN_CONV=stream|im2col` engine must not poison the tuned choice an
+/// `auto` engine in the same process would make for the same geometry.
+static CONV_TABLE: Mutex<Vec<(ConvGeom, ConvLowering)>> = Mutex::new(Vec::new());
+
+/// Record of every selection (tuned and forced) in decision order, for
+/// `bnnkc features` and the perfsuite. Deduplicated by geometry+source.
+static CONV_LOG: Mutex<Vec<ConvChoice>> = Mutex::new(Vec::new());
+
+/// The cached autotuned lowering for `geom`, if one has been recorded.
+/// A linear scan under the lock — the table is small and the warmed
+/// forward path performs no allocation here.
+pub(crate) fn conv_choice_cached(geom: ConvGeom) -> Option<ConvLowering> {
+    let table = CONV_TABLE.lock().ok()?;
+    table.iter().find(|(g, _)| *g == geom).map(|&(_, l)| l)
+}
+
+/// Record an autotuned decision for `geom`. First writer wins (a benign
+/// double-tune race picks whichever insert lands first); past
+/// [`CONV_CACHE_CAP`] the decision is dropped rather than grown.
+pub(crate) fn record_conv_choice(geom: ConvGeom, lowering: ConvLowering) {
+    if let Ok(mut table) = CONV_TABLE.lock() {
+        if table.iter().any(|(g, _)| *g == geom) {
+            return;
+        }
+        if table.len() < CONV_CACHE_CAP {
+            table.push((geom, lowering));
+        }
+    }
+    log_conv_choice(ConvChoice {
+        geom,
+        lowering,
+        source: ChoiceSource::Autotuned,
+    });
+}
+
+/// Record that a pinned policy (`BITNN_CONV` or an explicit
+/// [`crate::exec::ConvMode`]) decided a live 3×3 dispatch. Reporting only —
+/// never touches the decision cache.
+pub(crate) fn record_forced_conv(geom: ConvGeom, lowering: ConvLowering) {
+    log_conv_choice(ConvChoice {
+        geom,
+        lowering,
+        source: ChoiceSource::Forced,
+    });
+}
+
+fn log_conv_choice(choice: ConvChoice) {
+    if let Ok(mut log) = CONV_LOG.lock() {
+        if log
+            .iter()
+            .any(|c| c.geom == choice.geom && c.source == choice.source)
+        {
+            return;
+        }
+        if log.len() < CONV_CACHE_CAP {
+            log.push(choice);
+        }
+    }
+}
+
+/// The conv lowering selections recorded so far, in decision order. Only
+/// geometries that have actually been dispatched (or warmed via
+/// `engine::warm_conv_table`) appear.
+pub fn conv_choices() -> Vec<ConvChoice> {
+    CONV_LOG.lock().map(|log| log.clone()).unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,5 +507,35 @@ mod tests {
         assert!(gemm_choices()
             .iter()
             .any(|c| c.class == ShapeClass::Narrow && c.variant == first));
+    }
+
+    #[test]
+    fn conv_table_caches_and_separates_forced_entries() {
+        // A geometry no real dispatch in this test binary will hit.
+        let geom = ConvGeom {
+            channels: 3,
+            filters: 5,
+            h: 101,
+            w: 7,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(conv_choice_cached(geom), None);
+        // Forced entries are reporting-only: the decision cache must stay
+        // clean for a later auto engine.
+        record_forced_conv(geom, ConvLowering::Stream);
+        assert_eq!(conv_choice_cached(geom), None);
+        record_conv_choice(geom, ConvLowering::Im2col);
+        assert_eq!(conv_choice_cached(geom), Some(ConvLowering::Im2col));
+        // First insert wins; a benign double-tune cannot flip it.
+        record_conv_choice(geom, ConvLowering::Stream);
+        assert_eq!(conv_choice_cached(geom), Some(ConvLowering::Im2col));
+        let log = conv_choices();
+        assert!(log
+            .iter()
+            .any(|c| c.geom == geom && c.source == ChoiceSource::Forced));
+        assert!(log.iter().any(|c| c.geom == geom
+            && c.source == ChoiceSource::Autotuned
+            && c.lowering == ConvLowering::Im2col));
     }
 }

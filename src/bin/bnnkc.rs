@@ -1000,17 +1000,20 @@ fn json_escape(s: &str) -> String {
 /// `bnnkc features`: what this host offers the execution backends —
 /// detected CPU features, the SIMD level the kernels dispatch at (after
 /// any `BITNN_SIMD` cap), hardware parallelism, which backend `auto`
-/// resolves to, and the GEMM microkernel variant the autotuner picks per
-/// kernel shape class.
+/// resolves to, the GEMM microkernel variant the autotuner picks per
+/// kernel shape class, and the per-geometry conv lowering (streaming
+/// direct vs im2col) the conv autotuner picks.
 fn cmd_features(args: &[String]) -> CliResult {
     check_flags("features", args, &[], &["--json"])?;
-    use bnnkc::bitnn::{exec, ops::gemm, simd};
+    use bnnkc::bitnn::{engine, exec, ops::gemm, simd};
 
     let f = simd::detect();
     let cap = std::env::var("BITNN_SIMD").ok();
     let backend_env = std::env::var("BITNN_BACKEND").ok();
+    let conv_env = std::env::var("BITNN_CONV").ok();
     let kind = parse_backend(args)?; // always Auto: features takes no value flags
     let choices = gemm::warm_gemm_tables();
+    let conv_choices = engine::warm_conv_table();
 
     if args.iter().any(|a| a == "--json") {
         // Hand-written JSON (this workspace builds offline, without a
@@ -1059,6 +1062,33 @@ fn cmd_features(args: &[String]) -> CliResult {
                 if i + 1 < choices.len() { "," } else { "" },
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"conv_env\": {},\n",
+            conv_env
+                .as_deref()
+                .map_or("null".to_string(), |v| format!("\"{}\"", json_escape(v)))
+        ));
+        out.push_str("  \"conv_autotuner\": [\n");
+        for (i, choice) in conv_choices.iter().enumerate() {
+            let g = choice.geom;
+            out.push_str(&format!(
+                "    {{\"channels\": {}, \"filters\": {}, \"h\": {}, \"w\": {}, \
+                 \"stride\": {}, \"pad\": {}, \"lowering\": \"{}\", \"source\": \"{}\"}}{}\n",
+                g.channels,
+                g.filters,
+                g.h,
+                g.w,
+                g.stride,
+                g.pad,
+                json_escape(choice.lowering.name()),
+                match choice.source {
+                    simd::ChoiceSource::Autotuned => "autotuned",
+                    simd::ChoiceSource::Forced => "forced",
+                },
+                if i + 1 < conv_choices.len() { "," } else { "" },
+            ));
+        }
         out.push_str("  ]\n}");
         println!("{out}");
         return Ok(());
@@ -1097,6 +1127,30 @@ fn cmd_features(args: &[String]) -> CliResult {
             match choice.source {
                 simd::ChoiceSource::Autotuned => "autotuned",
                 simd::ChoiceSource::Forced => "forced via BITNN_GEMM",
+            },
+        );
+    }
+
+    println!(
+        "conv lowering selection (BITNN_CONV {}):",
+        conv_env
+            .as_deref()
+            .map_or("unset".to_string(), |v| format!("= {v}")),
+    );
+    for choice in conv_choices {
+        let g = choice.geom;
+        println!(
+            "  {}x{} c{} -> k{} s{} p{}: {} ({})",
+            g.h,
+            g.w,
+            g.channels,
+            g.filters,
+            g.stride,
+            g.pad,
+            choice.lowering.name(),
+            match choice.source {
+                simd::ChoiceSource::Autotuned => "autotuned",
+                simd::ChoiceSource::Forced => "forced via BITNN_CONV",
             },
         );
     }

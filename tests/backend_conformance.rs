@@ -15,7 +15,7 @@ use bnnkc::prelude::*;
 use proptest::prelude::*;
 
 use bitnn::backend::all_backends;
-use bitnn::exec::{DedupMode, Lowering};
+use bitnn::exec::{ConvMode, DedupMode, Lowering};
 use bitnn::layers::{BatchNorm, BinConv2d, QuantConv2d, QuantLinear, RPReLU, RSign};
 use bitnn::ops::conv::Conv2dParams;
 use bitnn::pack::PackedActivations;
@@ -226,6 +226,88 @@ proptest! {
         }
     }
 
+    /// The streaming direct-conv lowering, pinned via
+    /// `ConvMode::Stream`, is bit-exact with the float reference across
+    /// random 3×3 geometries: strides 1–2, pads 0–1, degenerate one-row
+    /// and one-column planes, batches, channel counts spanning one and
+    /// two lane words, and filter counts spanning the filter-block
+    /// remainders.
+    #[test]
+    fn streaming_conv_matches_scalar_oracle(
+        c in 1usize..70,
+        h in 1usize..8,
+        w in 1usize..8,
+        n in 1usize..4,
+        kf in 1usize..7,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        use bitnn::engine::ConvScratch;
+        use bitnn::ops::reference::conv2d_reference;
+
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let a = random_kernel(&[n, c, h, w], seed);
+        let wk = random_kernel(&[kf, c, 3, 3], !seed);
+        let pa = PackedActivations::pack(&a).unwrap();
+        let pk = PackedKernel::pack(&wk).unwrap();
+        let params = Conv2dParams { stride, pad };
+        let engine = Engine::new(ExecPolicy {
+            threads,
+            conv: ConvMode::Stream,
+            // Exercise the parallel band split even on tiny shapes.
+            min_work: 0,
+            ..ExecPolicy::default()
+        });
+        let mut scratch = ConvScratch::default();
+        let got = engine.conv2d(&pa, (&pk).into(), params, &mut scratch).unwrap();
+        let expect = conv2d_reference(&a.to_tensor(), &wk.to_tensor(), params);
+        prop_assert_eq!(got.shape(), expect.shape());
+        for (g, e) in got.data().iter().zip(expect.data()) {
+            prop_assert_eq!(*g, *e);
+        }
+    }
+
+    /// Whole-model conformance with the streaming lowering pinned: the
+    /// packed binary-domain edges, the stacked weight-stationary batch
+    /// schedule, and the streaming conv kernels compose to results
+    /// bit-exact with the scalar oracle across architecture families.
+    #[test]
+    fn streaming_conv_matches_scalar_across_architectures(
+        arch_idx in 0usize..3,
+        image in 12usize..20,
+        batch in 2usize..4,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let arch = Arch::ALL[arch_idx];
+        let model = build_model(arch, 0.0625, image, seed).unwrap();
+        let inputs = synthetic_batch(batch, 3, image, seed ^ 0x57E4);
+        let engine = Engine::new(ExecPolicy {
+            threads,
+            conv: ConvMode::Stream,
+            ..ExecPolicy::default()
+        });
+        let backend = CpuBackend::new(engine.clone());
+        let mut state = model.state_for(&backend);
+        for x in &inputs {
+            let mut y = Tensor::default();
+            model.forward_on(&backend, &mut state, x, &mut y).unwrap();
+            let e = model.forward_scalar(x).unwrap();
+            prop_assert_eq!(y.data(), e.data(),
+                "{} streaming conv diverged from scalar oracle", arch);
+        }
+        // The batch entry point (stacked weight-stationary schedule on
+        // the intra-op split) must take the same path.
+        let batched = model.forward_batch(&inputs, &engine).unwrap();
+        for (x, via_batch) in inputs.iter().zip(&batched) {
+            let scalar = model.forward_scalar(x).unwrap();
+            prop_assert_eq!(scalar.data(), via_batch.data(),
+                "{} streaming batch path diverged", arch);
+        }
+    }
+
     /// Op-level floor under the graph sweep: the engine conv is bit-exact
     /// vs `ops::reference` across random shapes, strides, pads, thread
     /// counts, and every lowering — through whatever SIMD path the host
@@ -298,5 +380,46 @@ proptest! {
         for (g, e) in got.iter().zip(&reference) {
             prop_assert_eq!(*g as f32, *e);
         }
+    }
+}
+
+/// Deterministic streaming-conv edge geometries, always exercised even
+/// when the property sweep's generator skirts them: one-row and
+/// one-column planes (every window row out of bounds on one side), a 1×1
+/// plane under pad 1 (pad-only windows), stride 2 without padding, and
+/// the perfsuite-gated 28×28/c64/k64 shape batched.
+#[test]
+fn streaming_conv_degenerate_geometries_match_oracle() {
+    use bitnn::engine::ConvScratch;
+    use bitnn::ops::reference::conv2d_reference;
+
+    let engine = Engine::new(ExecPolicy {
+        threads: 1,
+        conv: ConvMode::Stream,
+        ..ExecPolicy::default()
+    });
+    let mut scratch = ConvScratch::default();
+    for (shape, kf, stride, pad) in [
+        ([2, 5, 1, 9], 4, 1, 1),     // single row
+        ([2, 5, 9, 1], 4, 1, 1),     // single column
+        ([1, 64, 1, 1], 3, 1, 1),    // pad-only windows
+        ([3, 70, 6, 7], 5, 2, 0),    // stride 2, no padding, 2 lanes
+        ([2, 64, 28, 28], 64, 1, 1), // the perfsuite-gated geometry
+    ] {
+        let a = random_kernel(&shape, 0xDE6E ^ (shape[1] * shape[3]) as u64);
+        let wk = random_kernel(&[kf, shape[1], 3, 3], 0xF117 ^ kf as u64);
+        let pa = PackedActivations::pack(&a).unwrap();
+        let pk = PackedKernel::pack(&wk).unwrap();
+        let params = Conv2dParams { stride, pad };
+        let got = engine
+            .conv2d(&pa, (&pk).into(), params, &mut scratch)
+            .unwrap();
+        let expect = conv2d_reference(&a.to_tensor(), &wk.to_tensor(), params);
+        assert_eq!(got.shape(), expect.shape());
+        assert_eq!(
+            got.data(),
+            expect.data(),
+            "stream diverged at {shape:?} kf={kf} s={stride} p={pad}"
+        );
     }
 }

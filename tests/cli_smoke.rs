@@ -251,6 +251,29 @@ fn features_reports_host_capabilities() {
     for class in ["narrow", "medium", "wide"] {
         assert!(stdout.contains(class), "missing {class} row: {stdout}");
     }
+    // The conv autotuner's per-geometry lowering table, with the warmed
+    // hot geometry resolved to one of the two candidate lowerings.
+    assert!(
+        stdout.contains("conv lowering selection"),
+        "missing conv table: {stdout}"
+    );
+    assert!(
+        stdout.contains("28x28 c64 -> k64 s1 p1: stream")
+            || stdout.contains("28x28 c64 -> k64 s1 p1: im2col"),
+        "missing warmed conv geometry row: {stdout}"
+    );
+
+    // The JSON form carries the same tables.
+    let j = bnnkc(&["features", "--json"]);
+    assert!(j.status.success(), "features --json failed: {j:?}");
+    let json = String::from_utf8_lossy(&j.stdout);
+    for key in ["\"gemm_autotuner\"", "\"conv_autotuner\"", "\"conv_env\""] {
+        assert!(json.contains(key), "missing {key}: {json}");
+    }
+    assert!(
+        json.contains("\"lowering\": \"stream\"") || json.contains("\"lowering\": \"im2col\""),
+        "missing conv lowering entry: {json}"
+    );
     // features takes no flags.
     assert!(!bnnkc(&["features", "--verbose"]).status.success());
 }
